@@ -1,0 +1,88 @@
+// E15 (extension) -- adaptive scheme selection: the paper's §5 remark
+// that "we may be able to apply more sophisticated algorithms" realized
+// as a controller that picks deterministic vs probabilistic roll-
+// forward per recovery from the predictor's measured accuracy. This
+// harness compares fixed and adaptive configurations across fault
+// streams with and without learnable structure.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/smt_engine.hpp"
+
+using namespace vds;
+
+namespace {
+
+struct Row {
+  const char* name;
+  bool adaptive;
+  core::RecoveryScheme scheme;
+};
+
+void run_stream(const char* stream_name, double bias, std::uint64_t seed) {
+  std::printf("\n  stream '%s' (victim bias %.2f)\n", stream_name, bias);
+  std::printf("  %-14s %10s %8s %8s %10s %12s\n", "config", "time",
+              "rf_kept", "rf_disc", "p (meas)", "adaptive d/p");
+
+  const Row rows[] = {
+      {"fixed det", false, core::RecoveryScheme::kRollForwardDet},
+      {"fixed prob", false, core::RecoveryScheme::kRollForwardProb},
+      {"adaptive", true, core::RecoveryScheme::kRollForwardDet},
+  };
+
+  for (const Row& row : rows) {
+    core::VdsOptions options;
+    options.t = 1.0;
+    options.c = 0.1;
+    options.t_cmp = 0.1;
+    options.alpha = 0.65;
+    options.s = 20;
+    options.job_rounds = 30000;
+    options.scheme = row.scheme;
+    options.adaptive_scheme = row.adaptive;
+
+    fault::FaultConfig config;
+    config.rate = 0.02;
+    config.victim1_bias = bias;
+
+    sim::Rng fault_rng(seed);
+    auto timeline = fault::generate_timeline(config, fault_rng, 200000.0);
+    core::SmtVds vds(options, sim::Rng(seed + 1));
+    vds.set_predictor(std::make_unique<fault::TwoBitPredictor>(16));
+    const auto report = vds.run(timeline);
+
+    char adaptive_cell[32] = "-";
+    if (row.adaptive) {
+      std::snprintf(adaptive_cell, sizeof adaptive_cell, "%llu/%llu",
+                    static_cast<unsigned long long>(
+                        report.adaptive_det_recoveries),
+                    static_cast<unsigned long long>(
+                        report.adaptive_prob_recoveries));
+    }
+    std::printf("  %-14s %10.1f %8llu %8llu %10.3f %12s\n", row.name,
+                report.total_time,
+                static_cast<unsigned long long>(report.roll_forwards_kept),
+                static_cast<unsigned long long>(
+                    report.roll_forwards_discarded),
+                report.predictor_accuracy(), adaptive_cell);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E15",
+                "adaptive det/prob scheme selection (Section-5 extension)");
+  run_stream("unbiased", 0.5, 31);
+  run_stream("weakly biased", 0.7, 32);
+  run_stream("strongly biased", 0.95, 33);
+  bench::note("the controller warms up deterministically, then tracks "
+              "the measured p: on structured streams it converges to the "
+              "probabilistic roll-forward (more expected progress), on "
+              "unstructured ones it keeps the guaranteed deterministic "
+              "progress -- matching whichever fixed choice is better "
+              "without knowing the stream in advance.");
+  return 0;
+}

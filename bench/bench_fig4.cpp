@@ -1,0 +1,35 @@
+// E5 -- Figure 4: expected correction gain G_corr(alpha, beta) for
+// p = 0.5 (random guess, the paper's pessimistic case), s = 20,
+// computed from the exact equations (10)-(14) exactly as the paper
+// states. Prints the surface as a matrix plus the paper's anchors.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "model/limits.hpp"
+#include "model/surface.hpp"
+
+using namespace vds;
+
+int main() {
+  bench::banner("E5", "Figure 4: G_corr(alpha, beta) surface at p = 0.5");
+
+  const model::Axis alpha{0.5, 1.0, 11};
+  const model::Axis beta{0.0, 1.0, 11};
+  const model::GainSurface surface(alpha, beta, /*p=*/0.5, /*s=*/20);
+
+  surface.write_matrix(std::cout);
+
+  bench::section("anchors");
+  std::printf("  G(0.65, 0.1) = %.4f   (G_max limit: %.4f, paper: 1.38)\n",
+              surface.at(3, 1), model::g_max(0.5, 0.65, 0.1));
+  std::printf("  G(0.90, 0.1) = %.4f   (paper: ~1.0 even at 10%% "
+              "multithreading benefit)\n",
+              surface.at(8, 1));
+  std::printf("  surface range: [%.4f, %.4f]\n", surface.min_gain(),
+              surface.max_gain());
+  bench::note("gain >= 1 for p = 0.5 whenever alpha <= (1+ln2)/2 ~ 0.847 "
+              "(beta = 0); larger beta shifts the break-even right.");
+  return 0;
+}

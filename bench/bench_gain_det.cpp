@@ -1,0 +1,40 @@
+// E3 -- Equations (6)/(7): deterministic roll-forward gain, per
+// detection round and averaged, with the alpha < 0.723 break-even the
+// paper quotes.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "model/gain.hpp"
+
+using namespace vds;
+
+int main() {
+  bench::banner("E3",
+                "eqs (6)/(7): deterministic roll-forward gain G_det");
+
+  bench::section("per-round gain G_det(i), s = 20, beta = 0.1");
+  std::printf("%6s %12s %12s\n", "i", "exact", "approx");
+  const auto params = model::Params::with_beta(0.65, 0.1, 20, 0.5);
+  for (int i = 1; i <= 20; ++i) {
+    std::printf("%6d %12.4f %12.4f\n", i, model::gain_det(params, i),
+                model::gain_det_approx(params, i));
+  }
+  bench::note("plateau 3/(4 alpha) up to i = 4s/5 = 16, then the "
+              "checkpoint cap bites ((2s-i)/(2 i alpha)).");
+
+  bench::section("mean gain vs alpha (beta = 0.1, s = 20)");
+  std::printf("%8s %12s %12s\n", "alpha", "exact", "eq(7)~");
+  for (int step = 0; step <= 10; ++step) {
+    const double alpha = 0.50 + 0.05 * step;
+    const auto p = model::Params::with_beta(alpha, 0.1, 20, 0.5);
+    std::printf("%8.2f %12.4f %12.4f\n", alpha, model::mean_gain_det(p),
+                model::mean_gain_det_approx(p));
+  }
+
+  bench::section("break-even");
+  std::printf("  mean gain > 1 iff alpha < (1 + 2 ln(5/4))/2 = %.4f "
+              "(paper: 0.723)\n",
+              model::det_alpha_threshold());
+  return 0;
+}

@@ -1,0 +1,46 @@
+// E4 -- Equation (8): probabilistic roll-forward gain across the
+// prediction probability p, with the paper's two comparisons: equal to
+// the deterministic scheme at p = 0.5, strictly better for p > 0.5.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "model/gain.hpp"
+
+using namespace vds;
+
+int main() {
+  bench::banner("E4", "eq (8): probabilistic roll-forward gain G_prob");
+
+  bench::section("mean gain vs p and alpha (beta = 0.1, s = 20)");
+  const double alphas[] = {0.5, 0.6, 0.65, 0.7, 0.8, 0.9};
+  std::printf("%6s", "p");
+  for (const double alpha : alphas) std::printf("  a=%-8.2f", alpha);
+  std::printf("\n");
+  for (double p = 0.0; p <= 1.001; p += 0.1) {
+    std::printf("%6.1f", p);
+    for (const double alpha : alphas) {
+      const auto params = model::Params::with_beta(alpha, 0.1, 20, p);
+      std::printf("  %10.4f", model::mean_gain_prob(params));
+    }
+    std::printf("\n");
+  }
+
+  bench::section("probabilistic vs deterministic (paper: equal at p=0.5, "
+                 "prob wins for p > 0.5)");
+  std::printf("%6s %14s %14s\n", "p", "prob(mean)", "det(mean)");
+  for (double p = 0.3; p <= 1.001; p += 0.1) {
+    const auto params = model::Params::with_beta(0.65, 0.1, 20, p);
+    std::printf("%6.1f %14.4f %14.4f\n", p, model::mean_gain_prob(params),
+                model::mean_gain_det(params));
+  }
+
+  bench::section("approximation check at beta = 0");
+  std::printf("%6s %14s %14s\n", "p", "exact(s=2000)", "eq(8)~");
+  for (double p = 0.0; p <= 1.001; p += 0.25) {
+    const auto params = model::Params::with_beta(0.65, 0.0, 2000, p);
+    std::printf("%6.2f %14.4f %14.4f\n", p, model::mean_gain_prob(params),
+                model::mean_gain_prob_approx(params));
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+// E10 -- Section 4/5: faulty-version prediction. The paper proposes a
+// software fault-history predictor "similar to branch prediction".
+// This harness runs the predict-scheme VDS under differently biased
+// fault streams, measures each predictor's empirical accuracy p, and
+// shows the achieved speedup tracking the model's G_corr(p).
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/conventional.hpp"
+#include "core/smt_engine.hpp"
+#include "model/gain.hpp"
+
+using namespace vds;
+
+namespace {
+
+using PredictorFactory =
+    std::function<std::unique_ptr<fault::Predictor>(sim::Rng)>;
+
+struct StreamSpec {
+  const char* name;
+  double victim1_bias;   ///< fraction of faults hitting version 1
+  double crash_weight;   ///< crash faults provide certain evidence
+  double uniformity;     ///< spatial skew (small = few hot locations)
+};
+
+void run_matrix(const StreamSpec& stream,
+                const std::vector<std::pair<std::string, PredictorFactory>>&
+                    predictors) {
+  std::printf("\n  fault stream '%s' (bias=%.2f crash=%.2f skew=%.2f)\n",
+              stream.name, stream.victim1_bias, stream.crash_weight,
+              stream.uniformity);
+  std::printf("  %-16s %10s %12s %12s %14s\n", "predictor", "p (meas)",
+              "time(SMT)", "gain vs conv", "model Gcorr(p)");
+
+  core::VdsOptions options;
+  options.t = 1.0;
+  options.c = 0.1;
+  options.t_cmp = 0.1;
+  options.alpha = 0.65;
+  options.s = 20;
+  options.job_rounds = 20000;
+  options.scheme = core::RecoveryScheme::kRollForwardPredict;
+
+  fault::FaultConfig fc;
+  fc.rate = 0.02;
+  fc.weight_transient = 1.0 - stream.crash_weight;
+  fc.weight_crash = stream.crash_weight;
+  fc.victim1_bias = stream.victim1_bias;
+  fc.location_uniformity = stream.uniformity;
+  fc.locations = 16;
+
+  // Conventional reference on the same stream statistics.
+  double conv_time = 0.0;
+  {
+    sim::Rng rng(9);
+    auto timeline = fault::generate_timeline(fc, rng, 80000.0);
+    core::VdsOptions conv_options = options;
+    conv_options.scheme = core::RecoveryScheme::kStopAndRetry;
+    core::ConventionalVds conv(conv_options, sim::Rng(10));
+    conv_time = conv.run(timeline).total_time;
+  }
+
+  for (const auto& [name, factory] : predictors) {
+    sim::Rng rng(9);
+    auto timeline = fault::generate_timeline(fc, rng, 80000.0);
+    core::SmtVds vds(options, sim::Rng(10));
+    vds.set_predictor(factory(sim::Rng(11)));
+    const auto report = vds.run(timeline);
+    const double p = report.predictor_accuracy();
+    const auto params = options.to_model_params(p);
+    std::printf("  %-16s %10.3f %12.1f %12.3f %14.3f\n", name.c_str(), p,
+                report.total_time, conv_time / report.total_time,
+                model::mean_gain_corr(params));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E10", "fault prediction: accuracy p and achieved gain");
+
+  const std::vector<std::pair<std::string, PredictorFactory>> predictors = {
+      {"random", [](sim::Rng rng) {
+         return std::make_unique<fault::RandomPredictor>(rng);
+       }},
+      {"static(V1)", [](sim::Rng) {
+         return std::make_unique<fault::StaticPredictor>(
+             fault::VersionGuess::kVersion1);
+       }},
+      {"last_faulty", [](sim::Rng) {
+         return std::make_unique<fault::LastFaultyPredictor>();
+       }},
+      {"two_bit", [](sim::Rng) {
+         return std::make_unique<fault::TwoBitPredictor>(16);
+       }},
+      {"history", [](sim::Rng) {
+         return std::make_unique<fault::HistoryPredictor>(6, 4);
+       }},
+      {"tournament", [](sim::Rng) {
+         return std::make_unique<fault::TournamentPredictor>(6, 4);
+       }},
+      {"perceptron", [](sim::Rng) {
+         return std::make_unique<fault::PerceptronPredictor>();
+       }},
+      {"crash+two_bit", [](sim::Rng) {
+         return std::make_unique<fault::CrashEvidencePredictor>(
+             std::make_unique<fault::TwoBitPredictor>(16));
+       }},
+      {"oracle", [](sim::Rng) {
+         return std::make_unique<fault::OraclePredictor>();
+       }},
+  };
+
+  const StreamSpec streams[] = {
+      {"unbiased", 0.5, 0.0, 1.0},
+      {"sticky-victim", 0.9, 0.0, 0.3},
+      {"crash-heavy", 0.5, 0.5, 1.0},
+      {"hot-location", 0.75, 0.1, 0.15},
+  };
+  for (const auto& stream : streams) run_matrix(stream, predictors);
+
+  bench::note("history predictors lift p above 0.5 exactly when the "
+              "fault process has structure (the paper's radiation-"
+              "damaged-part scenario); the achieved job-level gain "
+              "follows the model's G_corr(p) ordering.");
+  return 0;
+}

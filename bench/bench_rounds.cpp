@@ -1,0 +1,91 @@
+// E1 -- Figure 1(a)/(b): execution models of a VDS on a conventional
+// and on a hyperthreaded processor; validates the simulated protocol
+// timing against equations (1) and (3) and prints an execution trace
+// that reconstructs the paper's timing diagrams.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/conventional.hpp"
+#include "core/smt_engine.hpp"
+#include "model/timing.hpp"
+
+using namespace vds;
+
+namespace {
+
+core::VdsOptions make_options() {
+  core::VdsOptions options;
+  options.t = 1.0;
+  options.c = 0.1;
+  options.t_cmp = 0.1;
+  options.alpha = 0.65;
+  options.s = 20;
+  options.job_rounds = 5;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E1", "Figure 1: VDS execution models and round timing");
+  const core::VdsOptions options = make_options();
+  const auto params = options.to_model_params();
+
+  bench::section("conventional processor (Figure 1a)");
+  {
+    core::ConventionalVds vds(options, sim::Rng(1));
+    fault::FaultTimeline timeline{std::vector<fault::Fault>{}};
+    sim::Trace trace;
+    const auto report = vds.run(timeline, &trace);
+    trace.dump(std::cout);
+    const double t1_round = model::t1_round(params);
+    std::printf("\n  T_1,round  model (eq 1) = %.4f\n", t1_round);
+    std::printf("  T_1,round  simulated    = %.4f\n",
+                report.total_time / 5.0);
+  }
+
+  bench::section("hyperthreaded processor (Figure 1b)");
+  {
+    core::SmtVds vds(options, sim::Rng(1));
+    fault::FaultTimeline timeline{std::vector<fault::Fault>{}};
+    sim::Trace trace;
+    const auto report = vds.run(timeline, &trace);
+    trace.dump(std::cout);
+    const double tht2_round = model::tht2_round(params);
+    std::printf("\n  T_HT2,round model (eq 3) = %.4f\n", tht2_round);
+    std::printf("  T_HT2,round simulated    = %.4f\n",
+                report.total_time / 5.0);
+  }
+
+  bench::section("recovery timing with a fault at round 3 (eqs 2, 5)");
+  {
+    core::VdsOptions opt = make_options();
+    opt.job_rounds = 10;
+    const double conv_round = model::t1_round(params);
+    const double smt_round = model::tht2_round(params);
+
+    fault::Fault fault;
+    fault.kind = fault::FaultKind::kTransient;
+    fault.when = 2.0 * conv_round + 0.5;
+    core::ConventionalVds conv(opt, sim::Rng(2));
+    fault::FaultTimeline conv_timeline({fault});
+    const auto conv_report = conv.run(conv_timeline);
+    std::printf("  conventional: T_1,corr   model = %.4f  simulated = %.4f\n",
+                model::t1_corr(params, 3.0),
+                conv_report.recovery_time.mean());
+
+    opt.scheme = core::RecoveryScheme::kRollForwardDet;
+    fault.when = 2.0 * smt_round + 0.5;
+    fault.victim = fault::Victim::kVersion1;
+    core::SmtVds smt(opt, sim::Rng(2));
+    fault::FaultTimeline smt_timeline({fault});
+    const auto smt_report = smt.run(smt_timeline);
+    std::printf("  SMT:          T_HT2,corr model = %.4f  simulated = %.4f\n",
+                model::tht2_corr(params, 3.0),
+                smt_report.recovery_time.mean());
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// E13 -- Related-work comparison (paper §2.2): Reinhardt/Mukherjee
+// lockstep SRT [9] detects within a cycle but pays continuous compare
+// overhead and cannot expose permanent faults; the physical duplex is
+// fastest but doubles the hardware. This harness tabulates throughput,
+// detection latency and permanent-fault behaviour for all four systems
+// on statistically identical fault streams.
+
+#include <cstdio>
+
+#include "baseline/duplex.hpp"
+#include "baseline/srt.hpp"
+#include "bench_util.hpp"
+#include "core/conventional.hpp"
+#include "core/smt_engine.hpp"
+
+using namespace vds;
+
+namespace {
+
+constexpr std::uint64_t kJobRounds = 20000;
+constexpr double kHorizon = 300000.0;
+
+fault::FaultConfig stream(double rate, double permanent_weight) {
+  fault::FaultConfig fc;
+  fc.rate = rate;
+  fc.weight_transient = 1.0 - permanent_weight;
+  fc.weight_permanent = permanent_weight;
+  return fc;
+}
+
+void print_row(const char* name, const core::RunReport& report,
+               int processors) {
+  std::printf("  %-14s %5s %12.1f %14.6f %12.4f %9llu %9llu %7s\n", name,
+              report.completed ? "ok" : (report.failed_safe ? "SAFE"
+                                                            : "abort"),
+              report.total_time,
+              report.throughput() / processors,
+              report.detection_latency.empty()
+                  ? 0.0
+                  : report.detection_latency.mean(),
+              static_cast<unsigned long long>(report.detections),
+              static_cast<unsigned long long>(report.rollbacks),
+              report.silent_corruption ? "YES" : "no");
+}
+
+void compare(double rate, double permanent_weight, std::uint64_t seed) {
+  std::printf("\n  rate=%.3f, permanent fraction=%.2f\n", rate,
+              permanent_weight);
+  std::printf("  %-14s %5s %12s %14s %12s %9s %9s %7s\n", "system", "end",
+              "time", "thr./cpu", "det.lat", "detects", "rollbk",
+              "silent");
+
+  {
+    core::VdsOptions options;
+    options.job_rounds = kJobRounds;
+    options.scheme = core::RecoveryScheme::kStopAndRetry;
+    options.permanent_affects_others_prob = 0.0;
+    sim::Rng rng(seed);
+    auto timeline = fault::generate_timeline(stream(rate, permanent_weight),
+                                             rng, kHorizon);
+    core::ConventionalVds vds(options, sim::Rng(seed + 1));
+    print_row("VDS conv", vds.run(timeline), 1);
+  }
+  {
+    core::VdsOptions options;
+    options.job_rounds = kJobRounds;
+    options.scheme = core::RecoveryScheme::kRollForwardDet;
+    options.permanent_affects_others_prob = 0.0;
+    sim::Rng rng(seed);
+    auto timeline = fault::generate_timeline(stream(rate, permanent_weight),
+                                             rng, kHorizon);
+    core::SmtVds vds(options, sim::Rng(seed + 1));
+    print_row("VDS smt", vds.run(timeline), 1);
+  }
+  {
+    baseline::SrtConfig config;
+    config.job_rounds = kJobRounds;
+    sim::Rng rng(seed);
+    auto timeline = fault::generate_timeline(stream(rate, permanent_weight),
+                                             rng, kHorizon);
+    baseline::LockstepSrt srt(config, sim::Rng(seed + 1));
+    print_row("SRT lockstep", srt.run(timeline), 1);
+  }
+  {
+    baseline::DuplexConfig config;
+    config.job_rounds = kJobRounds;
+    sim::Rng rng(seed);
+    auto timeline = fault::generate_timeline(stream(rate, permanent_weight),
+                                             rng, kHorizon);
+    baseline::PhysicalDuplex duplex(config, sim::Rng(seed + 1));
+    print_row("duplex (2cpu)", duplex.run(timeline), 2);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E13", "VDS vs lockstep SRT [9] vs physical duplex");
+  compare(0.005, 0.0, 11);
+  compare(0.02, 0.0, 12);
+  compare(0.01, 0.05, 13);
+
+  bench::note("SRT detects orders of magnitude faster but loses "
+              "throughput to its always-on comparison and misses "
+              "permanent faults entirely (identical copies). The "
+              "diversity-based VDS detects at round granularity yet "
+              "tolerates isolated permanent faults; the duplex buys raw "
+              "speed with twice the hardware (compare thr./cpu).");
+  return 0;
+}

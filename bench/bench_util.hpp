@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+// Shared formatting helpers for the experiment harnesses. Output is
+// plain aligned text so the tables diff cleanly across runs.
+
+namespace vds::bench {
+
+inline void banner(const std::string& experiment_id,
+                   const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s  %s\n", experiment_id.c_str(), title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void section(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("  note: %s\n", text.c_str());
+}
+
+}  // namespace vds::bench

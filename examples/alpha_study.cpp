@@ -1,0 +1,101 @@
+// Capacity-planning study: should you deploy the VDS on an SMT part,
+// and with which recovery scheme?
+//
+// The pipeline walks the whole library end to end:
+//   workload generator -> cycle-level SMT core (measure alpha)
+//     -> analytical model (pick the best scheme for that alpha)
+//       -> protocol engine (validate the choice under injected faults).
+
+#include <algorithm>
+#include <memory>
+#include <cstdio>
+#include <utility>
+
+#include "core/conventional.hpp"
+#include "core/smt_engine.hpp"
+#include "model/gain.hpp"
+#include "model/limits.hpp"
+#include "smt/metrics.hpp"
+#include "smt/workload.hpp"
+
+using namespace vds;
+
+int main() {
+  std::printf("=== alpha study: from cycle-level SMT measurement to "
+              "scheme choice ===\n\n");
+
+  const std::pair<const char*, smt::WorkloadConfig> applications[] = {
+      {"signal-processing", smt::compute_bound_workload(25000)},
+      {"database-scan", smt::memory_bound_workload(25000)},
+      {"protocol-stack", smt::branchy_workload(25000)},
+      {"control-law", smt::serial_chain_workload(25000)},
+  };
+
+  std::printf("%-20s %7s | %8s %8s %8s | %-16s | %9s\n", "application",
+              "alpha", "G_round", "G_det", "G_corr", "chosen scheme",
+              "validated");
+
+  for (const auto& [name, workload] : applications) {
+    // 1. Measure alpha for this application class on the simulated core.
+    sim::Rng rng(99);
+    const auto trace_a = smt::generate_trace(workload, rng);
+    const auto trace_b = smt::generate_trace(workload, rng);
+    smt::CoreConfig core_config;
+    const auto measurement = smt::measure_alpha(
+        core_config, smt::FetchPolicy::kIcount, trace_a, trace_b);
+    const double alpha = std::clamp(measurement.alpha, 0.5, 1.0);
+
+    // 2. Evaluate the model at the measured alpha (history predictors
+    //    on structured fault streams reach p ~ 0.85; see bench E10).
+    const double p = 0.85;
+    const auto params = model::Params::with_beta(alpha, 0.1, 20, p);
+    const double g_round = model::gain_round(params);
+    const double g_det = model::mean_gain_det(params);
+    const double g_corr = model::mean_gain_corr(params);
+
+    const bool prediction_pays = g_corr >= g_det && p >= 0.5;
+    const auto scheme = prediction_pays
+                            ? core::RecoveryScheme::kRollForwardProb
+                            : core::RecoveryScheme::kRollForwardDet;
+
+    // 3. Validate with the protocol engine under a biased fault stream.
+    core::VdsOptions options;
+    options.alpha = alpha;
+    options.c = 0.1;
+    options.t_cmp = 0.1;
+    options.s = 20;
+    options.job_rounds = 8000;
+    options.scheme = scheme;
+    fault::FaultConfig fc;
+    fc.rate = 0.01;
+    fc.victim1_bias = 0.85;  // structure for the predictor to learn
+    sim::Rng fault_rng(5);
+    auto smt_timeline = fault::generate_timeline(fc, fault_rng, 1e6);
+    auto conv_timeline = smt_timeline;
+    conv_timeline.rewind();
+
+    core::SmtVds smt_vds(options, sim::Rng(6));
+    smt_vds.set_predictor(
+        std::make_unique<fault::TwoBitPredictor>(16));
+    const auto smt_report = smt_vds.run(smt_timeline);
+
+    core::VdsOptions conv_options = options;
+    conv_options.scheme = core::RecoveryScheme::kStopAndRetry;
+    core::ConventionalVds conv(conv_options, sim::Rng(6));
+    const auto conv_report = conv.run(conv_timeline);
+
+    const double validated =
+        conv_report.total_time / smt_report.total_time;
+    std::printf("%-20s %7.3f | %8.3f %8.3f %8.3f | %-16s | %9.3f\n",
+                name, alpha, g_round, g_det, g_corr,
+                core::to_string(scheme).data(), validated);
+  }
+
+  std::printf(
+      "\nreading the table: alpha from the cycle-level core feeds the\n"
+      "paper's closed forms; G_corr >= G_det favours the predictive\n"
+      "roll-forward whenever fault streams have learnable structure.\n"
+      "The 'validated' column is the measured end-to-end speedup of the\n"
+      "chosen configuration over the conventional-processor VDS.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Transportation scenario (paper §1: "virtual duplex systems are
+// already in commercial use in transportation environments, e.g. in the
+// Copenhagen subway"). An interlocking controller must either produce
+// correct switch/signal commands or shut down fail-safe -- silent
+// corruption is the one unacceptable outcome.
+//
+// The example contrasts the recovery schemes on three hazard profiles
+// and shows (a) transient storms are absorbed, (b) an isolated
+// permanent fault is tolerated by swapping in the diverse spare
+// version, (c) a pervasive permanent fault ends in a fail-safe
+// shutdown rather than wrong-side failure.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/smt_engine.hpp"
+
+using namespace vds;
+
+namespace {
+
+core::VdsOptions controller_options(core::RecoveryScheme scheme) {
+  core::VdsOptions options;
+  options.t = 1.0;      // one control cycle batch
+  options.c = 0.05;
+  options.t_cmp = 0.05;
+  options.alpha = 0.68;
+  options.s = 10;       // tight checkpoints: bounded rollback loss
+  options.job_rounds = 20000;
+  options.scheme = scheme;
+  options.max_consecutive_failures = 5;
+  return options;
+}
+
+struct Hazard {
+  const char* name;
+  fault::FaultConfig config;
+  double affects_others;  // does the broken unit hit other versions?
+};
+
+std::vector<Hazard> hazards() {
+  std::vector<Hazard> out;
+  {
+    Hazard h;
+    h.name = "transient storm (EMI)";
+    h.config.rate = 0.05;
+    h.affects_others = 0.0;
+    out.push_back(h);
+  }
+  {
+    Hazard h;
+    h.name = "isolated permanent defect";
+    h.config.rate = 0.0005;
+    h.config.weight_transient = 0.2;
+    h.config.weight_permanent = 0.8;
+    h.affects_others = 0.0;  // diversity avoids the broken unit
+    out.push_back(h);
+  }
+  {
+    Hazard h;
+    h.name = "pervasive permanent defect";
+    h.config.rate = 0.0005;
+    h.config.weight_transient = 0.2;
+    h.config.weight_permanent = 0.8;
+    h.affects_others = 1.0;  // every version needs the broken unit
+    out.push_back(h);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== subway interlocking controller: fail-safe VDS ===\n");
+
+  const core::RecoveryScheme schemes[] = {
+      core::RecoveryScheme::kStopAndRetry,
+      core::RecoveryScheme::kRollForwardDet,
+      core::RecoveryScheme::kRollForwardProb,
+  };
+
+  for (const Hazard& hazard : hazards()) {
+    std::printf("\nhazard: %s (rate %.4f)\n", hazard.name,
+                hazard.config.rate);
+    std::printf("  %-18s %6s %10s %9s %9s %9s %7s\n", "scheme", "end",
+                "time", "detects", "recover", "rollback", "silent");
+    for (const auto scheme : schemes) {
+      core::VdsOptions options = controller_options(scheme);
+      options.permanent_affects_others_prob = hazard.affects_others;
+      sim::Rng fault_rng(7);
+      auto timeline =
+          fault::generate_timeline(hazard.config, fault_rng, 1e6);
+      core::SmtVds vds(options, sim::Rng(8));
+      const core::RunReport report = vds.run(timeline);
+      std::printf("  %-18s %6s %10.1f %9llu %9llu %9llu %7s\n",
+                  core::to_string(scheme).data(),
+                  report.completed ? "ok"
+                                   : (report.failed_safe ? "SAFE" : "?"),
+                  report.total_time,
+                  static_cast<unsigned long long>(report.detections),
+                  static_cast<unsigned long long>(report.recoveries_ok),
+                  static_cast<unsigned long long>(report.rollbacks),
+                  report.silent_corruption ? "YES" : "no");
+    }
+  }
+
+  std::printf(
+      "\ninterpretation:\n"
+      "  * EMI storms cost throughput but never correctness.\n"
+      "  * an isolated permanent defect is voted out: the spare diverse\n"
+      "    version takes over the faulty slot and service continues.\n"
+      "  * a pervasive defect can never win a majority: the controller\n"
+      "    stops fail-safe ('SAFE') instead of emitting wrong commands --\n"
+      "    exactly the behaviour a wrong-side-failure analysis demands.\n");
+  return 0;
+}

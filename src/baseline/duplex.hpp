@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/report.hpp"
+#include "fault/injector.hpp"
+#include "sim/rng.hpp"
+
+namespace vds::baseline {
+
+/// True (physical) duplex system: two separate processors each run one
+/// diverse version at full speed; states are exchanged and compared
+/// after every round. This is the system a VDS approximates with half
+/// the hardware (paper §1: VDS provides "a cost advantage over duplex
+/// systems because of reduced hardware requirements").
+struct DuplexConfig {
+  double t = 1.0;       ///< round compute time (full speed, no alpha)
+  double t_cmp = 0.1;   ///< cross-processor state exchange + compare
+  int s = 20;
+  std::uint64_t job_rounds = 1000;
+  double checkpoint_write_latency = 0.0;
+  double checkpoint_read_latency = 0.0;
+  /// Consecutive failed recoveries before fail-safe shutdown.
+  int max_consecutive_failures = 8;
+  double max_time = 1e12;
+  int processors = 2;  ///< hardware cost metric
+
+  void validate() const;
+};
+
+/// Physical-duplex reference implementation. Stop-and-retry recovery:
+/// on mismatch at round i, one processor replays version 3 for i rounds
+/// (i * t) while the other idles, then a 2-out-of-3 vote.
+class PhysicalDuplex {
+ public:
+  PhysicalDuplex(DuplexConfig config, vds::sim::Rng rng);
+
+  [[nodiscard]] vds::core::RunReport run(
+      vds::fault::FaultTimeline& timeline);
+
+  [[nodiscard]] const DuplexConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Useful rounds per unit time per processor -- the cost-adjusted
+  /// throughput used for the VDS-vs-duplex comparison.
+  [[nodiscard]] static double per_processor_throughput(
+      const vds::core::RunReport& report, const DuplexConfig& config);
+
+ private:
+  DuplexConfig config_;
+  vds::sim::Rng rng_;
+};
+
+}  // namespace vds::baseline

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/report.hpp"
+#include "fault/injector.hpp"
+#include "sim/rng.hpp"
+
+namespace vds::baseline {
+
+/// Reinhardt/Mukherjee-style simultaneous redundant threading (paper
+/// §2.2, [9]): two *identical* copies run cycle-by-cycle lockstep on the
+/// SMT processor and results are compared continuously in hardware.
+///
+/// Detection latency shrinks to (a fraction of) a round, but the scheme
+/// pays a continuous comparison overhead, provides no design diversity
+/// (permanent faults corrupting both copies identically stay invisible)
+/// and, having no third version, recovers only by rollback.
+struct SrtConfig {
+  double t = 1.0;       ///< round of useful work (same unit as VDS)
+  double alpha = 0.65;  ///< SMT slowdown running the two copies
+  /// Fractional slowdown from the per-cycle comparison/buffering
+  /// hardware being on the critical path.
+  double compare_overhead = 0.10;
+  /// Comparison granularity: chunks per round; detection happens at the
+  /// end of the chunk the fault falls in.
+  int chunks_per_round = 100;
+  int s = 20;                       ///< checkpoint interval (rounds)
+  std::uint64_t job_rounds = 1000;
+  double checkpoint_write_latency = 0.0;
+  double checkpoint_read_latency = 0.0;
+  double max_time = 1e12;
+
+  void validate() const;
+};
+
+/// Lockstep SRT reference implementation against the common fault
+/// timeline. Reuses core::RunReport for comparable accounting: every
+/// detection is followed by a rollback (no vote, no roll-forward).
+class LockstepSrt {
+ public:
+  LockstepSrt(SrtConfig config, vds::sim::Rng rng);
+
+  [[nodiscard]] vds::core::RunReport run(
+      vds::fault::FaultTimeline& timeline);
+
+  [[nodiscard]] const SrtConfig& config() const noexcept { return config_; }
+
+ private:
+  SrtConfig config_;
+  vds::sim::Rng rng_;
+};
+
+}  // namespace vds::baseline

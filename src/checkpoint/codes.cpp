@@ -1,0 +1,154 @@
+#include "checkpoint/codes.hpp"
+
+#include <array>
+#include <bit>
+
+namespace vds::checkpoint {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() noexcept {
+  static const auto table = make_crc_table();
+  return table;
+}
+
+constexpr bool is_power_of_two(unsigned x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Maps the 64 data bits onto codeword positions 1..71, skipping the
+/// 7 parity positions (powers of two). Returns position of data bit i.
+constexpr std::array<unsigned, 64> make_data_positions() noexcept {
+  std::array<unsigned, 64> positions{};
+  unsigned idx = 0;
+  for (unsigned pos = 1; pos <= 71 && idx < 64; ++pos) {
+    if (!is_power_of_two(pos)) positions[idx++] = pos;
+  }
+  return positions;
+}
+
+constexpr auto kDataPositions = make_data_positions();
+
+/// Expands a Secded codeword into a 72-entry position-indexed bit array
+/// (index 0 unused; index 1..71 codeword; overall parity kept separate).
+struct Expanded {
+  std::array<bool, 72> bit{};
+  bool overall = false;
+};
+
+Expanded expand(const Secded& codeword) noexcept {
+  Expanded ex;
+  for (unsigned i = 0; i < 64; ++i) {
+    ex.bit[kDataPositions[i]] = ((codeword.data >> i) & 1ull) != 0;
+  }
+  for (unsigned p = 0; p < 7; ++p) {
+    ex.bit[1u << p] = ((codeword.check >> p) & 1u) != 0;
+  }
+  ex.overall = ((codeword.check >> 7) & 1u) != 0;
+  return ex;
+}
+
+Secded compress(const Expanded& ex) noexcept {
+  Secded codeword;
+  for (unsigned i = 0; i < 64; ++i) {
+    if (ex.bit[kDataPositions[i]]) codeword.data |= (1ull << i);
+  }
+  for (unsigned p = 0; p < 7; ++p) {
+    if (ex.bit[1u << p]) codeword.check |= static_cast<std::uint8_t>(1u << p);
+  }
+  if (ex.overall) codeword.check |= 0x80u;
+  return codeword;
+}
+
+unsigned syndrome_of(const Expanded& ex) noexcept {
+  unsigned syndrome = 0;
+  for (unsigned pos = 1; pos <= 71; ++pos) {
+    if (ex.bit[pos]) syndrome ^= pos;
+  }
+  return syndrome;
+}
+
+bool overall_parity_of(const Expanded& ex) noexcept {
+  bool parity = false;
+  for (unsigned pos = 1; pos <= 71; ++pos) parity ^= ex.bit[pos];
+  return parity;
+}
+
+}  // namespace
+
+bool parity64(std::uint64_t word) noexcept {
+  return (std::popcount(word) & 1) != 0;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const auto b : bytes) {
+    c = crc_table()[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32_words(std::span<const std::uint64_t> words) noexcept {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const auto word : words) {
+    for (int byte = 0; byte < 8; ++byte) {
+      const auto b =
+          static_cast<std::uint8_t>((word >> (8 * byte)) & 0xFFull);
+      c = crc_table()[(c ^ b) & 0xFFu] ^ (c >> 8);
+    }
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Secded secded_encode(std::uint64_t data) noexcept {
+  Secded codeword;
+  codeword.data = data;
+  Expanded ex = expand(codeword);
+
+  // Hamming parity: parity bit at position 2^p covers positions with
+  // bit p set; choose its value so the total syndrome becomes zero.
+  const unsigned syndrome = syndrome_of(ex);
+  for (unsigned p = 0; p < 7; ++p) {
+    if ((syndrome >> p) & 1u) ex.bit[1u << p] = !ex.bit[1u << p];
+  }
+  ex.overall = overall_parity_of(ex);
+  return compress(ex);
+}
+
+SecdedStatus secded_decode(Secded& codeword) noexcept {
+  Expanded ex = expand(codeword);
+  const unsigned syndrome = syndrome_of(ex);
+  const bool parity_mismatch = overall_parity_of(ex) != ex.overall;
+
+  if (syndrome == 0 && !parity_mismatch) return SecdedStatus::kOk;
+  if (syndrome == 0 && parity_mismatch) {
+    // The overall parity bit itself flipped.
+    ex.overall = !ex.overall;
+    codeword = compress(ex);
+    return SecdedStatus::kCorrectedCheck;
+  }
+  if (parity_mismatch) {
+    // Single-bit error at the syndrome position.
+    if (syndrome <= 71) {
+      ex.bit[syndrome] = !ex.bit[syndrome];
+      codeword = compress(ex);
+      return is_power_of_two(syndrome) ? SecdedStatus::kCorrectedCheck
+                                       : SecdedStatus::kCorrectedData;
+    }
+    return SecdedStatus::kDoubleError;  // syndrome outside the code
+  }
+  return SecdedStatus::kDoubleError;
+}
+
+}  // namespace vds::checkpoint

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace vds::checkpoint {
+
+/// Error-detecting / error-correcting codes backing the paper's memory
+/// assumption (§2.1): data of a version living in memory is protected by
+/// an error-detecting code so that a stray write from the other version
+/// is caught rather than silently merged.
+
+/// Even parity bit over a 64-bit word.
+[[nodiscard]] bool parity64(std::uint64_t word) noexcept;
+
+/// CRC-32 (IEEE 802.3, reflected, init/final 0xFFFFFFFF) over bytes.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept;
+
+/// CRC-32 over a word span (little-endian byte order).
+[[nodiscard]] std::uint32_t crc32_words(
+    std::span<const std::uint64_t> words) noexcept;
+
+/// Hamming(72,64) SEC-DED codeword for one 64-bit data word:
+/// 7 Hamming parity bits + 1 overall parity bit.
+struct Secded {
+  std::uint64_t data = 0;
+  std::uint8_t check = 0;  ///< bits 0..6: Hamming parity, bit 7: overall
+};
+
+/// Result of SEC-DED decoding.
+enum class SecdedStatus : std::uint8_t {
+  kOk,              ///< no error
+  kCorrectedData,   ///< single-bit data error corrected
+  kCorrectedCheck,  ///< single-bit check error corrected
+  kDoubleError,     ///< uncorrectable double error detected
+};
+
+[[nodiscard]] Secded secded_encode(std::uint64_t data) noexcept;
+
+/// Decodes (and corrects, where possible) a possibly corrupted codeword.
+/// On return, `codeword.data` holds the corrected data for kOk /
+/// kCorrected*; undefined for kDoubleError.
+[[nodiscard]] SecdedStatus secded_decode(Secded& codeword) noexcept;
+
+}  // namespace vds::checkpoint

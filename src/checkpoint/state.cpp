@@ -1,0 +1,61 @@
+#include "checkpoint/state.hpp"
+
+namespace vds::checkpoint {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+VersionState::VersionState(std::uint64_t job_seed, std::size_t words) {
+  data_.resize(words == 0 ? 1 : words);
+  std::uint64_t x = job_seed ^ 0x9e3779b97f4a7c15ull;
+  for (auto& word : data_) {
+    x = mix(x + 0x2545f4914f6cdd1dull);
+    word = x;
+  }
+}
+
+void VersionState::advance_round(std::uint64_t round_index) noexcept {
+  // Every word depends on its predecessor and the round index, so any
+  // earlier single-bit corruption propagates through all later rounds
+  // (no silent self-healing).
+  std::uint64_t carry = mix(round_index + 0x5851f42d4c957f2dull);
+  for (auto& word : data_) {
+    word = mix(word ^ carry);
+    carry = word;
+  }
+  ++rounds_applied_;
+}
+
+void VersionState::flip_bit(std::size_t word, unsigned bit) noexcept {
+  if (data_.empty()) return;
+  data_[word % data_.size()] ^= (1ull << (bit % 64u));
+}
+
+std::uint64_t VersionState::digest() const noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (const auto word : data_) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (word >> (8 * byte)) & 0xffull;
+      h *= kFnvPrime;
+    }
+  }
+  return h;
+}
+
+bool VersionState::equals(const VersionState& other) const noexcept {
+  return data_ == other.data_;
+}
+
+}  // namespace vds::checkpoint

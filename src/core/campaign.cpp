@@ -1,0 +1,91 @@
+#include "core/campaign.hpp"
+
+#include "sim/rng.hpp"
+
+namespace vds::core {
+
+std::string_view to_string(InjectionOutcome outcome) noexcept {
+  switch (outcome) {
+    case InjectionOutcome::kNoEffect: return "no_effect";
+    case InjectionOutcome::kRecovered: return "recovered";
+    case InjectionOutcome::kRolledBack: return "rolled_back";
+    case InjectionOutcome::kSilent: return "SILENT";
+    case InjectionOutcome::kFailSafe: return "fail_safe";
+    case InjectionOutcome::kNotCompleted: return "not_completed";
+  }
+  return "?";
+}
+
+double CampaignSummary::safety() const {
+  const std::uint64_t effective =
+      count(InjectionOutcome::kRecovered) +
+      count(InjectionOutcome::kRolledBack) +
+      count(InjectionOutcome::kSilent) +
+      count(InjectionOutcome::kFailSafe);
+  if (effective == 0) return 1.0;
+  return 1.0 - static_cast<double>(count(InjectionOutcome::kSilent)) /
+                   static_cast<double>(effective);
+}
+
+namespace {
+
+InjectionOutcome classify(const RunReport& report) {
+  if (report.failed_safe) return InjectionOutcome::kFailSafe;
+  if (!report.completed) return InjectionOutcome::kNotCompleted;
+  if (report.silent_corruption) return InjectionOutcome::kSilent;
+  if (report.recoveries_ok > 0) return InjectionOutcome::kRecovered;
+  if (report.rollbacks > 0) return InjectionOutcome::kRolledBack;
+  return InjectionOutcome::kNoEffect;
+}
+
+}  // namespace
+
+std::vector<InjectionResult> run_injection_campaign(
+    const InjectionCampaign& campaign, const EngineRunner& runner) {
+  std::vector<InjectionResult> results;
+  results.reserve(campaign.kinds.size() * campaign.rounds.size());
+  vds::sim::Rng rng(campaign.seed);
+
+  for (const vds::fault::FaultKind kind : campaign.kinds) {
+    for (const std::uint64_t round : campaign.rounds) {
+      vds::fault::Fault fault;
+      fault.kind = kind;
+      fault.victim = rng.bernoulli(0.5)
+                         ? vds::fault::Victim::kVersion1
+                         : vds::fault::Victim::kVersion2;
+      fault.location = static_cast<std::uint32_t>(rng.uniform_index(16));
+      fault.word = static_cast<std::uint32_t>(rng.uniform_index(1u << 16));
+      fault.bit = static_cast<std::uint8_t>(rng.uniform_index(64));
+      fault.when = (static_cast<double>(round) - 1.0) *
+                       campaign.round_time +
+                   campaign.offset * campaign.round_time;
+      vds::fault::FaultTimeline timeline({fault});
+
+      const RunReport report = runner(timeline);
+
+      InjectionResult result;
+      result.kind = kind;
+      result.round = round;
+      result.outcome = classify(report);
+      result.detection_latency = report.detection_latency.empty()
+                                     ? -1.0
+                                     : report.detection_latency.mean();
+      result.recovery_time = report.recovery_time.empty()
+                                 ? 0.0
+                                 : report.recovery_time.mean();
+      results.push_back(result);
+    }
+  }
+  return results;
+}
+
+CampaignSummary summarize(const std::vector<InjectionResult>& results) {
+  CampaignSummary summary;
+  for (const InjectionResult& result : results) {
+    ++summary.by_outcome[static_cast<std::size_t>(result.outcome)];
+    ++summary.injections;
+  }
+  return summary;
+}
+
+}  // namespace vds::core

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "fault/fault_model.hpp"
+#include "fault/injector.hpp"
+
+namespace vds::core {
+
+/// Outcome classification of one injected fault, in the style of the
+/// fault-injection evaluations the paper builds on (Lovric [6]:
+/// "...and Their Evaluation by Fault Injection").
+enum class InjectionOutcome : std::uint8_t {
+  kNoEffect,      ///< run completed, no detection, results correct
+                  ///< (fault was absorbed / ineffective)
+  kRecovered,     ///< detected and repaired by vote (+ roll-forward)
+  kRolledBack,    ///< detected, vote failed, interval re-executed
+  kSilent,        ///< run completed with corrupted results (worst case)
+  kFailSafe,      ///< engine shut down fail-safe
+  kNotCompleted,  ///< run aborted for another reason (budget etc.)
+};
+
+[[nodiscard]] std::string_view to_string(InjectionOutcome outcome) noexcept;
+
+/// One cell of the campaign grid.
+struct InjectionResult {
+  vds::fault::FaultKind kind = vds::fault::FaultKind::kTransient;
+  std::uint64_t round = 0;  ///< detection-interval round the fault hit
+  InjectionOutcome outcome = InjectionOutcome::kNoEffect;
+  double detection_latency = -1.0;  ///< -1 when never detected
+  double recovery_time = 0.0;
+};
+
+/// Aggregated campaign statistics.
+struct CampaignSummary {
+  std::array<std::uint64_t, 6> by_outcome{};  ///< indexed by InjectionOutcome
+  std::uint64_t injections = 0;
+
+  [[nodiscard]] std::uint64_t count(InjectionOutcome outcome) const {
+    return by_outcome[static_cast<std::size_t>(outcome)];
+  }
+  /// Fraction of effective faults (everything except kNoEffect /
+  /// kNotCompleted) that ended in a safe state (recovered, rolled back
+  /// or fail-safe) rather than silent corruption.
+  [[nodiscard]] double safety() const;
+};
+
+/// Campaign configuration: which single faults to inject, one run per
+/// grid cell. `runner` executes the engine under test against the
+/// provided timeline and returns its report; the campaign classifies.
+struct InjectionCampaign {
+  std::vector<vds::fault::FaultKind> kinds = {
+      vds::fault::FaultKind::kTransient, vds::fault::FaultKind::kCrash,
+      vds::fault::FaultKind::kPermanent,
+      vds::fault::FaultKind::kProcessorCrash};
+  /// Rounds (since the checkpoint) at which to inject, 1-based.
+  std::vector<std::uint64_t> rounds = {1, 5, 10, 15, 20};
+  /// Round-pair duration of the engine under test (locates the
+  /// injection instant inside the target round).
+  double round_time = 1.4;
+  /// Fractional offset within the round window.
+  double offset = 0.3;
+  std::uint64_t seed = 1;
+};
+
+using EngineRunner =
+    std::function<RunReport(vds::fault::FaultTimeline& timeline)>;
+
+/// Runs the campaign: for every (kind, round) cell, builds a single-
+/// fault timeline and invokes `runner` on a fresh engine.
+[[nodiscard]] std::vector<InjectionResult> run_injection_campaign(
+    const InjectionCampaign& campaign, const EngineRunner& runner);
+
+[[nodiscard]] CampaignSummary summarize(
+    const std::vector<InjectionResult>& results);
+
+}  // namespace vds::core

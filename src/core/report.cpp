@@ -1,0 +1,39 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+namespace vds::core {
+
+std::string RunReport::to_string() const {
+  std::ostringstream os;
+  os << "run{" << (completed ? "completed" : failed_safe ? "FAIL-SAFE"
+                                                         : "aborted");
+  if (silent_corruption) os << " SILENT-CORRUPTION";
+  os << " time=" << total_time << " rounds=" << rounds_committed
+     << " faults=" << faults_seen << " (t=" << transient_faults
+     << " c=" << crash_faults << " p=" << permanent_faults
+     << " pc=" << processor_crashes << ")"
+     << " detections=" << detections << " recoveries=" << recoveries_ok
+     << " rollbacks=" << rollbacks << " checkpoints=" << checkpoints
+     << " rf_kept=" << roll_forwards_kept
+     << " rf_disc=" << roll_forwards_discarded
+     << " rf_rounds=" << roll_forward_rounds_gained;
+  if (predictions != 0) {
+    os << " pred=" << prediction_hits << "/" << predictions;
+  }
+  if (adaptive_det_recoveries + adaptive_prob_recoveries != 0) {
+    os << " adaptive(det=" << adaptive_det_recoveries
+       << ",prob=" << adaptive_prob_recoveries
+       << ",switches=" << scheme_switches << ")";
+  }
+  if (!detection_latency.empty()) {
+    os << " det_lat=" << detection_latency.mean();
+  }
+  if (!recovery_time.empty()) {
+    os << " rec_time=" << recovery_time.mean();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace vds::core

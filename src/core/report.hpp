@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace vds::core {
+
+/// Everything a VDS engine measured over one run.
+struct RunReport {
+  // --- outcome ---
+  bool completed = false;          ///< job_rounds committed
+  bool failed_safe = false;        ///< gave up after repeated failures
+  bool silent_corruption = false;  ///< committed state deviates from the
+                                   ///< golden fault-free state (the
+                                   ///< dangerous outcome)
+  vds::sim::SimTime total_time = 0.0;
+  std::uint64_t rounds_committed = 0;
+
+  // --- faults ---
+  std::uint64_t faults_seen = 0;
+  std::uint64_t transient_faults = 0;
+  std::uint64_t crash_faults = 0;
+  std::uint64_t permanent_faults = 0;
+  std::uint64_t processor_crashes = 0;
+
+  // --- detection/recovery ---
+  std::uint64_t detections = 0;
+  std::uint64_t recoveries_ok = 0;   ///< majority vote identified the victim
+  std::uint64_t rollbacks = 0;       ///< fell back to the checkpoint
+  std::uint64_t comparisons = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t roll_forwards_kept = 0;
+  std::uint64_t roll_forwards_discarded = 0;
+  std::uint64_t roll_forward_rounds_gained = 0;
+
+  // --- prediction (kRollForwardPredict / kRollForwardProb) ---
+  std::uint64_t predictions = 0;
+  std::uint64_t prediction_hits = 0;
+
+  // --- adaptive scheme selection ---
+  std::uint64_t adaptive_det_recoveries = 0;
+  std::uint64_t adaptive_prob_recoveries = 0;
+  std::uint64_t scheme_switches = 0;
+
+  /// Time from fault injection to its detection (per detected fault).
+  vds::sim::Accumulator detection_latency;
+  /// Wall duration of each recovery episode.
+  vds::sim::Accumulator recovery_time;
+
+  [[nodiscard]] double predictor_accuracy() const noexcept {
+    return predictions == 0 ? 0.5
+                            : static_cast<double>(prediction_hits) /
+                                  static_cast<double>(predictions);
+  }
+
+  /// Useful rounds per unit time.
+  [[nodiscard]] double throughput() const noexcept {
+    return total_time <= 0.0 ? 0.0
+                             : static_cast<double>(rounds_committed) /
+                                   total_time;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace vds::core

@@ -1,0 +1,70 @@
+#include "diversity/coverage.hpp"
+
+namespace vds::diversity {
+namespace {
+
+std::uint64_t run_with_fault(const vds::smt::Program& program,
+                             Encoding encoding,
+                             const CoverageCampaign& campaign,
+                             const std::function<void(vds::smt::Machine&)>&
+                                 seeder,
+                             std::optional<vds::smt::StuckAtFault> fault) {
+  vds::smt::Machine machine(campaign.memory_words);
+  seeder(machine);
+  machine.set_fault(fault);
+  const auto result = machine.run(program, campaign.max_steps);
+  if (!result.halted) {
+    // A hang is an output of its own kind; fold the distinction into the
+    // digest so it always counts as a deviation.
+    return 0xDEADDEADDEADDEADull;
+  }
+  return decoded_region_digest(machine, encoding, campaign.output_base,
+                               campaign.output_len);
+}
+
+}  // namespace
+
+CoverageResult run_coverage(
+    const vds::smt::Program& version_a, const vds::smt::Program& version_b,
+    const CoverageCampaign& campaign,
+    const std::function<void(vds::smt::Machine&)>& seeder) {
+  CoverageResult result;
+
+  const std::uint64_t golden_a = run_with_fault(
+      version_a, campaign.encoding_a, campaign, seeder, std::nullopt);
+  const std::uint64_t golden_b = run_with_fault(
+      version_b, campaign.encoding_b, campaign, seeder, std::nullopt);
+  // Version equivalence is a precondition; a mismatch here is a bug in
+  // the variant generation, surfaced through every fault being
+  // "detected". Tests assert golden_a == golden_b separately.
+  (void)golden_b;
+
+  std::vector<bool> polarities = {true};
+  if (campaign.both_polarities) polarities.push_back(false);
+
+  for (const auto unit : campaign.units) {
+    for (const auto bit : campaign.bits) {
+      for (const bool stuck_to_one : polarities) {
+        vds::smt::StuckAtFault fault;
+        fault.unit = unit;
+        fault.bit = bit;
+        fault.stuck_to_one = stuck_to_one;
+
+        const std::uint64_t out_a = run_with_fault(
+            version_a, campaign.encoding_a, campaign, seeder, fault);
+        const std::uint64_t out_b = run_with_fault(
+            version_b, campaign.encoding_b, campaign, seeder, fault);
+
+        ++result.faults_injected;
+        const bool effective = (out_a != golden_a) || (out_b != golden_b);
+        const bool detected = out_a != out_b;
+        if (effective) ++result.effective;
+        if (detected) ++result.detected;
+        if (effective && !detected) ++result.silent_corruptions;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace vds::diversity

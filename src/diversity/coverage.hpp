@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "diversity/transforms.hpp"
+#include "smt/machine.hpp"
+#include "smt/program.hpp"
+
+namespace vds::diversity {
+
+/// Result of a permanent-fault coverage campaign over a version pair.
+/// A fault is *effective* when it changes at least one version's output
+/// relative to the golden run; it is *detected* when the two versions'
+/// outputs disagree with each other (the VDS comparison fires). An
+/// effective but undetected fault is the dangerous case the paper's
+/// diversity assumption (§2.1) is meant to exclude.
+struct CoverageResult {
+  std::size_t faults_injected = 0;
+  std::size_t effective = 0;
+  std::size_t detected = 0;
+  std::size_t silent_corruptions = 0;  ///< effective but undetected
+
+  [[nodiscard]] double coverage() const noexcept {
+    return effective == 0 ? 1.0
+                          : static_cast<double>(detected) /
+                                static_cast<double>(effective);
+  }
+};
+
+/// Campaign configuration: which stuck-at faults to enumerate.
+struct CoverageCampaign {
+  std::vector<vds::smt::OpClass> units = {
+      vds::smt::OpClass::kAlu, vds::smt::OpClass::kMul,
+      vds::smt::OpClass::kMem};
+  std::vector<std::uint8_t> bits = {0, 1, 7, 15, 31, 63};
+  bool both_polarities = true;
+  std::uint64_t output_base = 0;
+  std::size_t output_len = 0;
+  std::size_t memory_words = 4096;
+  std::uint64_t max_steps = 1u << 22;
+  /// Data encodings of the two versions. The comparison decodes each
+  /// version's output through its encoding first, mirroring the
+  /// encoding-aware state adjustment of a real systematic-diversity
+  /// VDS [6]. Mixing kIdentity with kComplement makes memory-path
+  /// stuck-at faults detectable.
+  Encoding encoding_a = Encoding::kIdentity;
+  Encoding encoding_b = Encoding::kIdentity;
+};
+
+/// Runs the campaign: for every enumerated stuck-at fault, executes
+/// both versions on the faulty machine and compares their outputs.
+/// `seeder` initializes machine memory identically for every run.
+[[nodiscard]] CoverageResult run_coverage(
+    const vds::smt::Program& version_a, const vds::smt::Program& version_b,
+    const CoverageCampaign& campaign,
+    const std::function<void(vds::smt::Machine&)>& seeder);
+
+}  // namespace vds::diversity

@@ -1,0 +1,285 @@
+#include "diversity/transforms.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace vds::diversity {
+
+using vds::smt::Instr;
+using vds::smt::Opcode;
+using vds::smt::Program;
+
+vds::smt::Program commute_operands(const Program& program,
+                                   vds::sim::Rng& rng, double prob) {
+  Program out(program.name() + "+commute", program.code());
+  for (auto& instr : out.code()) {
+    if (!instr.uses_imm && vds::smt::is_commutative(instr.op) &&
+        rng.bernoulli(prob)) {
+      std::swap(instr.src1, instr.src2);
+    }
+  }
+  return out;
+}
+
+vds::smt::Program strength_reduce(const Program& program,
+                                  vds::sim::Rng& rng, double prob) {
+  Program out(program.name() + "+strength", program.code());
+  for (auto& instr : out.code()) {
+    if (!instr.uses_imm) continue;
+    if (instr.op == Opcode::kMul && instr.imm > 0 &&
+        (instr.imm & (instr.imm - 1)) == 0 && rng.bernoulli(prob)) {
+      // mul r, r, 2^k  ->  shl r, r, k
+      std::int64_t k = 0;
+      for (std::int64_t v = instr.imm; v > 1; v >>= 1) ++k;
+      instr.op = Opcode::kShl;
+      instr.imm = k;
+    } else if (instr.op == Opcode::kShl && instr.imm >= 0 &&
+               instr.imm < 63 && rng.bernoulli(prob)) {
+      // shl r, r, k  ->  mul r, r, 2^k
+      instr.op = Opcode::kMul;
+      instr.imm = std::int64_t{1} << instr.imm;
+    }
+  }
+  return out;
+}
+
+vds::smt::Program permute_registers(const Program& program,
+                                    vds::sim::Rng& rng,
+                                    const std::vector<std::uint8_t>& pinned) {
+  std::array<std::uint8_t, vds::smt::kNumRegisters> mapping{};
+  std::vector<std::uint8_t> movable;
+  std::array<bool, vds::smt::kNumRegisters> is_pinned{};
+  for (const auto reg : pinned) is_pinned[reg % vds::smt::kNumRegisters] = true;
+  for (std::uint8_t r = 0; r < vds::smt::kNumRegisters; ++r) {
+    mapping[r] = r;
+    if (!is_pinned[r]) movable.push_back(r);
+  }
+  // Fisher-Yates over the movable registers.
+  for (std::size_t i = movable.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_index(i));
+    std::swap(movable[i - 1], movable[j]);
+  }
+  std::size_t k = 0;
+  for (std::uint8_t r = 0; r < vds::smt::kNumRegisters; ++r) {
+    if (!is_pinned[r]) mapping[r] = movable[k++];
+  }
+
+  Program out(program.name() + "+rename", program.code());
+  for (auto& instr : out.code()) {
+    instr.dst = mapping[instr.dst % vds::smt::kNumRegisters];
+    instr.src1 = mapping[instr.src1 % vds::smt::kNumRegisters];
+    instr.src2 = mapping[instr.src2 % vds::smt::kNumRegisters];
+  }
+  return out;
+}
+
+namespace {
+
+bool reorder_safe(const Instr& a, const Instr& b) noexcept {
+  using vds::smt::is_branch;
+  using vds::smt::writes_register;
+  if (is_branch(a.op) || is_branch(b.op)) return false;
+  if (a.op == Opcode::kHalt || b.op == Opcode::kHalt) return false;
+  // Memory operations are never reordered relative to each other
+  // (addresses are dynamic); a single mem op may move past pure ALU ops.
+  const bool a_mem = a.op == Opcode::kLoad || a.op == Opcode::kStore;
+  const bool b_mem = b.op == Opcode::kLoad || b.op == Opcode::kStore;
+  if (a_mem && b_mem) return false;
+
+  const auto reads = [](const Instr& instr, std::uint8_t reg) {
+    if (instr.src1 == reg) return true;
+    if (!instr.uses_imm && instr.src2 == reg) return true;
+    // Stores read src2 even in immediate-displacement form.
+    if (instr.op == Opcode::kStore && instr.src2 == reg) return true;
+    return false;
+  };
+
+  if (writes_register(a.op)) {
+    if (reads(b, a.dst)) return false;                        // RAW
+    if (writes_register(b.op) && b.dst == a.dst) return false;  // WAW
+  }
+  if (writes_register(b.op) && reads(a, b.dst)) return false;  // WAR
+  return true;
+}
+
+}  // namespace
+
+vds::smt::Program reorder_independent(const Program& program,
+                                      vds::sim::Rng& rng, double prob) {
+  Program out(program.name() + "+reorder", program.code());
+  auto& code = out.code();
+  // A pass of candidate adjacent swaps. Swapping only pairs that are
+  // not themselves branch targets is guaranteed by never moving
+  // instructions across branches and never changing code size; branch
+  // *offsets* still change meaning if a branch lands between a swapped
+  // pair, so we additionally exclude positions that are targets.
+  std::vector<bool> is_target(code.size() + 1, false);
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (vds::smt::is_branch(code[i].op)) {
+      const std::int64_t target =
+          static_cast<std::int64_t>(i) + code[i].imm;
+      if (target >= 0 &&
+          target <= static_cast<std::int64_t>(code.size())) {
+        is_target[static_cast<std::size_t>(target)] = true;
+      }
+    }
+  }
+  for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+    if (is_target[i] || is_target[i + 1]) continue;
+    if (reorder_safe(code[i], code[i + 1]) && rng.bernoulli(prob)) {
+      std::swap(code[i], code[i + 1]);
+      ++i;  // do not re-swap the same instruction immediately
+    }
+  }
+  return out;
+}
+
+vds::smt::Program insert_at_positions(
+    const Program& program, const std::vector<std::size_t>& positions,
+    const Instr& filler) {
+  const auto& code = program.code();
+  std::vector<std::size_t> sorted = positions;
+  std::sort(sorted.begin(), sorted.end());
+
+  // new_index[j] = final index of old instruction j (j in [0, size]):
+  // every insert position p <= j places a filler before j.
+  std::vector<std::size_t> new_index(code.size() + 1);
+  for (std::size_t j = 0; j <= code.size(); ++j) {
+    const auto shift = static_cast<std::size_t>(
+        std::upper_bound(sorted.begin(), sorted.end(), j) - sorted.begin());
+    new_index[j] = j + shift;
+  }
+
+  Program out(program.name() + "+pad");
+  std::size_t cursor = 0;
+  for (std::size_t j = 0; j < code.size(); ++j) {
+    while (cursor < sorted.size() && sorted[cursor] == j) {
+      out.push(filler);
+      ++cursor;
+    }
+    out.push(code[j]);
+  }
+  while (cursor < sorted.size()) {
+    out.push(filler);
+    ++cursor;
+  }
+
+  // Fix branch offsets: old branch i targeting t = i + imm must target
+  // new_index[t] from its own new position.
+  for (std::size_t j = 0; j < code.size(); ++j) {
+    if (!vds::smt::is_branch(code[j].op)) continue;
+    const std::int64_t old_target =
+        static_cast<std::int64_t>(j) + code[j].imm;
+    if (old_target < 0 ||
+        old_target > static_cast<std::int64_t>(code.size())) {
+      continue;  // out-of-range target behaves as program exit either way
+    }
+    // Land on the *instruction* old_target, after any fillers placed
+    // before it would have been skipped: aim at the final index of the
+    // old instruction itself.
+    const std::size_t branch_new = new_index[j];
+    const std::size_t target_new =
+        new_index[static_cast<std::size_t>(old_target)];
+    out.at(branch_new).imm = static_cast<std::int64_t>(target_new) -
+                             static_cast<std::int64_t>(branch_new);
+  }
+  return out;
+}
+
+vds::smt::Program complement_memory(const Program& program) {
+  constexpr std::uint8_t kValueScratch = 26;
+  constexpr std::uint8_t kMaskReg = 27;
+
+  const auto uses_reg = [](const Instr& instr, std::uint8_t reg) {
+    if (vds::smt::writes_register(instr.op) && instr.dst == reg) {
+      return true;
+    }
+    if (instr.op == Opcode::kNop || instr.op == Opcode::kHalt) return false;
+    if (instr.src1 == reg) return true;
+    const bool reads_src2 =
+        !instr.uses_imm || instr.op == Opcode::kStore ||
+        instr.op == Opcode::kBeq || instr.op == Opcode::kBne;
+    return reads_src2 && instr.src2 == reg;
+  };
+  for (const Instr& instr : program.code()) {
+    if (uses_reg(instr, kValueScratch) || uses_reg(instr, kMaskReg)) {
+      throw std::invalid_argument(
+          "complement_memory: program uses reserved scratch registers "
+          "r26/r27");
+    }
+  }
+
+  Program out(program.name() + "+complement");
+  // Prologue: materialize the all-ones mask without assuming any
+  // register contents (r27 ^= r27 zeroes it; 0 - 1 wraps to ~0).
+  out.push(vds::smt::make_rrr(Opcode::kXor, kMaskReg, kMaskReg, kMaskReg));
+  out.push(vds::smt::make_rri(Opcode::kSub, kMaskReg, kMaskReg, 1));
+
+  // new_index[j] = emitted index of the first instruction of old j's
+  // replacement group (branch targets land on the group start).
+  std::vector<std::size_t> new_index(program.size() + 1);
+  for (std::size_t j = 0; j < program.size(); ++j) {
+    const Instr& instr = program.at(j);
+    new_index[j] = out.size();
+    if (instr.op == Opcode::kStore) {
+      // Encode the value, then store the complemented word.
+      out.push(vds::smt::make_rrr(Opcode::kXor, kValueScratch, instr.src2,
+                                  kMaskReg));
+      Instr store = instr;
+      store.src2 = kValueScratch;
+      out.push(store);
+    } else if (instr.op == Opcode::kLoad) {
+      // Load the complemented word, then decode in place.
+      out.push(instr);
+      out.push(vds::smt::make_rrr(Opcode::kXor, instr.dst, instr.dst,
+                                  kMaskReg));
+    } else {
+      out.push(instr);
+    }
+  }
+  new_index[program.size()] = out.size();
+
+  // Branch offset fixup.
+  for (std::size_t j = 0; j < program.size(); ++j) {
+    const Instr& instr = program.at(j);
+    if (!vds::smt::is_branch(instr.op)) continue;
+    std::int64_t target = static_cast<std::int64_t>(j) + instr.imm;
+    target = std::clamp<std::int64_t>(
+        target, 0, static_cast<std::int64_t>(program.size()));
+    const std::size_t branch_new = new_index[j];
+    out.at(branch_new).imm =
+        static_cast<std::int64_t>(
+            new_index[static_cast<std::size_t>(target)]) -
+        static_cast<std::int64_t>(branch_new);
+  }
+  return out;
+}
+
+std::uint64_t decoded_region_digest(const vds::smt::Machine& machine,
+                                    Encoding encoding, std::uint64_t addr,
+                                    std::size_t len) noexcept {
+  std::uint64_t h = 0x811c9dc5u;
+  for (std::size_t k = 0; k < len; ++k) {
+    std::uint64_t word = machine.peek(addr + k);
+    if (encoding == Encoding::kComplement) word = ~word;
+    h ^= word + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+vds::smt::Program insert_neutral_ops(const Program& program,
+                                     vds::sim::Rng& rng, double density) {
+  std::vector<std::size_t> positions;
+  for (std::size_t j = 0; j < program.size(); ++j) {
+    if (rng.bernoulli(density)) positions.push_back(j);
+  }
+  // Neutral filler: r25 += 0 keeps all values intact. (Even if r25 is
+  // live, adding an immediate zero is the identity.)
+  const Instr filler = vds::smt::make_rri(Opcode::kAdd, 25, 25, 0);
+  Program out = insert_at_positions(program, positions, filler);
+  out.set_name(program.name() + "+pad");
+  return out;
+}
+
+}  // namespace vds::diversity

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "smt/machine.hpp"
+#include "smt/program.hpp"
+
+namespace vds::diversity {
+
+/// Systematic-diversity transforms ([6], Lovric): semantics-preserving
+/// rewrites that make two versions of the same program exercise the
+/// hardware differently, so a single permanent fault is unlikely to
+/// corrupt both versions identically. Every transform returns a new
+/// Program computing the same observable result (memory outputs).
+
+/// Swaps src1/src2 of commutative register-register instructions with
+/// probability `prob` per eligible instruction.
+[[nodiscard]] vds::smt::Program commute_operands(
+    const vds::smt::Program& program, vds::sim::Rng& rng, double prob = 1.0);
+
+/// Rewrites multiply-by-power-of-two-immediate as a shift and vice
+/// versa. Moves work between the multiplier and the ALU -- the classic
+/// way to expose a defective unit through version disagreement.
+[[nodiscard]] vds::smt::Program strength_reduce(
+    const vds::smt::Program& program, vds::sim::Rng& rng, double prob = 1.0);
+
+/// Applies a register renaming (a permutation of the register file) to
+/// every operand. Registers in `pinned` keep their names (use for
+/// registers carrying externally set inputs). All registers start at
+/// zero, so any consistent renaming preserves semantics.
+[[nodiscard]] vds::smt::Program permute_registers(
+    const vds::smt::Program& program, vds::sim::Rng& rng,
+    const std::vector<std::uint8_t>& pinned = {});
+
+/// Swaps adjacent instruction pairs that are provably independent
+/// (no register dependences, neither is a branch or memory operation).
+[[nodiscard]] vds::smt::Program reorder_independent(
+    const vds::smt::Program& program, vds::sim::Rng& rng, double prob = 0.5);
+
+/// Inserts semantic no-ops (`add rX, rX, 0`) at random positions,
+/// fixing up branch offsets that span the insertion point. Pure timing/
+/// usage diversity.
+[[nodiscard]] vds::smt::Program insert_neutral_ops(
+    const vds::smt::Program& program, vds::sim::Rng& rng,
+    double density = 0.1);
+
+/// Remaps branch offsets after instructions were inserted: old index j
+/// becomes j + count(insert positions <= j). Exposed for testing.
+[[nodiscard]] vds::smt::Program insert_at_positions(
+    const vds::smt::Program& program,
+    const std::vector<std::size_t>& positions,
+    const vds::smt::Instr& filler);
+
+/// How a program variant encodes the data it keeps in memory. The VDS
+/// state comparison decodes each version's output through its encoding
+/// before comparing (the "adjustment" of Lovric's systematic diversity
+/// [6]).
+enum class Encoding : std::uint8_t {
+  kIdentity,    ///< values stored as-is
+  kComplement,  ///< every stored word is bitwise complemented
+};
+
+/// Data-encoding diversity: rewrites the program so that every value
+/// written to memory is stored *complemented* and re-complemented after
+/// each load. A stuck-at fault in the memory path then corrupts the
+/// logical values of an identity-encoded and a complement-encoded
+/// version differently, making memory-path permanent faults detectable
+/// -- the one fault class the value-preserving transforms above cannot
+/// expose. Uses r26/r27 as scratch (r27 is rebuilt to ~0 at entry, so
+/// no precondition on register contents); programs using r26/r27 for
+/// live data are not eligible.
+[[nodiscard]] vds::smt::Program complement_memory(
+    const vds::smt::Program& program);
+
+/// Decoded digest of a machine memory region under an encoding.
+[[nodiscard]] std::uint64_t decoded_region_digest(
+    const vds::smt::Machine& machine, Encoding encoding,
+    std::uint64_t addr, std::size_t len) noexcept;
+
+}  // namespace vds::diversity

@@ -1,0 +1,53 @@
+#include "fault/fault_model.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace vds::fault {
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kTransient: return "transient";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kPermanent: return "permanent";
+    case FaultKind::kProcessorCrash: return "processor_crash";
+  }
+  return "unknown";
+}
+
+std::string Fault::describe() const {
+  std::ostringstream os;
+  os << to_string(kind) << " @" << when;
+  switch (victim) {
+    case Victim::kVersion1: os << " ->V1"; break;
+    case Victim::kVersion2: os << " ->V2"; break;
+    case Victim::kAnyActive: os << " ->active"; break;
+  }
+  os << " loc=" << location << " word=" << word
+     << " bit=" << static_cast<int>(bit);
+  return os.str();
+}
+
+void FaultConfig::validate() const {
+  const auto fail = [](const char* what) {
+    throw std::invalid_argument(std::string("FaultConfig: ") + what);
+  };
+  if (rate < 0.0 || !std::isfinite(rate)) fail("rate must be finite, >= 0");
+  const double total = weight_transient + weight_crash + weight_permanent +
+                       weight_processor_crash;
+  if (!(total > 0.0)) fail("fault kind weights must sum to > 0");
+  if (weight_transient < 0 || weight_crash < 0 || weight_permanent < 0 ||
+      weight_processor_crash < 0) {
+    fail("fault kind weights must be non-negative");
+  }
+  if (locations == 0) fail("locations must be >= 1");
+  if (!(location_uniformity > 0.0) || location_uniformity > 1.0) {
+    fail("location_uniformity must be in (0, 1]");
+  }
+  if (victim1_bias < 0.0 || victim1_bias > 1.0) {
+    fail("victim1_bias must be in [0, 1]");
+  }
+}
+
+}  // namespace vds::fault

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace vds::fault {
+
+/// Fault classes from the paper's fault model (§2.1).
+enum class FaultKind : std::uint8_t {
+  kTransient,       ///< bit flip in one version's state; silent until the
+                    ///< next state comparison
+  kCrash,           ///< stops one version immediately; detected at once and
+                    ///< identifies the faulty version (the §4 "evidence")
+  kPermanent,       ///< persistent hardware defect; detectable only through
+                    ///< version diversity (different hardware usage)
+  kProcessorCrash,  ///< stops the entire processor incl. all versions;
+                    ///< recovery only by rollback
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
+
+/// Identifier of the version a fault strikes. kAnyActive lets the
+/// engine resolve the victim from which version occupies the processor
+/// at the fault instant (relevant on the conventional processor, where
+/// version slices do not overlap).
+enum class Victim : std::uint8_t { kVersion1, kVersion2, kAnyActive };
+
+/// A concrete fault to be injected.
+struct Fault {
+  vds::sim::SimTime when = 0.0;
+  FaultKind kind = FaultKind::kTransient;
+  Victim victim = Victim::kAnyActive;
+  /// Abstract hardware location the fault originates from (register
+  /// index, functional-unit id, ...). Fault streams biased toward few
+  /// locations are what history-based predictors exploit (§5).
+  std::uint32_t location = 0;
+  /// For transient faults: which state word/bit the flip lands in.
+  std::uint32_t word = 0;
+  std::uint8_t bit = 0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Parameters of the random fault process.
+struct FaultConfig {
+  double rate = 0.0;  ///< Poisson rate (faults per unit simulated time)
+  /// Probability mix of fault kinds (normalized internally).
+  double weight_transient = 1.0;
+  double weight_crash = 0.0;
+  double weight_permanent = 0.0;
+  double weight_processor_crash = 0.0;
+  /// Number of distinct abstract hardware locations.
+  std::uint32_t locations = 16;
+  /// Spatial bias in (0, 1]: 1 = uniform over locations; smaller values
+  /// concentrate faults on low-numbered locations (geometric-like),
+  /// modeling a weak hardware part repeatedly hit by radiation (§5).
+  double location_uniformity = 1.0;
+  /// Probability that a fault targets version 1 (vs version 2) when the
+  /// victim cannot be derived from occupancy. A biased value models one
+  /// version exercising the weak hardware part more.
+  double victim1_bias = 0.5;
+
+  void validate() const;
+};
+
+}  // namespace vds::fault

@@ -1,0 +1,214 @@
+#include "fault/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+namespace vds::fault {
+
+double Predictor::accuracy() const noexcept {
+  if (total_ == 0) return 0.5;
+  return static_cast<double>(hits_) / static_cast<double>(total_);
+}
+
+VersionGuess RandomPredictor::predict(const FaultEvidence&) {
+  last_ = rng_.bernoulli(0.5) ? VersionGuess::kVersion1
+                              : VersionGuess::kVersion2;
+  return *last_;
+}
+
+void RandomPredictor::feedback(const FaultEvidence&, VersionGuess actual) {
+  if (last_) record_outcome(*last_ == actual);
+  last_.reset();
+}
+
+VersionGuess OraclePredictor::predict(const FaultEvidence&) {
+  last_ = truth_;
+  return truth_;
+}
+
+void OraclePredictor::feedback(const FaultEvidence&, VersionGuess actual) {
+  if (last_) record_outcome(*last_ == actual);
+  last_.reset();
+}
+
+VersionGuess StaticPredictor::predict(const FaultEvidence&) { return guess_; }
+
+void StaticPredictor::feedback(const FaultEvidence&, VersionGuess actual) {
+  record_outcome(guess_ == actual);
+}
+
+CrashEvidencePredictor::CrashEvidencePredictor(
+    std::unique_ptr<Predictor> fallback)
+    : fallback_(std::move(fallback)) {}
+
+VersionGuess CrashEvidencePredictor::predict(const FaultEvidence& e) {
+  last_was_crash_ = e.crashed.has_value();
+  last_ = last_was_crash_ ? *e.crashed : fallback_->predict(e);
+  return *last_;
+}
+
+void CrashEvidencePredictor::feedback(const FaultEvidence& e,
+                                      VersionGuess actual) {
+  if (last_) record_outcome(*last_ == actual);
+  if (!last_was_crash_) fallback_->feedback(e, actual);
+  last_.reset();
+}
+
+VersionGuess LastFaultyPredictor::predict(const FaultEvidence&) {
+  last_ = state_;
+  return state_;
+}
+
+void LastFaultyPredictor::feedback(const FaultEvidence&,
+                                   VersionGuess actual) {
+  if (last_) record_outcome(*last_ == actual);
+  state_ = actual;
+  last_.reset();
+}
+
+TwoBitPredictor::TwoBitPredictor(std::uint32_t table_size)
+    : table_(table_size == 0 ? 1 : table_size, 1) {}
+
+std::uint32_t TwoBitPredictor::index(const FaultEvidence& e) const noexcept {
+  return e.location % static_cast<std::uint32_t>(table_.size());
+}
+
+VersionGuess TwoBitPredictor::predict(const FaultEvidence& e) {
+  last_index_ = index(e);
+  last_ = table_[last_index_] >= 2 ? VersionGuess::kVersion2
+                                   : VersionGuess::kVersion1;
+  return *last_;
+}
+
+void TwoBitPredictor::feedback(const FaultEvidence& e, VersionGuess actual) {
+  if (last_) record_outcome(*last_ == actual);
+  const std::uint32_t idx = last_ ? last_index_ : index(e);
+  std::uint8_t& counter = table_[idx];
+  if (actual == VersionGuess::kVersion2) {
+    if (counter < 3) ++counter;
+  } else {
+    if (counter > 0) --counter;
+  }
+  last_.reset();
+}
+
+HistoryPredictor::HistoryPredictor(std::uint32_t table_bits,
+                                   std::uint32_t history_bits)
+    : table_(1u << table_bits, 1),
+      history_mask_((1u << history_bits) - 1u),
+      table_mask_((1u << table_bits) - 1u) {}
+
+std::uint32_t HistoryPredictor::index(const FaultEvidence& e) const noexcept {
+  return (e.location ^ (history_ & history_mask_)) & table_mask_;
+}
+
+VersionGuess HistoryPredictor::predict(const FaultEvidence& e) {
+  last_index_ = index(e);
+  last_ = table_[last_index_] >= 2 ? VersionGuess::kVersion2
+                                   : VersionGuess::kVersion1;
+  return *last_;
+}
+
+void HistoryPredictor::feedback(const FaultEvidence& e, VersionGuess actual) {
+  if (last_) record_outcome(*last_ == actual);
+  const std::uint32_t idx = last_ ? last_index_ : index(e);
+  std::uint8_t& counter = table_[idx];
+  if (actual == VersionGuess::kVersion2) {
+    if (counter < 3) ++counter;
+  } else {
+    if (counter > 0) --counter;
+  }
+  history_ = ((history_ << 1) |
+              (actual == VersionGuess::kVersion2 ? 1u : 0u)) &
+             history_mask_;
+  last_.reset();
+}
+
+TournamentPredictor::TournamentPredictor(std::uint32_t table_bits,
+                                         std::uint32_t history_bits)
+    : bimodal_(1u << table_bits), gshare_(table_bits, history_bits),
+      chooser_(1u << table_bits, 1),
+      table_mask_((1u << table_bits) - 1u) {}
+
+VersionGuess TournamentPredictor::predict(const FaultEvidence& e) {
+  last_bimodal_ = bimodal_.predict(e);
+  last_gshare_ = gshare_.predict(e);
+  last_index_ = e.location & table_mask_;
+  last_ = chooser_[last_index_] >= 2 ? last_gshare_ : last_bimodal_;
+  return *last_;
+}
+
+void TournamentPredictor::feedback(const FaultEvidence& e,
+                                   VersionGuess actual) {
+  if (last_) record_outcome(*last_ == actual);
+  // Train the chooser toward whichever component was right (only when
+  // they disagreed -- agreement carries no signal).
+  const bool bimodal_right = last_bimodal_ == actual;
+  const bool gshare_right = last_gshare_ == actual;
+  std::uint8_t& choice = chooser_[last_index_];
+  if (gshare_right && !bimodal_right) {
+    if (choice < 3) ++choice;
+  } else if (bimodal_right && !gshare_right) {
+    if (choice > 0) --choice;
+  }
+  bimodal_.feedback(e, actual);
+  gshare_.feedback(e, actual);
+  last_.reset();
+}
+
+PerceptronPredictor::PerceptronPredictor(std::uint32_t tables,
+                                         std::uint32_t history_bits,
+                                         std::int32_t threshold)
+    : history_bits_(history_bits == 0 ? 1 : history_bits),
+      threshold_(threshold),
+      weights_(tables == 0 ? 1 : tables,
+               std::vector<std::int32_t>(history_bits_ + 1, 0)),
+      history_(history_bits_, -1) {}
+
+std::int32_t PerceptronPredictor::dot(std::uint32_t table) const noexcept {
+  const auto& w = weights_[table];
+  std::int32_t sum = w[0];  // bias
+  for (std::uint32_t k = 0; k < history_bits_; ++k) {
+    sum += w[k + 1] * history_[k];
+  }
+  return sum;
+}
+
+VersionGuess PerceptronPredictor::predict(const FaultEvidence& e) {
+  last_table_ = e.location % static_cast<std::uint32_t>(weights_.size());
+  last_sum_ = dot(last_table_);
+  last_ = last_sum_ >= 0 ? VersionGuess::kVersion2
+                         : VersionGuess::kVersion1;
+  return *last_;
+}
+
+void PerceptronPredictor::feedback(const FaultEvidence&,
+                                   VersionGuess actual) {
+  if (last_) record_outcome(*last_ == actual);
+  const std::int32_t target =
+      actual == VersionGuess::kVersion2 ? 1 : -1;
+  const bool wrong =
+      last_ && ((last_sum_ >= 0) != (target > 0));
+  // Train on mispredictions and on low-confidence correct predictions.
+  if (wrong || std::abs(last_sum_) <= threshold_) {
+    auto& w = weights_[last_table_];
+    constexpr std::int32_t kClamp = 64;
+    const auto nudge = [&](std::int32_t& weight, std::int32_t dir) {
+      weight = std::clamp(weight + dir, -kClamp, kClamp);
+    };
+    nudge(w[0], target);
+    for (std::uint32_t k = 0; k < history_bits_; ++k) {
+      nudge(w[k + 1], target * history_[k]);
+    }
+  }
+  // Shift the outcome into the global history.
+  for (std::uint32_t k = history_bits_ - 1; k > 0; --k) {
+    history_[k] = history_[k - 1];
+  }
+  history_[0] = static_cast<std::int8_t>(target);
+  last_.reset();
+}
+
+}  // namespace vds::fault

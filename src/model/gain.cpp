@@ -1,0 +1,142 @@
+#include "model/gain.hpp"
+
+#include <cmath>
+
+#include "model/timing.hpp"
+
+namespace vds::model {
+namespace {
+
+/// Mean over the discrete uniform fault round i in {1, ..., s}.
+template <typename PerRound>
+double mean_over_rounds(int s, PerRound&& per_round) noexcept {
+  double sum = 0.0;
+  for (int i = 1; i <= s; ++i) sum += per_round(static_cast<double>(i));
+  return sum / static_cast<double>(s);
+}
+
+}  // namespace
+
+double gain_round(const Params& params) noexcept {
+  return t1_round(params) / tht2_round(params);
+}
+
+double gain_round_approx(const Params& params) noexcept {
+  return 1.0 / params.alpha;
+}
+
+double gain_det(const Params& params, double i) noexcept {
+  const double progress = capped_roll_forward(i / 4.0, i, params.s);
+  return (t1_corr(params, i) + progress * t1_round(params)) /
+         tht2_corr(params, i);
+}
+
+double gain_det_approx(const Params& params, double i) noexcept {
+  const double s = static_cast<double>(params.s);
+  if (i <= 4.0 * s / 5.0) return 3.0 / (4.0 * params.alpha);
+  return (2.0 * s - i) / (2.0 * i * params.alpha);
+}
+
+double gain_prob(const Params& params, double i) noexcept {
+  const double progress = capped_roll_forward(i / 2.0, i, params.s);
+  return (t1_corr(params, i) +
+          params.p * progress * t1_round(params)) /
+         tht2_corr(params, i);
+}
+
+double gain_hit(const Params& params, double i, bool fair_baseline) noexcept {
+  const double progress = capped_roll_forward(i, i, params.s);
+  const double round_value = fair_baseline ? params.t : t1_round(params);
+  return (t1_corr(params, i) + progress * round_value) /
+         tht2_corr(params, i);
+}
+
+double gain_hit_approx(const Params& params, double i) noexcept {
+  const double s = static_cast<double>(params.s);
+  if (i <= s / 2.0) return 3.0 / (2.0 * params.alpha);
+  return (2.0 * s / i - 1.0) / (2.0 * params.alpha);
+}
+
+double loss_miss(const Params& params, double i) noexcept {
+  return t1_corr(params, i) / tht2_corr(params, i);
+}
+
+double loss_miss_approx(const Params& params) noexcept {
+  return 1.0 / (2.0 * params.alpha);
+}
+
+double gain_corr(const Params& params, double i, bool fair_baseline) noexcept {
+  return params.p * gain_hit(params, i, fair_baseline) +
+         (1.0 - params.p) * loss_miss(params, i);
+}
+
+double mean_gain_det(const Params& params) noexcept {
+  return mean_over_rounds(params.s,
+                          [&](double i) { return gain_det(params, i); });
+}
+
+double mean_gain_det_approx(const Params& params) noexcept {
+  return (1.0 + 2.0 * std::log(5.0 / 4.0)) / (2.0 * params.alpha);
+}
+
+double mean_gain_prob(const Params& params) noexcept {
+  return mean_over_rounds(params.s,
+                          [&](double i) { return gain_prob(params, i); });
+}
+
+double mean_gain_prob_approx(const Params& params) noexcept {
+  return (1.0 + 2.0 * params.p * std::log(1.5)) / (2.0 * params.alpha);
+}
+
+double mean_gain_corr(const Params& params, bool fair_baseline) noexcept {
+  return mean_over_rounds(params.s, [&](double i) {
+    return gain_corr(params, i, fair_baseline);
+  });
+}
+
+double mean_gain_corr_approx(const Params& params) noexcept {
+  return (1.0 + 2.0 * params.p * std::log(2.0)) / (2.0 * params.alpha);
+}
+
+double det_alpha_threshold() noexcept {
+  return (1.0 + 2.0 * std::log(5.0 / 4.0)) / 2.0;
+}
+
+double min_p_for_gain(double alpha) noexcept {
+  return (alpha - 0.5) / std::log(2.0);
+}
+
+double random_guess_alpha_threshold() noexcept {
+  return (1.0 + std::log(2.0)) / 2.0;
+}
+
+double gain_corr_3threads(const Params& params, double i,
+                          double alpha3) noexcept {
+  const double progress = capped_roll_forward(i, i, params.s);
+  const double denom = thtk_corr(alpha3, 3, params, i, /*vote_compares=*/3);
+  const double hit =
+      (t1_corr(params, i) + progress * t1_round(params)) / denom;
+  const double miss = t1_corr(params, i) / denom;
+  return params.p * hit + (1.0 - params.p) * miss;
+}
+
+double gain_corr_5threads(const Params& params, double i,
+                          double alpha5) noexcept {
+  const double progress = capped_roll_forward(i, i, params.s);
+  const double denom = thtk_corr(alpha5, 5, params, i, /*vote_compares=*/4);
+  return (t1_corr(params, i) + progress * t1_round(params)) / denom;
+}
+
+double mean_gain_corr_3threads(const Params& params, double alpha3) noexcept {
+  return mean_over_rounds(params.s, [&](double i) {
+    return gain_corr_3threads(params, i, alpha3);
+  });
+}
+
+double mean_gain_corr_5threads(const Params& params, double alpha5) noexcept {
+  return mean_over_rounds(params.s, [&](double i) {
+    return gain_corr_5threads(params, i, alpha5);
+  });
+}
+
+}  // namespace vds::model

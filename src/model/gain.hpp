@@ -1,0 +1,135 @@
+#pragma once
+
+#include "model/params.hpp"
+
+namespace vds::model {
+
+/// Roll-forward recovery schemes evaluated by the paper (§3.2, §4).
+enum class Scheme {
+  kDeterministic,  ///< i/4 rounds from each of the two candidate states
+  kProbabilistic,  ///< i/2 rounds of both versions from one chosen state
+  kPrediction,     ///< i rounds of the predicted fault-free version,
+                   ///< no detection during roll-forward (§4)
+};
+
+// ---------------------------------------------------------------------
+// Exact per-round-index gains (used for Figures 4 and 5, which the
+// paper computes from the exact equations (10)-(14), not from the
+// c, t' << t approximations).
+// ---------------------------------------------------------------------
+
+/// Eq (4): normal-processing speedup of the SMT VDS over the
+/// conventional VDS, exact: G_round = T_1,round / T_HT2,round.
+[[nodiscard]] double gain_round(const Params& params) noexcept;
+
+/// Eq (4) with c, t' << t: G_round ~ 1/alpha.
+[[nodiscard]] double gain_round_approx(const Params& params) noexcept;
+
+/// Eq (6), exact: deterministic roll-forward gain when the fault is
+/// detected at the end of round i (1 <= i <= s). Intended roll-forward
+/// is i/4 rounds, capped at s - i.
+[[nodiscard]] double gain_det(const Params& params, double i) noexcept;
+
+/// Eq (6) approximation: 3/(4 alpha) for i <= 4s/5, (2s-i)/(2 i alpha)
+/// beyond.
+[[nodiscard]] double gain_det_approx(const Params& params,
+                                     double i) noexcept;
+
+/// Probabilistic roll-forward gain at round i, exact. Intended
+/// roll-forward i/2 rounds (capped at s - i), achieved with the
+/// state-choice success probability params.p, zero progress otherwise.
+[[nodiscard]] double gain_prob(const Params& params, double i) noexcept;
+
+/// Eqs (9)/(10), exact: Section-4 prediction scheme when the guess is
+/// correct -- the roll-forward achieves min(i, s - i) conventional
+/// rounds of progress:
+///   G_hit(i) = [T_1,corr + min(i, s-i) T_1,round] / T_HT2,corr.
+/// When `fair_baseline` is set, the conventional baseline is credited
+/// the same trick (§4 closing remark): its post-vote catch-up executes
+/// version 3 without context switches, so progress is valued at t per
+/// round instead of T_1,round.
+[[nodiscard]] double gain_hit(const Params& params, double i,
+                              bool fair_baseline = false) noexcept;
+
+/// Eq (10) approximation: 3/(2 alpha) for i <= s/2, (2s/i - 1)/(2 alpha)
+/// beyond.
+[[nodiscard]] double gain_hit_approx(const Params& params,
+                                     double i) noexcept;
+
+/// Eq (11), exact: loss factor when the prediction was wrong --
+/// the roll-forward contributed nothing: L_miss = T_1,corr / T_HT2,corr.
+[[nodiscard]] double loss_miss(const Params& params, double i) noexcept;
+
+/// Eq (11) approximation: 1/(2 alpha).
+[[nodiscard]] double loss_miss_approx(const Params& params) noexcept;
+
+/// Eq (12), exact: expected prediction-scheme gain at round i,
+/// G_corr(i) = p G_hit(i) + (1-p) L_miss(i).
+[[nodiscard]] double gain_corr(const Params& params, double i,
+                               bool fair_baseline = false) noexcept;
+
+// ---------------------------------------------------------------------
+// Averages over the fault round i, uniform on {1, ..., s}.
+// ---------------------------------------------------------------------
+
+/// Exact average of gain_det over i = 1..s.
+[[nodiscard]] double mean_gain_det(const Params& params) noexcept;
+
+/// Eq (7) approximation: (1 + 2 ln(5/4)) / (2 alpha).
+[[nodiscard]] double mean_gain_det_approx(const Params& params) noexcept;
+
+/// Exact average of gain_prob over i = 1..s.
+[[nodiscard]] double mean_gain_prob(const Params& params) noexcept;
+
+/// Eq (8) approximation: (1 + 2 p ln(3/2)) / (2 alpha).
+[[nodiscard]] double mean_gain_prob_approx(const Params& params) noexcept;
+
+/// Eq (13), exact: average of gain_corr over i = 1..s. This is the
+/// quantity plotted in Figures 4 and 5.
+[[nodiscard]] double mean_gain_corr(const Params& params,
+                                    bool fair_baseline = false) noexcept;
+
+/// Eq (13) approximation: (1 + 2 p ln 2) / (2 alpha).
+[[nodiscard]] double mean_gain_corr_approx(const Params& params) noexcept;
+
+// ---------------------------------------------------------------------
+// Break-even thresholds quoted in the paper's prose.
+// ---------------------------------------------------------------------
+
+/// Deterministic scheme gains (mean > 1) iff alpha is below this:
+/// (1 + 2 ln(5/4)) / 2 ~ 0.723.
+[[nodiscard]] double det_alpha_threshold() noexcept;
+
+/// Prediction scheme gains iff p >= (alpha - 1/2) / ln 2.
+[[nodiscard]] double min_p_for_gain(double alpha) noexcept;
+
+/// With random guesses (p = 1/2) the prediction scheme gains iff
+/// alpha <= (1 + ln 2) / 2 ~ 0.847.
+[[nodiscard]] double random_guess_alpha_threshold() noexcept;
+
+// ---------------------------------------------------------------------
+// Section-5 outlook: more than two hardware threads. The paper sketches
+// a 3-thread probabilistic and a 5-thread deterministic variant that
+// keep fault detection *during* roll-forward while achieving min(i, s-i)
+// rounds of progress. alpha_k is the k-thread slowdown factor
+// (each round costs k * alpha_k * t when k threads share the core).
+// ---------------------------------------------------------------------
+
+/// 3-thread probabilistic: v3 retries in thread 1 while v1 and v2 run
+/// i rounds each from the chosen state in threads 2 and 3. Progress
+/// min(i, s-i) with probability p, with end-of-roll-forward comparison.
+[[nodiscard]] double gain_corr_3threads(const Params& params, double i,
+                                        double alpha3) noexcept;
+
+/// 5-thread deterministic: v1/v2 run from both candidate states;
+/// guaranteed progress min(i, s-i).
+[[nodiscard]] double gain_corr_5threads(const Params& params, double i,
+                                        double alpha5) noexcept;
+
+/// Averages over i = 1..s of the two extensions.
+[[nodiscard]] double mean_gain_corr_3threads(const Params& params,
+                                             double alpha3) noexcept;
+[[nodiscard]] double mean_gain_corr_5threads(const Params& params,
+                                             double alpha5) noexcept;
+
+}  // namespace vds::model

@@ -1,0 +1,34 @@
+#include "model/limits.hpp"
+
+#include <cmath>
+
+#include "model/gain.hpp"
+
+namespace vds::model {
+
+double g_max(double p, double alpha, double beta) noexcept {
+  const double ln2 = std::log(2.0);
+  const double inner = (1.0 - p) + 1.5 * p * (1.0 + beta) +
+                       p * ((2.0 + 3.0 * beta) * ln2 -
+                            (1.0 + 3.0 * beta) / 2.0);
+  return inner / (2.0 * alpha);
+}
+
+double g_max(const Params& params) noexcept {
+  return g_max(params.p, params.alpha, params.beta());
+}
+
+double convergence_gap(const Params& params) noexcept {
+  return mean_gain_corr(params) - g_max(params);
+}
+
+int s_for_convergence(double p, double alpha, double beta, double tol,
+                      int s_cap) {
+  for (int s = 1; s <= s_cap; ++s) {
+    const Params params = Params::with_beta(alpha, beta, s, p);
+    if (std::fabs(convergence_gap(params)) <= tol) return s;
+  }
+  return s_cap + 1;
+}
+
+}  // namespace vds::model

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "model/params.hpp"
+
+namespace vds::model {
+
+/// G_max = lim_{s -> infinity} mean_gain_corr (paper §4.3).
+///
+/// Exact closed form keeping the beta = c/t = t'/t overheads that scale
+/// with i (the constant-offset terms vanish in the limit):
+///
+///   G_max(p, alpha, beta) =
+///     [ (1-p) + (3p/2)(1+beta) + p ((2+3beta) ln 2 - (1+3beta)/2) ]
+///     / (2 alpha)
+///
+/// Reproduces the paper's anchors: 1.38 at (p=0.5, alpha=0.65, beta=0.1),
+/// ~1.0 at alpha=0.9, ~2 at p=1.0; and reduces to (1 + 2 p ln 2)/(2 alpha)
+/// at beta = 0, consistent with eq (13).
+[[nodiscard]] double g_max(double p, double alpha, double beta) noexcept;
+[[nodiscard]] double g_max(const Params& params) noexcept;
+
+/// Convergence diagnostics: mean_gain_corr at finite s minus g_max.
+/// The paper notes that "beyond s = 20, G_corr is already very close to
+/// the limit"; this lets tests and benches quantify that claim.
+[[nodiscard]] double convergence_gap(const Params& params) noexcept;
+
+/// Smallest checkpoint interval s for which |gap| <= tol for the given
+/// (p, alpha, beta). Searches s = 1..s_cap; returns s_cap+1 when not
+/// reached.
+[[nodiscard]] int s_for_convergence(double p, double alpha, double beta,
+                                    double tol, int s_cap = 10000);
+
+}  // namespace vds::model

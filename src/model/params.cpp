@@ -1,0 +1,37 @@
+#include "model/params.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace vds::model {
+
+Params Params::with_beta(double alpha, double beta, int s, double p,
+                         double t) {
+  Params params;
+  params.t = t;
+  params.c = beta * t;
+  params.t_cmp = beta * t;
+  params.alpha = alpha;
+  params.s = s;
+  params.p = p;
+  params.validate();
+  return params;
+}
+
+void Params::validate() const {
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument("model::Params: " + what);
+  };
+  if (!(t > 0.0) || !std::isfinite(t)) fail("t must be finite and > 0");
+  if (c < 0.0 || !std::isfinite(c)) fail("c must be finite and >= 0");
+  if (t_cmp < 0.0 || !std::isfinite(t_cmp)) {
+    fail("t_cmp must be finite and >= 0");
+  }
+  // alpha = 0.5 (ideal sharing) is admitted as the closed boundary; the
+  // paper states 1/2 < alpha < 1 but evaluates the alpha = 0.5 best case.
+  if (!(alpha >= 0.5) || !(alpha <= 1.0)) fail("alpha must be in [0.5, 1]");
+  if (s < 1) fail("s must be >= 1");
+  if (!(p >= 0.0) || !(p <= 1.0)) fail("p must be in [0, 1]");
+}
+
+}  // namespace vds::model

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <stdexcept>
+
+namespace vds::model {
+
+/// Parameters of the analytical VDS performance model (paper §3, §4).
+///
+///  t      -- compute time of one round of one version (the time unit;
+///            everything else is usually expressed relative to it)
+///  c      -- context-switch time on the conventional processor
+///  t_cmp  -- state-comparison time t' (paper footnote 3 remarks the
+///            exact form would use max(t', c); we follow the paper and
+///            use t' directly)
+///  alpha  -- SMT slowdown factor: two threads run in parallel take
+///            2*alpha*t per round pair, alpha in (1/2, 1]. alpha = 0.5
+///            is perfect parallelism, alpha = 1 no gain. The Pentium 4
+///            measurement in [13] gives alpha = 0.65.
+///  s      -- checkpoint interval in rounds (state saved every s rounds)
+///  p      -- probability that the faulty version is predicted correctly
+///            (0.5 = random guess, 1.0 = oracle)
+struct Params {
+  double t = 1.0;
+  double c = 0.1;
+  double t_cmp = 0.1;
+  double alpha = 0.65;
+  int s = 20;
+  double p = 0.5;
+
+  /// Paper eq. (14): closes the model with c = t' = beta * t.
+  [[nodiscard]] static Params with_beta(double alpha, double beta,
+                                        int s = 20, double p = 0.5,
+                                        double t = 1.0);
+
+  /// beta = c/t (equals t'/t when built via with_beta).
+  [[nodiscard]] double beta() const noexcept { return c / t; }
+
+  /// Throws std::invalid_argument when outside the model's domain.
+  void validate() const;
+};
+
+}  // namespace vds::model

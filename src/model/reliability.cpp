@@ -1,0 +1,130 @@
+#include "model/reliability.hpp"
+
+#include <cmath>
+
+#include "model/timing.hpp"
+
+namespace vds::model {
+namespace {
+
+/// Intended roll-forward length of a scheme at detection round i
+/// (pre-cap), and its success probability.
+struct RollForward {
+  double length = 0.0;
+  double success_prob = 1.0;
+};
+
+RollForward roll_forward_for(Scheme scheme, const Params& params,
+                             double i) {
+  RollForward out;
+  switch (scheme) {
+    case Scheme::kDeterministic:
+      out.length = capped_roll_forward(i / 4.0, i, params.s);
+      out.success_prob = 1.0;
+      break;
+    case Scheme::kProbabilistic:
+      out.length = capped_roll_forward(i / 2.0, i, params.s);
+      out.success_prob = params.p;
+      break;
+    case Scheme::kPrediction:
+      out.length = capped_roll_forward(i, i, params.s);
+      out.success_prob = params.p;
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+ReliabilityEstimate estimate_reliability(const Params& params,
+                                         Scheme scheme, double fault_rate,
+                                         std::uint64_t job_rounds) {
+  params.validate();
+  ReliabilityEstimate est;
+
+  const double w_round = tht2_round(params);
+  est.p_fault_per_round = 1.0 - std::exp(-fault_rate * w_round);
+  est.expected_detections =
+      static_cast<double>(job_rounds) * est.p_fault_per_round;
+
+  // Average the per-detection quantities over the detection round i,
+  // uniform on {1, ..., s}.
+  double mean_w_corr = 0.0;
+  double mean_p_fail = 0.0;
+  double mean_progress_kept = 0.0;
+  double mean_p_silent = 0.0;
+  double mean_rollback_loss = 0.0;
+  for (int i = 1; i <= params.s; ++i) {
+    const double x = static_cast<double>(i);
+    const double w_corr = tht2_corr(params, x);
+    const double p_fault_in_corr =
+        1.0 - std::exp(-fault_rate * w_corr);
+    // A recovery-window fault hits the retry thread (vote fails ->
+    // rollback) or the roll-forward thread (result discarded, or --
+    // predict scheme only -- committed silently) with equal odds.
+    const double p_fail = 0.5 * p_fault_in_corr;
+    const RollForward rf = roll_forward_for(scheme, params, x);
+    // Progress survives when the scheme's choice was right and no
+    // fault discarded it (det/prob compare their results; predict
+    // keeps even corrupted progress -- hence the silent term instead).
+    const double discard_prob =
+        scheme == Scheme::kPrediction ? 0.0 : 0.5 * p_fault_in_corr;
+    mean_w_corr += w_corr;
+    mean_p_fail += p_fail;
+    mean_progress_kept +=
+        (1.0 - p_fail) * rf.success_prob * (1.0 - discard_prob) *
+        rf.length;
+    if (scheme == Scheme::kPrediction) {
+      mean_p_silent += params.p * 0.5 * p_fault_in_corr;
+    }
+    // Rollback re-executes the i rounds since the checkpoint.
+    mean_rollback_loss += p_fail * x * w_round;
+  }
+  const double inv_s = 1.0 / static_cast<double>(params.s);
+  mean_w_corr *= inv_s;
+  mean_p_fail *= inv_s;
+  mean_progress_kept *= inv_s;
+  mean_p_silent *= inv_s;
+  mean_rollback_loss *= inv_s;
+
+  est.p_recovery_failure = mean_p_fail;
+  est.expected_rollbacks = est.expected_detections * mean_p_fail;
+  est.p_silent_per_detection = mean_p_silent;
+  est.p_job_silent =
+      1.0 - std::exp(-est.expected_detections * mean_p_silent);
+
+  est.expected_total_time =
+      static_cast<double>(job_rounds) * w_round +
+      est.expected_detections *
+          (mean_w_corr - mean_progress_kept * w_round +
+           mean_rollback_loss);
+  est.expected_throughput =
+      est.expected_total_time > 0.0
+          ? static_cast<double>(job_rounds) / est.expected_total_time
+          : 0.0;
+  return est;
+}
+
+int optimal_checkpoint_interval(Params params, Scheme scheme,
+                                double fault_rate,
+                                std::uint64_t job_rounds,
+                                double checkpoint_write_cost, int s_cap) {
+  int best_s = 1;
+  double best_time = 0.0;
+  for (int s = 1; s <= s_cap; ++s) {
+    params.s = s;
+    const auto est =
+        estimate_reliability(params, scheme, fault_rate, job_rounds);
+    const double checkpoints =
+        static_cast<double>(job_rounds) / static_cast<double>(s);
+    const double total =
+        est.expected_total_time + checkpoints * checkpoint_write_cost;
+    if (s == 1 || total < best_time) {
+      best_time = total;
+      best_s = s;
+    }
+  }
+  return best_s;
+}
+
+}  // namespace vds::model

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+#include "model/gain.hpp"
+#include "model/params.hpp"
+
+namespace vds::model {
+
+/// First-order reliability/performance estimates for a VDS under a
+/// Poisson fault process -- the style of analysis the paper inherits
+/// from Ziv & Bruck [14] ("shortening test intervals improves
+/// reliability, because the likeliness of two processes affected by a
+/// fault is decreased"). All closed forms assume the per-window fault
+/// probability is small enough that windows can be treated
+/// independently; the engine tests validate the estimates by Monte
+/// Carlo.
+struct ReliabilityEstimate {
+  /// P(>= 1 fault during one SMT round pair window).
+  double p_fault_per_round = 0.0;
+  /// Expected number of detections over the whole job.
+  double expected_detections = 0.0;
+  /// P(a second fault corrupts the retry/vote | a detection occurred),
+  /// i.e. the per-recovery rollback probability.
+  double p_recovery_failure = 0.0;
+  /// Expected rollbacks over the job.
+  double expected_rollbacks = 0.0;
+  /// Predict scheme only: P(an undetected fault is committed by the
+  /// unverified roll-forward | a detection occurred). Zero for the
+  /// deterministic and probabilistic schemes, which compare their
+  /// roll-forward results.
+  double p_silent_per_detection = 0.0;
+  /// P(the job completes with silently corrupted state).
+  double p_job_silent = 0.0;
+  /// Expected job completion time including recoveries and rollback
+  /// losses.
+  double expected_total_time = 0.0;
+  /// Useful rounds per unit time implied by expected_total_time.
+  double expected_throughput = 0.0;
+};
+
+/// Evaluates the estimate for an SMT VDS with the given recovery scheme
+/// (Scheme::kPrediction uses params.p as the hit probability).
+[[nodiscard]] ReliabilityEstimate estimate_reliability(
+    const Params& params, Scheme scheme, double fault_rate,
+    std::uint64_t job_rounds);
+
+/// Checkpoint-interval s minimizing expected_total_time for the given
+/// configuration, searched over s in [1, s_cap]. Implements the [14]
+/// trade: larger s lengthens retries and rollback losses, smaller s
+/// costs more checkpoint writes (params carries no write cost, so pass
+/// one explicitly).
+[[nodiscard]] int optimal_checkpoint_interval(
+    Params params, Scheme scheme, double fault_rate,
+    std::uint64_t job_rounds, double checkpoint_write_cost,
+    int s_cap = 200);
+
+}  // namespace vds::model

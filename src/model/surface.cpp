@@ -1,0 +1,76 @@
+#include "model/surface.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <stdexcept>
+
+namespace vds::model {
+
+double Axis::at(std::size_t i) const noexcept {
+  if (n <= 1) return lo;
+  return lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+}
+
+GainSurface::GainSurface(Axis alpha, Axis beta, double p, int s)
+    : alpha_(alpha), beta_(beta), p_(p), s_(s) {
+  if (alpha_.n == 0 || beta_.n == 0) {
+    throw std::invalid_argument("GainSurface: empty axis");
+  }
+  values_.resize(alpha_.n * beta_.n);
+  bool first = true;
+  for (std::size_t ai = 0; ai < alpha_.n; ++ai) {
+    for (std::size_t bi = 0; bi < beta_.n; ++bi) {
+      const Params params =
+          Params::with_beta(alpha_.at(ai), beta_.at(bi), s_, p_);
+      const double g = mean_gain_corr(params);
+      values_[ai * beta_.n + bi] = g;
+      if (first) {
+        min_ = max_ = g;
+        first = false;
+      } else {
+        min_ = std::min(min_, g);
+        max_ = std::max(max_, g);
+      }
+    }
+  }
+}
+
+double GainSurface::at(std::size_t ai, std::size_t bi) const {
+  if (ai >= alpha_.n || bi >= beta_.n) {
+    throw std::out_of_range("GainSurface::at");
+  }
+  return values_[ai * beta_.n + bi];
+}
+
+void GainSurface::write_matrix(std::ostream& os) const {
+  const auto flags = os.flags();
+  os << std::fixed << std::setprecision(4);
+  os << "alpha\\beta";
+  for (std::size_t bi = 0; bi < beta_.n; ++bi) {
+    os << '\t' << beta_.at(bi);
+  }
+  os << '\n';
+  for (std::size_t ai = 0; ai < alpha_.n; ++ai) {
+    os << alpha_.at(ai);
+    for (std::size_t bi = 0; bi < beta_.n; ++bi) {
+      os << '\t' << at(ai, bi);
+    }
+    os << '\n';
+  }
+  os.flags(flags);
+}
+
+void GainSurface::write_csv(std::ostream& os) const {
+  const auto flags = os.flags();
+  os << std::fixed << std::setprecision(6);
+  os << "alpha,beta,gain\n";
+  for (std::size_t ai = 0; ai < alpha_.n; ++ai) {
+    for (std::size_t bi = 0; bi < beta_.n; ++bi) {
+      os << alpha_.at(ai) << ',' << beta_.at(bi) << ',' << at(ai, bi)
+         << '\n';
+    }
+  }
+  os.flags(flags);
+}
+
+}  // namespace vds::model

@@ -1,0 +1,33 @@
+#include "model/timing.hpp"
+
+#include <algorithm>
+
+namespace vds::model {
+
+double t1_round(const Params& params) noexcept {
+  return 2.0 * (params.t + params.c) + params.t_cmp;
+}
+
+double t1_corr(const Params& params, double i) noexcept {
+  return i * params.t + 2.0 * params.t_cmp;
+}
+
+double tht2_round(const Params& params) noexcept {
+  return 2.0 * params.alpha * params.t + params.t_cmp;
+}
+
+double tht2_corr(const Params& params, double i) noexcept {
+  return 2.0 * i * params.alpha * params.t + 2.0 * params.t_cmp;
+}
+
+double thtk_corr(double alpha_k, int k, const Params& params, double i,
+                 int vote_compares) noexcept {
+  return static_cast<double>(k) * i * alpha_k * params.t +
+         static_cast<double>(vote_compares) * params.t_cmp;
+}
+
+double capped_roll_forward(double x, double i, int s) noexcept {
+  return std::max(0.0, std::min(x, static_cast<double>(s) - i));
+}
+
+}  // namespace vds::model

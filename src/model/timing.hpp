@@ -1,0 +1,48 @@
+#pragma once
+
+#include "model/params.hpp"
+
+namespace vds::model {
+
+/// Closed-form timing expressions, paper equations (1)-(3) and (5).
+/// All take the fault-detection round index i in [1, s] where needed.
+/// Units are those of Params::t.
+
+/// Eq (1): one complete VDS round on a conventional processor --
+/// version 1 runs, context switch, version 2 runs, context switch,
+/// states compared: T_1,round = 2 (t + c) + t'.
+[[nodiscard]] double t1_round(const Params& params) noexcept;
+
+/// Eq (2): stop-and-retry correction on a conventional processor when a
+/// mismatch is found at the end of round i: version 3 replays i rounds
+/// from the checkpoint, followed by a majority vote modeled as two
+/// additional comparisons: T_1,corr = i t + 2 t'.
+[[nodiscard]] double t1_corr(const Params& params, double i) noexcept;
+
+/// Eq (3): one round on a 2-way SMT processor -- both versions run in
+/// parallel hardware threads (no context switch), then compare:
+/// T_HT2,round = 2 alpha t + t'.
+[[nodiscard]] double tht2_round(const Params& params) noexcept;
+
+/// Eq (5): SMT correction time -- thread 1 retries version 3 for i
+/// rounds while thread 2 rolls forward, the two threads sharing the
+/// core (factor alpha), closing with the vote's two comparisons:
+/// T_HT2,corr = 2 i alpha t + 2 t'.
+/// (Assumes, as the paper does, that the roll-forward in the second
+/// thread does not take longer than the retry in the first.)
+[[nodiscard]] double tht2_corr(const Params& params, double i) noexcept;
+
+/// k-thread generalization used by the Section-5 outlook extension:
+/// k threads active make each round cost k * alpha_k * t, so a retry of
+/// i rounds costs i * k * alpha_k * t (+ vote comparisons).
+/// alpha_k in (1/k, 1].
+[[nodiscard]] double thtk_corr(double alpha_k, int k, const Params& params,
+                               double i, int vote_compares = 2) noexcept;
+
+/// Number of rounds actually rolled forward when the scheme intends x
+/// rounds but the checkpoint interval caps progress at round s:
+/// min(x, s - i)  (paper Section 3.2 / Section 4).
+[[nodiscard]] double capped_roll_forward(double x, double i,
+                                         int s) noexcept;
+
+}  // namespace vds::model

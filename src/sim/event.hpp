@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "sim/time.hpp"
+
+namespace vds::sim {
+
+/// Opaque handle identifying a scheduled event; used for cancellation.
+struct EventId {
+  std::uint64_t value = 0;
+
+  friend bool operator==(EventId, EventId) = default;
+};
+
+/// Action executed when an event fires.
+using EventAction = std::function<void()>;
+
+/// A scheduled event. Events firing at the same timestamp are delivered
+/// in scheduling order (FIFO), which keeps simulations deterministic.
+struct Event {
+  SimTime when = 0.0;
+  std::uint64_t seq = 0;  ///< tie-breaker: global scheduling order
+  EventId id{};
+  EventAction action;
+
+  /// Strict-weak ordering for a min-queue: earlier time first, then
+  /// earlier scheduling order.
+  [[nodiscard]] bool fires_before(const Event& other) const noexcept {
+    if (when != other.when) return when < other.when;
+    return seq < other.seq;
+  }
+};
+
+}  // namespace vds::sim

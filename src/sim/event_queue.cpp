@@ -1,0 +1,88 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace vds::sim {
+
+EventId EventQueue::schedule(SimTime when, EventAction action) {
+  Event ev;
+  ev.when = when;
+  ev.seq = next_seq_++;
+  ev.id = EventId{next_id_++};
+  ev.action = std::move(action);
+  const EventId id = ev.id;
+  heap_.push_back(std::move(ev));
+  sift_up(heap_.size() - 1);
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id.value == 0 || id.value >= next_id_) return false;
+  // An id is cancellable only while its event is still in the heap.
+  for (const Event& ev : heap_) {
+    if (ev.id == id && !cancelled_.contains(id.value)) {
+      cancelled_.insert(id.value);
+      --live_count_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Event> EventQueue::pop() {
+  purge_cancelled_top();
+  if (heap_.empty()) return std::nullopt;
+  Event top = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  --live_count_;
+  return top;
+}
+
+std::optional<SimTime> EventQueue::next_time() {
+  purge_cancelled_top();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.front().when;
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  cancelled_.clear();
+  live_count_ = 0;
+}
+
+void EventQueue::purge_cancelled_top() {
+  while (!heap_.empty() && cancelled_.contains(heap_.front().id.value)) {
+    cancelled_.erase(heap_.front().id.value);
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heap_[i].fires_before(heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    std::size_t best = i;
+    if (l < n && heap_[l].fires_before(heap_[best])) best = l;
+    if (r < n && heap_[r].fires_before(heap_[best])) best = r;
+    if (best == i) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+}  // namespace vds::sim

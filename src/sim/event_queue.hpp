@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/event.hpp"
+
+namespace vds::sim {
+
+/// Deterministic min-priority queue of events with O(log n) push/pop and
+/// lazy cancellation. Ties at equal timestamps resolve in scheduling
+/// order, so replaying a simulation with the same seed reproduces the
+/// exact event sequence.
+class EventQueue {
+ public:
+  /// Schedules `action` at absolute time `when`. Returns a handle that
+  /// can later be passed to cancel().
+  EventId schedule(SimTime when, EventAction action);
+
+  /// Cancels a pending event. Returns false if the event already fired,
+  /// was already cancelled, or never existed. Cancellation is lazy: the
+  /// heap slot is reclaimed when the event surfaces.
+  bool cancel(EventId id);
+
+  /// Removes and returns the earliest pending event, skipping cancelled
+  /// entries. Returns nullopt when the queue is exhausted.
+  std::optional<Event> pop();
+
+  /// Time of the earliest pending (non-cancelled) event, if any.
+  [[nodiscard]] std::optional<SimTime> next_time();
+
+  /// Number of pending (non-cancelled) events.
+  [[nodiscard]] std::size_t size() const noexcept { return live_count_; }
+  [[nodiscard]] bool empty() const noexcept { return live_count_ == 0; }
+
+  /// Drops every pending event.
+  void clear();
+
+ private:
+  void purge_cancelled_top();
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<Event> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace vds::sim

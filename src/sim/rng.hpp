@@ -1,0 +1,65 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace vds::sim {
+
+/// Deterministic, seedable PRNG (xoshiro256** with SplitMix64 seeding).
+///
+/// Self-contained so that simulation results are reproducible across
+/// standard libraries (std::mt19937 streams are portable, but the std::
+/// distributions are not). Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Unbiased (rejection sampling). n > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Exponentially distributed variate with rate lambda > 0
+  /// (mean 1/lambda). Used for Poisson fault inter-arrival times.
+  double exponential(double lambda) noexcept;
+
+  /// Standard normal via Box–Muller (deterministic given the stream).
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  /// Geometric: number of failures before first success, p in (0,1].
+  std::uint64_t geometric(double p) noexcept;
+
+  /// Splits off an independently seeded child stream. Children derived
+  /// with distinct tags are statistically independent.
+  [[nodiscard]] Rng split(std::uint64_t tag) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace vds::sim

@@ -1,0 +1,59 @@
+#include "sim/simulator.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace vds::sim {
+
+EventId Simulator::call_at(SimTime when, EventAction action) {
+  if (std::isnan(when) || when < now_) {
+    throw std::invalid_argument(
+        "Simulator::call_at: scheduling in the past or at NaN");
+  }
+  return queue_.schedule(when, std::move(action));
+}
+
+EventId Simulator::call_in(SimTime delay, EventAction action) {
+  if (std::isnan(delay) || delay < 0.0) {
+    throw std::invalid_argument("Simulator::call_in: negative or NaN delay");
+  }
+  return queue_.schedule(now_ + delay, std::move(action));
+}
+
+std::uint64_t Simulator::run() {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(SimTime horizon) {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  for (;;) {
+    if (stopped_) return n;
+    const auto next = queue_.next_time();
+    if (!next) break;
+    if (*next > horizon) break;
+    step();
+    ++n;
+  }
+  if (!stopped_ && horizon > now_) now_ = horizon;
+  return n;
+}
+
+bool Simulator::step() {
+  auto ev = queue_.pop();
+  if (!ev) return false;
+  now_ = ev->when;
+  ++executed_;
+  ev->action();
+  return true;
+}
+
+void Simulator::drain() {
+  queue_.clear();
+  stopped_ = false;
+}
+
+}  // namespace vds::sim

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace vds::sim {
+
+/// Discrete-event simulation driver.
+///
+/// Usage:
+///   Simulator sim;
+///   sim.call_at(1.0, []{ ... });
+///   sim.call_in(0.5, []{ ... });
+///   sim.run();                      // until queue drains
+///   sim.run_until(100.0);           // or until a horizon
+///
+/// Events firing at equal timestamps run in scheduling order, so runs
+/// are bit-for-bit reproducible.
+class Simulator {
+ public:
+  /// Current simulation time. Monotonically non-decreasing.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `action` at absolute time `when >= now()`.
+  /// Throws std::invalid_argument on attempts to schedule in the past.
+  EventId call_at(SimTime when, EventAction action);
+
+  /// Schedules `action` `delay >= 0` after the current time.
+  EventId call_in(SimTime delay, EventAction action);
+
+  /// Cancels a pending event; see EventQueue::cancel.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the event queue drains or stop() is called.
+  /// Returns the number of events executed.
+  std::uint64_t run();
+
+  /// Runs until the queue drains, stop() is called, or the next event
+  /// would fire strictly after `horizon`. Time is advanced to `horizon`
+  /// if the run was horizon-limited. Returns events executed.
+  std::uint64_t run_until(SimTime horizon);
+
+  /// Executes at most one pending event. Returns false if none remain.
+  bool step();
+
+  /// Requests that run()/run_until() return after the current event.
+  void stop() noexcept { stopped_ = true; }
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Total number of events executed since construction.
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+  /// Drops all pending events and resets the stop flag (time is kept:
+  /// a simulation clock never moves backwards).
+  void drain();
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  bool stopped_ = false;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace vds::sim

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vds::sim {
+
+/// Streaming mean/variance accumulator (Welford). O(1) memory.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Half-width of a normal-approximation confidence interval at the
+  /// given z (default 1.96 ~ 95%).
+  [[nodiscard]] double ci_halfwidth(double z = 1.96) const noexcept;
+
+  /// Merges another accumulator (parallel Welford / Chan et al.).
+  void merge(const Accumulator& other) noexcept;
+
+  void reset() noexcept { *this = Accumulator{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi) with overflow/underflow bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const;
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return under_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return over_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+
+  /// Approximate quantile (q in [0,1]) by linear interpolation within
+  /// the containing bin. Underflow/overflow mass sits at lo/hi.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Renders a compact ASCII summary, one bin per line.
+  [[nodiscard]] std::string to_string(std::size_t bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t under_ = 0;
+  std::uint64_t over_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace vds::sim

@@ -1,0 +1,287 @@
+#include "smt/core.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace vds::smt {
+namespace {
+
+/// Mutable per-thread execution state during a timing run.
+struct ThreadState {
+  const InstrTrace* trace = nullptr;
+  std::size_t next = 0;  ///< index of the next trace entry to issue
+  std::array<std::uint64_t, kNumRegisters> reg_ready{};  ///< cycle when ready
+  std::uint64_t stall_until = 0;  ///< fetch bubble (mispredict)
+  /// Completion cycles of in-flight instructions (min-heap).
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<>>
+      in_flight;
+  std::vector<std::uint8_t> branch_table;  ///< 2-bit counters
+  std::uint64_t issued = 0;
+  std::uint64_t mispredicts = 0;
+  std::uint64_t finish_cycle = 0;
+  bool done = false;
+
+  [[nodiscard]] bool trace_exhausted() const noexcept {
+    return trace == nullptr || next >= trace->size();
+  }
+};
+
+}  // namespace
+
+void CoreConfig::validate() const {
+  const auto fail = [](const char* what) {
+    throw std::invalid_argument(std::string("CoreConfig: ") + what);
+  };
+  if (threads == 0) fail("threads >= 1");
+  if (issue_width == 0) fail("issue_width >= 1");
+  if (max_issue_per_thread == 0) fail("max_issue_per_thread >= 1");
+  if (alu_units == 0 || mem_ports == 0 || branch_units == 0 ||
+      mul_units == 0 || div_units == 0) {
+    fail("every functional-unit count must be >= 1");
+  }
+  if (alu_latency == 0 || mul_latency == 0 || div_latency == 0 ||
+      branch_latency == 0) {
+    fail("latencies must be >= 1");
+  }
+  if (branch_table_bits == 0 || branch_table_bits > 20) {
+    fail("branch_table_bits in [1, 20]");
+  }
+  cache.validate();
+  if (l2_enabled) {
+    l2.validate();
+    if (l2.miss_latency < cache.miss_latency) {
+      fail("l2.miss_latency must be >= cache.miss_latency");
+    }
+  }
+}
+
+Core::Core(CoreConfig config, FetchPolicy policy)
+    : config_(config), policy_(policy) {
+  config_.validate();
+}
+
+CoreResult Core::run(std::span<const InstrTrace* const> traces) {
+  const std::uint32_t n_threads =
+      std::min<std::uint32_t>(config_.threads,
+                              static_cast<std::uint32_t>(traces.size()));
+
+  std::vector<ThreadState> threads(n_threads);
+  std::vector<std::unique_ptr<Cache>> caches;
+  if (config_.shared_cache) {
+    caches.push_back(std::make_unique<Cache>(config_.cache));
+  } else {
+    for (std::uint32_t t = 0; t < n_threads; ++t) {
+      caches.push_back(std::make_unique<Cache>(config_.cache));
+    }
+  }
+  // The second level is always shared between hardware threads.
+  std::unique_ptr<Cache> l2;
+  if (config_.l2_enabled) l2 = std::make_unique<Cache>(config_.l2);
+
+  for (std::uint32_t t = 0; t < n_threads; ++t) {
+    threads[t].trace = traces[t];
+    threads[t].branch_table.assign(1u << config_.branch_table_bits, 1);
+    threads[t].done = threads[t].trace_exhausted();
+  }
+
+  CoreResult result;
+  result.threads.resize(n_threads);
+
+  std::uint64_t cycle = 0;
+  std::uint32_t rr_offset = 0;
+  std::vector<std::uint32_t> order(n_threads);
+
+  // Division units are non-pipelined: track when each frees up.
+  std::vector<std::uint64_t> div_free(config_.div_units, 0);
+
+  auto all_done = [&threads] {
+    return std::all_of(threads.begin(), threads.end(),
+                       [](const ThreadState& ts) { return ts.done; });
+  };
+
+  while (!all_done() && cycle < config_.max_cycles) {
+    // Retire completed in-flight instructions.
+    for (auto& ts : threads) {
+      while (!ts.in_flight.empty() && ts.in_flight.top() <= cycle) {
+        ts.in_flight.pop();
+      }
+      if (!ts.done && ts.trace_exhausted() && ts.in_flight.empty()) {
+        ts.done = true;
+        ts.finish_cycle = cycle;
+      }
+    }
+    if (all_done()) break;
+
+    // Thread priority for this cycle.
+    std::iota(order.begin(), order.end(), 0u);
+    if (policy_ == FetchPolicy::kRoundRobin) {
+      std::rotate(order.begin(), order.begin() + (rr_offset % n_threads),
+                  order.end());
+    } else {
+      std::stable_sort(order.begin(), order.end(),
+                       [&threads](std::uint32_t a, std::uint32_t b) {
+                         return threads[a].in_flight.size() <
+                                threads[b].in_flight.size();
+                       });
+      // Break persistent ties fairly.
+      if (n_threads > 1 && (rr_offset & 1u) != 0 &&
+          threads[order[0]].in_flight.size() ==
+              threads[order[1]].in_flight.size()) {
+        std::swap(order[0], order[1]);
+      }
+    }
+    ++rr_offset;
+
+    std::uint32_t slots_left = config_.issue_width;
+    std::uint32_t alu_left = config_.alu_units;
+    std::uint32_t mul_left = config_.mul_units;
+    std::uint32_t mem_left = config_.mem_ports;
+    std::uint32_t branch_left = config_.branch_units;
+
+    for (const std::uint32_t tid : order) {
+      ThreadState& ts = threads[tid];
+      if (ts.done || ts.stall_until > cycle) continue;
+      std::uint32_t issued_this_thread = 0;
+
+      while (slots_left > 0 &&
+             issued_this_thread < config_.max_issue_per_thread &&
+             !ts.trace_exhausted()) {
+        const TraceEntry& entry = (*ts.trace)[ts.next];
+
+        // Data hazards: in-order issue stalls on the first instruction
+        // whose sources are not ready.
+        if (ts.reg_ready[entry.src1 % kNumRegisters] > cycle) break;
+        if (entry.uses_src2 &&
+            ts.reg_ready[entry.src2 % kNumRegisters] > cycle) {
+          break;
+        }
+
+        // Structural hazards.
+        std::uint32_t latency = 0;
+        std::uint32_t div_unit = 0;
+        bool div_found = false;
+        switch (entry.cls) {
+          case OpClass::kAlu:
+            if (alu_left == 0) goto thread_done_this_cycle;
+            latency = config_.alu_latency;
+            break;
+          case OpClass::kMul:
+            if (mul_left == 0) goto thread_done_this_cycle;
+            latency = config_.mul_latency;
+            break;
+          case OpClass::kDiv: {
+            for (std::uint32_t u = 0; u < config_.div_units; ++u) {
+              if (div_free[u] <= cycle) {
+                div_unit = u;
+                div_found = true;
+                break;
+              }
+            }
+            if (!div_found) goto thread_done_this_cycle;
+            latency = config_.div_latency;
+            break;
+          }
+          case OpClass::kMem: {
+            if (mem_left == 0) goto thread_done_this_cycle;
+            Cache& cache = config_.shared_cache ? *caches[0] : *caches[tid];
+            if (cache.access_hit(entry.addr)) {
+              latency = config_.cache.hit_latency;
+            } else if (l2 != nullptr) {
+              latency = l2->access_hit(entry.addr)
+                            ? config_.cache.miss_latency
+                            : config_.l2.miss_latency;
+            } else {
+              latency = config_.cache.miss_latency;
+            }
+            break;
+          }
+          case OpClass::kBranch:
+            if (branch_left == 0) goto thread_done_this_cycle;
+            latency = config_.branch_latency;
+            break;
+          case OpClass::kNone:
+            latency = 1;
+            break;
+        }
+
+        // Issue.
+        --slots_left;
+        ++issued_this_thread;
+        ++ts.issued;
+        ++result.issued_total;
+        ts.next++;
+
+        switch (entry.cls) {
+          case OpClass::kAlu: --alu_left; break;
+          case OpClass::kMul: --mul_left; break;
+          case OpClass::kDiv: div_free[div_unit] = cycle + latency; break;
+          case OpClass::kMem: --mem_left; break;
+          case OpClass::kBranch: --branch_left; break;
+          case OpClass::kNone: break;
+        }
+
+        const std::uint64_t complete = cycle + latency;
+        ts.in_flight.push(complete);
+        if (entry.has_dst) {
+          ts.reg_ready[entry.dst % kNumRegisters] = complete;
+        }
+
+        if (entry.cls == OpClass::kBranch) {
+          // Two-bit prediction on the branch pc; a mispredict stalls
+          // this thread's fetch, leaving its issue slots to the other
+          // thread -- the latency-hiding effect SMT exploits.
+          const std::size_t idx =
+              entry.pc & ((1u << config_.branch_table_bits) - 1u);
+          std::uint8_t& counter = ts.branch_table[idx];
+          const bool predicted_taken = counter >= 2;
+          if (predicted_taken != entry.taken) {
+            ++ts.mispredicts;
+            ts.stall_until = cycle + config_.mispredict_penalty;
+          }
+          if (entry.taken) {
+            if (counter < 3) ++counter;
+          } else {
+            if (counter > 0) --counter;
+          }
+          if (ts.stall_until > cycle) goto thread_done_this_cycle;
+        }
+      }
+    thread_done_this_cycle:;
+    }
+
+    ++cycle;
+  }
+
+  for (std::uint32_t t = 0; t < n_threads; ++t) {
+    // Threads that never finished (cycle cap) report the cap.
+    if (!threads[t].done) threads[t].finish_cycle = cycle;
+    result.threads[t].finish_cycle = threads[t].finish_cycle;
+    result.threads[t].instructions = threads[t].issued;
+    result.threads[t].mispredicts = threads[t].mispredicts;
+    result.cycles = std::max(result.cycles, threads[t].finish_cycle);
+  }
+  for (const auto& cache : caches) {
+    result.cache_hits += cache->hits();
+    result.cache_misses += cache->misses();
+  }
+  if (l2 != nullptr) {
+    result.l2_hits = l2->hits();
+    result.l2_misses = l2->misses();
+  }
+  return result;
+}
+
+CoreResult Core::run(const InstrTrace& solo) {
+  const InstrTrace* traces[] = {&solo};
+  return run(std::span<const InstrTrace* const>(traces, 1));
+}
+
+CoreResult Core::run(const InstrTrace& t0, const InstrTrace& t1) {
+  const InstrTrace* traces[] = {&t0, &t1};
+  return run(std::span<const InstrTrace* const>(traces, 2));
+}
+
+}  // namespace vds::smt

@@ -1,0 +1,201 @@
+#include "smt/isa.hpp"
+
+#include <sstream>
+
+namespace vds::smt {
+
+OpClass op_class(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+      return OpClass::kAlu;
+    case Opcode::kMul:
+      return OpClass::kMul;
+    case Opcode::kDiv:
+      return OpClass::kDiv;
+    case Opcode::kLoad:
+    case Opcode::kStore:
+      return OpClass::kMem;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kJmp:
+      return OpClass::kBranch;
+    case Opcode::kNop:
+    case Opcode::kHalt:
+      return OpClass::kNone;
+  }
+  return OpClass::kNone;
+}
+
+std::string_view to_string(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDiv: return "div";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kLoad: return "load";
+    case Opcode::kStore: return "store";
+    case Opcode::kBeq: return "beq";
+    case Opcode::kBne: return "bne";
+    case Opcode::kJmp: return "jmp";
+    case Opcode::kNop: return "nop";
+    case Opcode::kHalt: return "halt";
+  }
+  return "?";
+}
+
+std::string_view to_string(OpClass cls) noexcept {
+  switch (cls) {
+    case OpClass::kAlu: return "alu";
+    case OpClass::kMul: return "mul";
+    case OpClass::kDiv: return "div";
+    case OpClass::kMem: return "mem";
+    case OpClass::kBranch: return "branch";
+    case OpClass::kNone: return "none";
+  }
+  return "?";
+}
+
+bool is_commutative(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kAdd:
+    case Opcode::kMul:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_branch(Opcode op) noexcept {
+  return op == Opcode::kBeq || op == Opcode::kBne || op == Opcode::kJmp;
+}
+
+bool writes_register(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kStore:
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kJmp:
+    case Opcode::kNop:
+    case Opcode::kHalt:
+      return false;
+    default:
+      return true;
+  }
+}
+
+std::string Instr::to_string() const {
+  std::ostringstream os;
+  os << vds::smt::to_string(op);
+  switch (op) {
+    case Opcode::kLoad:
+      os << " r" << int{dst} << ", [r" << int{src1} << (imm >= 0 ? "+" : "")
+         << imm << "]";
+      break;
+    case Opcode::kStore:
+      os << " [r" << int{src1} << (imm >= 0 ? "+" : "") << imm << "], r"
+         << int{src2};
+      break;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+      os << " r" << int{src1} << ", r" << int{src2} << ", " << imm;
+      break;
+    case Opcode::kJmp:
+      os << " " << imm;
+      break;
+    case Opcode::kNop:
+    case Opcode::kHalt:
+      break;
+    default:
+      os << " r" << int{dst} << ", r" << int{src1} << ", ";
+      if (uses_imm) {
+        os << imm;
+      } else {
+        os << "r" << int{src2};
+      }
+  }
+  return os.str();
+}
+
+Instr make_rrr(Opcode op, std::uint8_t dst, std::uint8_t src1,
+               std::uint8_t src2) noexcept {
+  Instr instr;
+  instr.op = op;
+  instr.dst = dst;
+  instr.src1 = src1;
+  instr.src2 = src2;
+  return instr;
+}
+
+Instr make_rri(Opcode op, std::uint8_t dst, std::uint8_t src1,
+               std::int64_t imm) noexcept {
+  Instr instr;
+  instr.op = op;
+  instr.dst = dst;
+  instr.src1 = src1;
+  instr.uses_imm = true;
+  instr.imm = imm;
+  return instr;
+}
+
+Instr make_load(std::uint8_t dst, std::uint8_t base,
+                std::int64_t disp) noexcept {
+  Instr instr;
+  instr.op = Opcode::kLoad;
+  instr.dst = dst;
+  instr.src1 = base;
+  instr.uses_imm = true;
+  instr.imm = disp;
+  return instr;
+}
+
+Instr make_store(std::uint8_t value, std::uint8_t base,
+                 std::int64_t disp) noexcept {
+  Instr instr;
+  instr.op = Opcode::kStore;
+  instr.src1 = base;
+  instr.src2 = value;
+  instr.uses_imm = true;
+  instr.imm = disp;
+  return instr;
+}
+
+Instr make_branch(Opcode op, std::uint8_t src1, std::uint8_t src2,
+                  std::int64_t offset) noexcept {
+  Instr instr;
+  instr.op = op;
+  instr.src1 = src1;
+  instr.src2 = src2;
+  instr.uses_imm = true;
+  instr.imm = offset;
+  return instr;
+}
+
+Instr make_jmp(std::int64_t offset) noexcept {
+  Instr instr;
+  instr.op = Opcode::kJmp;
+  instr.uses_imm = true;
+  instr.imm = offset;
+  return instr;
+}
+
+Instr make_halt() noexcept {
+  Instr instr;
+  instr.op = Opcode::kHalt;
+  return instr;
+}
+
+}  // namespace vds::smt

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vds::smt {
+
+/// Minimal RISC-style instruction set for the simulated processor.
+/// Rich enough to express the synthetic workloads and the systematic-
+/// diversity transforms (operand commutation, mul-by-shift rewriting,
+/// register renaming), small enough to keep both simulators exact.
+enum class Opcode : std::uint8_t {
+  kAdd,   ///< dst = src1 + src2/imm
+  kSub,   ///< dst = src1 - src2/imm
+  kMul,   ///< dst = src1 * src2/imm
+  kDiv,   ///< dst = src1 / src2/imm (x/0 == 0 by convention)
+  kAnd,
+  kOr,
+  kXor,
+  kShl,   ///< dst = src1 << (src2/imm % 64)
+  kShr,   ///< dst = src1 >> (src2/imm % 64)
+  kLoad,  ///< dst = mem[src1 + imm]
+  kStore, ///< mem[src1 + imm] = src2
+  kBeq,   ///< if src1 == src2: pc += imm (signed)
+  kBne,   ///< if src1 != src2: pc += imm (signed)
+  kJmp,   ///< pc += imm (signed)
+  kNop,
+  kHalt,
+};
+
+/// Functional-unit classes for the timing model.
+enum class OpClass : std::uint8_t {
+  kAlu,     ///< add/sub/logic/shift
+  kMul,
+  kDiv,
+  kMem,     ///< load/store
+  kBranch,  ///< beq/bne/jmp
+  kNone,    ///< nop/halt
+};
+
+[[nodiscard]] OpClass op_class(Opcode op) noexcept;
+[[nodiscard]] std::string_view to_string(Opcode op) noexcept;
+[[nodiscard]] std::string_view to_string(OpClass cls) noexcept;
+
+/// True for ops where swapping src1/src2 preserves the result.
+[[nodiscard]] bool is_commutative(Opcode op) noexcept;
+[[nodiscard]] bool is_branch(Opcode op) noexcept;
+[[nodiscard]] bool writes_register(Opcode op) noexcept;
+
+inline constexpr unsigned kNumRegisters = 32;
+
+/// One instruction. When `uses_imm` is set the second operand (or the
+/// branch/jump offset, or the memory displacement) comes from `imm`.
+struct Instr {
+  Opcode op = Opcode::kNop;
+  std::uint8_t dst = 0;
+  std::uint8_t src1 = 0;
+  std::uint8_t src2 = 0;
+  bool uses_imm = false;
+  std::int64_t imm = 0;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Instr&, const Instr&) = default;
+};
+
+// --- Convenience constructors -----------------------------------------
+
+[[nodiscard]] Instr make_rrr(Opcode op, std::uint8_t dst, std::uint8_t src1,
+                             std::uint8_t src2) noexcept;
+[[nodiscard]] Instr make_rri(Opcode op, std::uint8_t dst, std::uint8_t src1,
+                             std::int64_t imm) noexcept;
+[[nodiscard]] Instr make_load(std::uint8_t dst, std::uint8_t base,
+                              std::int64_t disp) noexcept;
+[[nodiscard]] Instr make_store(std::uint8_t value, std::uint8_t base,
+                               std::int64_t disp) noexcept;
+[[nodiscard]] Instr make_branch(Opcode op, std::uint8_t src1,
+                                std::uint8_t src2,
+                                std::int64_t offset) noexcept;
+[[nodiscard]] Instr make_jmp(std::int64_t offset) noexcept;
+[[nodiscard]] Instr make_halt() noexcept;
+
+}  // namespace vds::smt

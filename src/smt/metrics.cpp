@@ -1,0 +1,58 @@
+#include "smt/metrics.hpp"
+
+#include <sstream>
+
+namespace vds::smt {
+
+AlphaMeasurement measure_alpha(const CoreConfig& config, FetchPolicy policy,
+                               const InstrTrace& a, const InstrTrace& b) {
+  AlphaMeasurement m;
+
+  {
+    Core core(config, policy);
+    const CoreResult r = core.run(a);
+    m.cycles_a_alone = r.cycles;
+    m.ipc_a_alone = r.threads.empty() ? 0.0 : r.threads[0].ipc();
+  }
+  {
+    Core core(config, policy);
+    const CoreResult r = core.run(b);
+    m.cycles_b_alone = r.cycles;
+    m.ipc_b_alone = r.threads.empty() ? 0.0 : r.threads[0].ipc();
+  }
+  {
+    Core core(config, policy);
+    const CoreResult r = core.run(a, b);
+    m.cycles_together = r.cycles;
+    m.ipc_together =
+        r.cycles == 0
+            ? 0.0
+            : static_cast<double>(r.issued_total) /
+                  static_cast<double>(r.cycles);
+  }
+
+  const double serial = static_cast<double>(m.cycles_a_alone) +
+                        static_cast<double>(m.cycles_b_alone);
+  if (serial > 0.0 && m.cycles_together > 0) {
+    m.alpha = static_cast<double>(m.cycles_together) / serial;
+    m.throughput_speedup = serial / static_cast<double>(m.cycles_together);
+  }
+  return m;
+}
+
+AlphaMeasurement measure_alpha(const CoreConfig& config, FetchPolicy policy,
+                               const InstrTrace& trace) {
+  return measure_alpha(config, policy, trace, trace);
+}
+
+std::string to_string(const AlphaMeasurement& m) {
+  std::ostringstream os;
+  os << "alpha=" << m.alpha << " (alone " << m.cycles_a_alone << "+"
+     << m.cycles_b_alone << " cy, together " << m.cycles_together
+     << " cy, speedup " << m.throughput_speedup << "x, ipc "
+     << m.ipc_a_alone << "/" << m.ipc_b_alone << " -> " << m.ipc_together
+     << ")";
+  return os.str();
+}
+
+}  // namespace vds::smt

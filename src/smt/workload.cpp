@@ -1,0 +1,206 @@
+#include "smt/workload.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vds::smt {
+
+void WorkloadConfig::validate() const {
+  const auto fail = [](const char* what) {
+    throw std::invalid_argument(std::string("WorkloadConfig: ") + what);
+  };
+  const double total =
+      frac_alu + frac_mul + frac_div + frac_mem + frac_branch;
+  if (!(total > 0.0)) fail("op-class fractions must sum to > 0");
+  if (frac_alu < 0 || frac_mul < 0 || frac_div < 0 || frac_mem < 0 ||
+      frac_branch < 0) {
+    fail("op-class fractions must be non-negative");
+  }
+  if (dependency_density < 0.0 || dependency_density > 1.0) {
+    fail("dependency_density in [0, 1]");
+  }
+  if (footprint_words == 0) fail("footprint_words >= 1");
+  if (spatial_locality < 0.0 || spatial_locality > 1.0) {
+    fail("spatial_locality in [0, 1]");
+  }
+  if (branch_taken_bias < 0.0 || branch_taken_bias > 1.0) {
+    fail("branch_taken_bias in [0, 1]");
+  }
+  if (instructions == 0) fail("instructions >= 1");
+}
+
+WorkloadConfig compute_bound_workload(std::uint64_t instrs) {
+  WorkloadConfig config;
+  config.instructions = instrs;
+  config.frac_alu = 0.7;
+  config.frac_mul = 0.2;
+  config.frac_div = 0.0;
+  config.frac_mem = 0.05;
+  config.frac_branch = 0.05;
+  config.dependency_density = 0.15;
+  config.footprint_words = 256;  // cache-resident
+  config.branch_taken_bias = 0.95;
+  return config;
+}
+
+WorkloadConfig memory_bound_workload(std::uint64_t instrs) {
+  WorkloadConfig config;
+  config.instructions = instrs;
+  config.frac_alu = 0.35;
+  config.frac_mul = 0.05;
+  config.frac_mem = 0.5;
+  config.frac_branch = 0.1;
+  config.dependency_density = 0.4;
+  config.footprint_words = 1u << 16;  // far beyond L1
+  config.spatial_locality = 0.2;
+  return config;
+}
+
+WorkloadConfig branchy_workload(std::uint64_t instrs) {
+  WorkloadConfig config;
+  config.instructions = instrs;
+  config.frac_alu = 0.5;
+  config.frac_mul = 0.05;
+  config.frac_mem = 0.15;
+  config.frac_branch = 0.3;
+  config.dependency_density = 0.3;
+  config.branch_taken_bias = 0.5;  // hard to predict
+  return config;
+}
+
+WorkloadConfig serial_chain_workload(std::uint64_t instrs) {
+  WorkloadConfig config;
+  config.instructions = instrs;
+  config.frac_alu = 0.5;
+  config.frac_mul = 0.3;
+  config.frac_div = 0.05;
+  config.frac_mem = 0.1;
+  config.frac_branch = 0.05;
+  config.dependency_density = 0.9;  // long dependence chains, low ILP
+  return config;
+}
+
+WorkloadConfig balanced_workload(std::uint64_t instrs) {
+  WorkloadConfig config;
+  config.instructions = instrs;
+  return config;
+}
+
+InstrTrace generate_trace(const WorkloadConfig& config, vds::sim::Rng& rng) {
+  config.validate();
+  InstrTrace trace;
+  trace.reserve(config.instructions);
+
+  const double total =
+      config.frac_alu + config.frac_mul + config.frac_div + config.frac_mem +
+      config.frac_branch;
+
+  std::uint8_t last_dst = 1;
+  std::uint64_t seq_addr = 0;
+  // A small synthetic "static code" footprint so the branch predictor
+  // sees recurring pcs, as it would in real loopy code.
+  const std::uint32_t static_pcs = 64;
+
+  for (std::uint64_t n = 0; n < config.instructions; ++n) {
+    TraceEntry entry;
+    entry.pc = static_cast<std::uint32_t>(rng.uniform_index(static_pcs));
+
+    const double roll = rng.uniform() * total;
+    if (roll < config.frac_alu) {
+      entry.cls = OpClass::kAlu;
+    } else if (roll < config.frac_alu + config.frac_mul) {
+      entry.cls = OpClass::kMul;
+    } else if (roll < config.frac_alu + config.frac_mul + config.frac_div) {
+      entry.cls = OpClass::kDiv;
+    } else if (roll < config.frac_alu + config.frac_mul + config.frac_div +
+                          config.frac_mem) {
+      entry.cls = OpClass::kMem;
+    } else {
+      entry.cls = OpClass::kBranch;
+    }
+
+    // Register dependencies: sources come from the previous result with
+    // probability dependency_density, otherwise from a rotating pool.
+    const bool depend = rng.bernoulli(config.dependency_density);
+    entry.src1 =
+        depend ? last_dst
+               : static_cast<std::uint8_t>(rng.uniform_index(16));
+    entry.src2 = static_cast<std::uint8_t>(rng.uniform_index(16));
+    entry.uses_src2 = rng.bernoulli(0.5);
+
+    switch (entry.cls) {
+      case OpClass::kAlu:
+      case OpClass::kMul:
+      case OpClass::kDiv: {
+        entry.has_dst = true;
+        entry.dst = static_cast<std::uint8_t>(16 + rng.uniform_index(8));
+        last_dst = entry.dst;
+        break;
+      }
+      case OpClass::kMem: {
+        entry.has_dst = rng.bernoulli(0.7);  // load vs store mix
+        if (entry.has_dst) {
+          entry.dst = static_cast<std::uint8_t>(16 + rng.uniform_index(8));
+          last_dst = entry.dst;
+        }
+        if (rng.bernoulli(config.spatial_locality)) {
+          seq_addr = (seq_addr + 1) % config.footprint_words;
+          entry.addr = seq_addr;
+        } else {
+          entry.addr = rng.uniform_index(config.footprint_words);
+        }
+        break;
+      }
+      case OpClass::kBranch: {
+        entry.taken = rng.bernoulli(config.branch_taken_bias);
+        break;
+      }
+      case OpClass::kNone:
+        break;
+    }
+    trace.push_back(entry);
+  }
+  return trace;
+}
+
+Program make_kernel_program(std::uint64_t base, std::uint64_t elements) {
+  // Register allocation:
+  //   r1 = loop index i, r2 = element count, r3 = input base,
+  //   r4 = output base, r10..r13 scratch, r20 = checksum.
+  Program program("kernel");
+  const auto b = static_cast<std::int64_t>(base);
+  const auto n = static_cast<std::int64_t>(elements);
+
+  program.push(make_rri(Opcode::kAdd, 1, 0, 0));       // 0: i = 0 + 0
+  program.push(make_rri(Opcode::kAdd, 2, 0, n));       // 1: count
+  program.push(make_rri(Opcode::kAdd, 3, 0, b));       // 2: input base
+  program.push(make_rri(Opcode::kAdd, 4, 0, b + n));   // 3: output base
+  program.push(make_rri(Opcode::kAdd, 20, 0, 0));      // 4: checksum = 0
+  // loop:                                             // 5
+  program.push(make_rrr(Opcode::kAdd, 10, 3, 1));      // 5: &a[i]
+  program.push(make_load(11, 10, 0));                  // 6: a[i]
+  program.push(make_rri(Opcode::kMul, 12, 11, 3));     // 7: a[i] * 3
+  program.push(make_rri(Opcode::kShl, 13, 11, 2));     // 8: a[i] << 2
+  program.push(make_rrr(Opcode::kAdd, 12, 12, 13));    // 9: sum
+  program.push(make_rrr(Opcode::kAdd, 14, 4, 1));      // 10: &out[i]
+  program.push(make_store(12, 14, 0));                 // 11: out[i] = ...
+  program.push(make_rrr(Opcode::kXor, 20, 20, 12));    // 12: checksum ^=
+  program.push(make_rri(Opcode::kAdd, 1, 1, 1));       // 13: ++i
+  program.push(make_branch(Opcode::kBne, 1, 2, -9));   // 14: loop while i!=n
+  program.push(make_store(20, 4, n));                  // 15: out[n] = checksum
+  program.push(make_halt());                           // 16
+  return program;
+}
+
+void seed_kernel_inputs(Machine& machine, std::uint64_t base,
+                        std::uint64_t elements, std::uint64_t seed) {
+  std::uint64_t x = seed ^ 0x9e3779b97f4a7c15ull;
+  for (std::uint64_t i = 0; i < elements; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    machine.poke(base + i, x);
+  }
+}
+
+}  // namespace vds::smt

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "smt/machine.hpp"
+#include "smt/program.hpp"
+
+namespace vds::smt {
+
+/// Knobs of the synthetic workload generator. The mixes are chosen to
+/// span the behaviours that determine the SMT slowdown factor alpha:
+/// ILP-rich compute, long-latency chains, memory pressure and branchy
+/// control flow.
+struct WorkloadConfig {
+  std::uint64_t instructions = 10000;  ///< approximate dynamic length
+  double frac_alu = 0.6;
+  double frac_mul = 0.1;
+  double frac_div = 0.0;
+  double frac_mem = 0.2;
+  double frac_branch = 0.1;
+  /// Probability that an instruction depends on the immediately
+  /// preceding result (serial chains reduce single-thread ILP and thus
+  /// lower alpha -- the co-scheduled thread fills the bubbles).
+  double dependency_density = 0.3;
+  /// Memory footprint in words; larger footprints overflow the cache.
+  std::uint64_t footprint_words = 1024;
+  /// Fraction of memory accesses that are sequential (vs random).
+  double spatial_locality = 0.7;
+  /// Probability a conditional branch is taken (predictability knob:
+  /// values near 0 or 1 predict well, near 0.5 mispredict often).
+  double branch_taken_bias = 0.9;
+
+  void validate() const;
+};
+
+/// Named presets used throughout benches/tests.
+[[nodiscard]] WorkloadConfig compute_bound_workload(std::uint64_t instrs);
+[[nodiscard]] WorkloadConfig memory_bound_workload(std::uint64_t instrs);
+[[nodiscard]] WorkloadConfig branchy_workload(std::uint64_t instrs);
+[[nodiscard]] WorkloadConfig serial_chain_workload(std::uint64_t instrs);
+[[nodiscard]] WorkloadConfig balanced_workload(std::uint64_t instrs);
+
+/// Generates a dynamic instruction trace directly (no functional
+/// execution needed): the timing core consumes traces, and statistical
+/// workloads are naturally expressed as trace distributions.
+[[nodiscard]] InstrTrace generate_trace(const WorkloadConfig& config,
+                                        vds::sim::Rng& rng);
+
+/// Builds a small *executable* kernel Program (with a real loop,
+/// loads/stores and a reduction) for the functional Machine. Used by
+/// the diversity experiments where values matter.
+/// The kernel computes, over `elements` array elements starting at
+/// memory address `base`:  out[i] = a[i] * 3 + (a[i] << 2), plus a
+/// running checksum in r20, and stores results to `base + elements`.
+/// The shift-by-power-of-two gives the strength-reduction diversity
+/// transform material to move work between the ALU and the multiplier.
+[[nodiscard]] Program make_kernel_program(std::uint64_t base,
+                                          std::uint64_t elements);
+
+/// Seeds machine memory with deterministic input data for the kernel.
+void seed_kernel_inputs(Machine& machine, std::uint64_t base,
+                        std::uint64_t elements, std::uint64_t seed);
+
+}  // namespace vds::smt

@@ -1,0 +1,118 @@
+#include "baseline/srt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vds::baseline {
+namespace {
+
+using vds::fault::Fault;
+using vds::fault::FaultKind;
+using vds::fault::FaultTimeline;
+
+SrtConfig base_config() {
+  SrtConfig config;
+  config.t = 1.0;
+  config.alpha = 0.65;
+  config.compare_overhead = 0.10;
+  config.chunks_per_round = 100;
+  config.s = 20;
+  config.job_rounds = 100;
+  return config;
+}
+
+Fault transient_at(double when) {
+  Fault fault;
+  fault.when = when;
+  fault.kind = FaultKind::kTransient;
+  return fault;
+}
+
+TEST(SrtConfig, Validation) {
+  EXPECT_NO_THROW(base_config().validate());
+  SrtConfig bad = base_config();
+  bad.alpha = 0.3;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = base_config();
+  bad.chunks_per_round = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = base_config();
+  bad.compare_overhead = -0.1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(LockstepSrt, FaultFreeTiming) {
+  const SrtConfig config = base_config();
+  LockstepSrt srt(config, vds::sim::Rng(1));
+  FaultTimeline timeline(std::vector<Fault>{});
+  const auto report = srt.run(timeline);
+  EXPECT_TRUE(report.completed);
+  const double round = 2.0 * 0.65 * 1.0 * 1.10;
+  EXPECT_NEAR(report.total_time, 100.0 * round, 1e-9);
+}
+
+TEST(LockstepSrt, ComparisonOverheadSlowsNormalProcessing) {
+  SrtConfig with = base_config();
+  SrtConfig without = base_config();
+  without.compare_overhead = 0.0;
+  FaultTimeline t1(std::vector<Fault>{});
+  FaultTimeline t2(std::vector<Fault>{});
+  const auto slow = LockstepSrt(with, vds::sim::Rng(1)).run(t1);
+  const auto fast = LockstepSrt(without, vds::sim::Rng(1)).run(t2);
+  EXPECT_GT(slow.total_time, fast.total_time);
+}
+
+TEST(LockstepSrt, DetectionLatencyIsSubRound) {
+  // This is SRT's selling point: the fault surfaces at the end of its
+  // chunk, a hundredth of a round here -- versus up to a full round
+  // pair for the VDS.
+  const SrtConfig config = base_config();
+  LockstepSrt srt(config, vds::sim::Rng(2));
+  FaultTimeline timeline({transient_at(7.3)});
+  const auto report = srt.run(timeline);
+  EXPECT_EQ(report.detections, 1u);
+  ASSERT_EQ(report.detection_latency.count(), 1u);
+  const double round = 2.0 * 0.65 * 1.10;
+  EXPECT_LT(report.detection_latency.mean(), round / 50.0);
+}
+
+TEST(LockstepSrt, RecoversByRollbackOnly) {
+  const SrtConfig config = base_config();
+  LockstepSrt srt(config, vds::sim::Rng(3));
+  // Fault lands in round 8 (time ~ 7 * 1.43): rollback to round 0.
+  FaultTimeline timeline({transient_at(10.3)});
+  const auto report = srt.run(timeline);
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.rollbacks, 1u);
+  EXPECT_EQ(report.recoveries_ok, 0u);  // no third version, no vote
+}
+
+TEST(LockstepSrt, PermanentFaultIsSilent) {
+  // Identical redundant copies cannot expose a permanent fault: the
+  // key qualitative difference from the diversity-based VDS.
+  const SrtConfig config = base_config();
+  LockstepSrt srt(config, vds::sim::Rng(4));
+  Fault permanent = transient_at(5.0);
+  permanent.kind = FaultKind::kPermanent;
+  FaultTimeline timeline({permanent});
+  const auto report = srt.run(timeline);
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.detections, 0u);
+  EXPECT_TRUE(report.silent_corruption);
+}
+
+TEST(LockstepSrt, HighFaultRateDegradesThroughput) {
+  SrtConfig config = base_config();
+  config.job_rounds = 300;
+  vds::fault::FaultConfig fc;
+  fc.rate = 0.02;
+  vds::sim::Rng rng(5);
+  auto noisy = vds::fault::generate_timeline(fc, rng, 5000.0);
+  FaultTimeline clean(std::vector<Fault>{});
+  const auto noisy_run = LockstepSrt(config, vds::sim::Rng(6)).run(noisy);
+  const auto clean_run = LockstepSrt(config, vds::sim::Rng(6)).run(clean);
+  EXPECT_TRUE(noisy_run.completed);
+  EXPECT_GT(noisy_run.total_time, clean_run.total_time);
+}
+
+}  // namespace
+}  // namespace vds::baseline

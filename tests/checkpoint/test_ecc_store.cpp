@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "checkpoint/store.hpp"
+
+namespace vds::checkpoint {
+namespace {
+
+VersionState state_at(std::uint64_t rounds) {
+  VersionState state(321, 8);
+  for (std::uint64_t r = 1; r <= rounds; ++r) state.advance_round(r);
+  return state;
+}
+
+TEST(EccStore, CleanRestoreRoundTrips) {
+  CheckpointStore store({}, 2, EccMode::kSecded);
+  const VersionState s20 = state_at(20);
+  store.save(20, s20, 1.0);
+  Checkpoint restored;
+  EXPECT_EQ(store.restore_latest(restored), RestoreStatus::kClean);
+  EXPECT_TRUE(restored.state.equals(s20));
+  EXPECT_EQ(store.corrections(), 0u);
+}
+
+TEST(EccStore, SingleBitRotIsCorrected) {
+  CheckpointStore store({}, 2, EccMode::kSecded);
+  const VersionState s20 = state_at(20);
+  store.save(20, s20, 1.0);
+  ASSERT_TRUE(store.corrupt_stored_bit(0, 3, 41));
+
+  Checkpoint restored;
+  EXPECT_EQ(store.restore_latest(restored), RestoreStatus::kCorrected);
+  EXPECT_TRUE(restored.state.equals(s20));
+  EXPECT_EQ(store.corrections(), 1u);
+}
+
+TEST(EccStore, ScrubPersistsTheRepair) {
+  CheckpointStore store({}, 2, EccMode::kSecded);
+  store.save(20, state_at(20), 1.0);
+  ASSERT_TRUE(store.corrupt_stored_bit(0, 1, 7));
+  Checkpoint restored;
+  ASSERT_EQ(store.restore_latest(restored), RestoreStatus::kCorrected);
+  // Second restore reads the scrubbed copy: clean.
+  EXPECT_EQ(store.restore_latest(restored), RestoreStatus::kClean);
+}
+
+TEST(EccStore, RotInEveryWordStillCorrected) {
+  CheckpointStore store({}, 2, EccMode::kSecded);
+  const VersionState s20 = state_at(20);
+  store.save(20, s20, 1.0);
+  // One bit per word: SEC-DED works per word, so all are correctable.
+  for (std::size_t w = 0; w < s20.words(); ++w) {
+    ASSERT_TRUE(store.corrupt_stored_bit(0, w, static_cast<unsigned>(w)));
+  }
+  Checkpoint restored;
+  EXPECT_EQ(store.restore_latest(restored), RestoreStatus::kCorrected);
+  EXPECT_TRUE(restored.state.equals(s20));
+  EXPECT_EQ(store.corrections(), s20.words());
+}
+
+TEST(EccStore, DoubleBitRotInOneWordIsUnrecoverable) {
+  CheckpointStore store({}, 2, EccMode::kSecded);
+  store.save(20, state_at(20), 1.0);
+  ASSERT_TRUE(store.corrupt_stored_bit(0, 3, 5));
+  ASSERT_TRUE(store.corrupt_stored_bit(0, 3, 44));
+  Checkpoint restored;
+  EXPECT_EQ(store.restore_latest(restored),
+            RestoreStatus::kUnrecoverable);
+}
+
+TEST(EccStore, CrcOnlyModeDetectsButCannotRepair) {
+  CheckpointStore store({}, 2, EccMode::kCrcOnly);
+  store.save(20, state_at(20), 1.0);
+  ASSERT_TRUE(store.corrupt_stored_bit(0, 2, 17));
+  Checkpoint restored;
+  EXPECT_EQ(store.restore_latest(restored),
+            RestoreStatus::kUnrecoverable);
+}
+
+TEST(EccStore, RestoreFromEmptyStoreFails) {
+  CheckpointStore store({}, 2, EccMode::kSecded);
+  Checkpoint restored;
+  EXPECT_EQ(store.restore_latest(restored),
+            RestoreStatus::kUnrecoverable);
+}
+
+TEST(EccStore, CorruptInvalidIndexRejected) {
+  CheckpointStore store({}, 2, EccMode::kSecded);
+  EXPECT_FALSE(store.corrupt_stored_bit(0, 0, 0));
+  store.save(20, state_at(20), 1.0);
+  EXPECT_FALSE(store.corrupt_stored_bit(1, 0, 0));
+  EXPECT_TRUE(store.corrupt_stored_bit(0, 0, 0));
+}
+
+class EccBitSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EccBitSweep, EveryBitPositionCorrectable) {
+  const unsigned bit = GetParam();
+  CheckpointStore store({}, 2, EccMode::kSecded);
+  const VersionState s20 = state_at(20);
+  store.save(20, s20, 1.0);
+  ASSERT_TRUE(store.corrupt_stored_bit(0, 5, bit));
+  Checkpoint restored;
+  EXPECT_EQ(store.restore_latest(restored), RestoreStatus::kCorrected);
+  EXPECT_TRUE(restored.state.equals(s20));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, EccBitSweep,
+                         ::testing::Values(0u, 1u, 7u, 13u, 31u, 47u, 62u,
+                                           63u));
+
+}  // namespace
+}  // namespace vds::checkpoint

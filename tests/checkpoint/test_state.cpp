@@ -1,0 +1,124 @@
+#include "checkpoint/state.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vds::checkpoint {
+namespace {
+
+TEST(VersionState, SameSeedSameState) {
+  const VersionState a(42, 16);
+  const VersionState b(42, 16);
+  EXPECT_TRUE(a.equals(b));
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(VersionState, DifferentSeedsDiffer) {
+  const VersionState a(1, 16);
+  const VersionState b(2, 16);
+  EXPECT_FALSE(a.equals(b));
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(VersionState, AdvanceIsDeterministic) {
+  VersionState a(7, 8);
+  VersionState b(7, 8);
+  for (std::uint64_t r = 1; r <= 50; ++r) {
+    a.advance_round(r);
+    b.advance_round(r);
+  }
+  EXPECT_TRUE(a.equals(b));
+  EXPECT_EQ(a.rounds_applied(), 50u);
+}
+
+TEST(VersionState, ReplayFromCopyReproducesState) {
+  // The property the retry/vote relies on: replaying the same rounds
+  // from a checkpoint copy reaches the identical state.
+  VersionState live(9, 8);
+  for (std::uint64_t r = 1; r <= 10; ++r) live.advance_round(r);
+  const VersionState checkpoint = live;  // checkpoint at round 10
+  for (std::uint64_t r = 11; r <= 20; ++r) live.advance_round(r);
+
+  VersionState retry = checkpoint;
+  for (std::uint64_t r = 11; r <= 20; ++r) retry.advance_round(r);
+  EXPECT_TRUE(retry.equals(live));
+}
+
+TEST(VersionState, RoundIndexMatters) {
+  VersionState a(7, 8);
+  VersionState b(7, 8);
+  a.advance_round(1);
+  b.advance_round(2);
+  EXPECT_FALSE(a.equals(b));
+}
+
+TEST(VersionState, FlipBitDiverges) {
+  VersionState a(3, 8);
+  VersionState b(3, 8);
+  b.flip_bit(2, 17);
+  EXPECT_FALSE(a.equals(b));
+  EXPECT_NE(a.digest(), b.digest());
+  // Undo restores equality.
+  b.flip_bit(2, 17);
+  EXPECT_TRUE(a.equals(b));
+}
+
+TEST(VersionState, CorruptionPersistsThroughRounds) {
+  VersionState clean(3, 8);
+  VersionState dirty(3, 8);
+  dirty.flip_bit(0, 0);
+  for (std::uint64_t r = 1; r <= 100; ++r) {
+    clean.advance_round(r);
+    dirty.advance_round(r);
+    EXPECT_FALSE(clean.equals(dirty)) << "healed at round " << r;
+  }
+}
+
+TEST(VersionState, FlipOutOfRangeWraps) {
+  VersionState a(3, 4);
+  VersionState b(3, 4);
+  b.flip_bit(4, 64);  // wraps to word 0, bit 0
+  a.flip_bit(0, 0);
+  EXPECT_TRUE(a.equals(b));
+}
+
+TEST(VersionState, SingleBitChangesDigest) {
+  // Property sweep: flipping any single bit must change the digest
+  // (FNV-1a over the words is injective enough for single flips).
+  VersionState base(11, 4);
+  const std::uint64_t d0 = base.digest();
+  for (std::size_t w = 0; w < 4; ++w) {
+    for (unsigned bit = 0; bit < 64; bit += 7) {
+      VersionState mutant = base;
+      mutant.flip_bit(w, bit);
+      EXPECT_NE(mutant.digest(), d0) << w << ":" << bit;
+    }
+  }
+}
+
+TEST(VersionState, ZeroWordsClampedToOne) {
+  const VersionState s(1, 0);
+  EXPECT_EQ(s.words(), 1u);
+}
+
+class StateSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StateSizeSweep, DivergenceDetectedAtEverySize) {
+  const std::size_t words = GetParam();
+  VersionState a(5, words);
+  VersionState b(5, words);
+  for (std::uint64_t r = 1; r <= 5; ++r) {
+    a.advance_round(r);
+    b.advance_round(r);
+  }
+  EXPECT_EQ(a.digest(), b.digest());
+  b.flip_bit(words / 2, 33);
+  b.advance_round(6);
+  a.advance_round(6);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StateSizeSweep,
+                         ::testing::Values(1, 2, 4, 16, 64, 256));
+
+}  // namespace
+}  // namespace vds::checkpoint

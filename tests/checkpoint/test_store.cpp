@@ -1,0 +1,82 @@
+#include "checkpoint/store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vds::checkpoint {
+namespace {
+
+VersionState state_at(std::uint64_t rounds) {
+  VersionState state(123, 8);
+  for (std::uint64_t r = 1; r <= rounds; ++r) state.advance_round(r);
+  return state;
+}
+
+TEST(CheckpointStore, EmptyHasNoLatest) {
+  CheckpointStore store;
+  EXPECT_FALSE(store.latest().has_value());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(CheckpointStore, SaveAndRestore) {
+  CheckpointStore store;
+  const VersionState s20 = state_at(20);
+  store.save(20, s20, 5.0);
+  const auto checkpoint = store.latest();
+  ASSERT_TRUE(checkpoint.has_value());
+  EXPECT_EQ(checkpoint->round, 20u);
+  EXPECT_TRUE(checkpoint->state.equals(s20));
+  EXPECT_DOUBLE_EQ(checkpoint->saved_at, 5.0);
+}
+
+TEST(CheckpointStore, LatestIsMostRecent) {
+  CheckpointStore store;
+  store.save(20, state_at(20), 1.0);
+  store.save(40, state_at(40), 2.0);
+  EXPECT_EQ(store.latest()->round, 40u);
+}
+
+TEST(CheckpointStore, LatestAtOrBefore) {
+  CheckpointStore store({}, /*keep_last=*/0);
+  store.save(20, state_at(20), 1.0);
+  store.save(40, state_at(40), 2.0);
+  store.save(60, state_at(60), 3.0);
+  EXPECT_EQ(store.latest_at_or_before(45)->round, 40u);
+  EXPECT_EQ(store.latest_at_or_before(60)->round, 60u);
+  EXPECT_FALSE(store.latest_at_or_before(10).has_value());
+}
+
+TEST(CheckpointStore, KeepLastTrimsHistory) {
+  CheckpointStore store({}, /*keep_last=*/2);
+  for (std::uint64_t r = 1; r <= 5; ++r) store.save(r, state_at(r), 0.0);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.latest()->round, 5u);
+  EXPECT_EQ(store.saves(), 5u);
+}
+
+TEST(CheckpointStore, WriteLatencyReturnedAndAccumulated) {
+  CheckpointStore store({/*write=*/0.7, /*read=*/0.3});
+  EXPECT_DOUBLE_EQ(store.save(20, state_at(20), 0.0), 0.7);
+  EXPECT_DOUBLE_EQ(store.latency().read, 0.3);
+  EXPECT_EQ(store.write_time().count(), 1u);
+  EXPECT_DOUBLE_EQ(store.write_time().sum(), 0.7);
+}
+
+TEST(CheckpointStore, VerifyDetectsStorageRot) {
+  CheckpointStore store;
+  store.save(20, state_at(20), 0.0);
+  Checkpoint checkpoint = *store.latest();
+  EXPECT_TRUE(CheckpointStore::verify(checkpoint));
+  checkpoint.state.flip_bit(1, 5);
+  EXPECT_FALSE(CheckpointStore::verify(checkpoint));
+}
+
+TEST(CheckpointStore, ClearResets) {
+  CheckpointStore store;
+  store.save(20, state_at(20), 0.0);
+  store.clear();
+  EXPECT_FALSE(store.latest().has_value());
+  EXPECT_EQ(store.saves(), 0u);
+}
+
+}  // namespace
+}  // namespace vds::checkpoint

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/smt_engine.hpp"
+
+namespace vds::core {
+namespace {
+
+using vds::fault::Fault;
+using vds::fault::FaultConfig;
+
+VdsOptions adaptive_options() {
+  VdsOptions options;
+  options.t = 1.0;
+  options.c = 0.1;
+  options.t_cmp = 0.1;
+  options.alpha = 0.65;
+  options.s = 20;
+  options.job_rounds = 20000;
+  options.adaptive_scheme = true;
+  options.adaptive_p_threshold = 0.6;
+  options.adaptive_warmup = 4;
+  // `scheme` is overridden per recovery in adaptive mode; kRollback
+  // would bypass recover() entirely, so use a roll-forward default.
+  options.scheme = RecoveryScheme::kRollForwardDet;
+  return options;
+}
+
+RunReport run_adaptive(double victim_bias, std::uint64_t seed) {
+  FaultConfig config;
+  config.rate = 0.02;
+  config.victim1_bias = victim_bias;
+  sim::Rng fault_rng(seed);
+  auto timeline = fault::generate_timeline(config, fault_rng, 80000.0);
+  core::SmtVds vds(adaptive_options(), sim::Rng(seed + 50));
+  vds.set_predictor(std::make_unique<fault::TwoBitPredictor>(16));
+  return vds.run(timeline);
+}
+
+TEST(AdaptiveScheme, ValidatesOptions) {
+  VdsOptions options = adaptive_options();
+  options.adaptive_p_threshold = 1.5;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = adaptive_options();
+  options.adaptive_warmup = -1;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+}
+
+TEST(AdaptiveScheme, StructuredStreamConvergesToProbabilistic) {
+  // Faults overwhelmingly hit version 1: the two-bit predictor learns
+  // it, the measured p rises past the threshold, and the controller
+  // runs most recoveries with the probabilistic roll-forward.
+  const RunReport report = run_adaptive(/*victim_bias=*/0.95, 7);
+  ASSERT_TRUE(report.completed);
+  ASSERT_GT(report.adaptive_det_recoveries +
+                report.adaptive_prob_recoveries,
+            20u);
+  EXPECT_GT(report.adaptive_prob_recoveries,
+            report.adaptive_det_recoveries);
+  EXPECT_GT(report.predictor_accuracy(), 0.6);
+}
+
+TEST(AdaptiveScheme, UnstructuredStreamStaysDeterministic) {
+  // Unbiased faults keep the measured p near 0.5: the controller
+  // prefers the guaranteed deterministic roll-forward.
+  const RunReport report = run_adaptive(/*victim_bias=*/0.5, 8);
+  ASSERT_TRUE(report.completed);
+  EXPECT_GT(report.adaptive_det_recoveries,
+            report.adaptive_prob_recoveries);
+}
+
+TEST(AdaptiveScheme, WarmupStartsDeterministic) {
+  // The very first recoveries (before warmup completes) are always
+  // deterministic, whatever the stream looks like.
+  VdsOptions options = adaptive_options();
+  options.job_rounds = 100;
+  const double round_time = 2.0 * options.alpha * options.t + options.t_cmp;
+  Fault fault;
+  fault.kind = fault::FaultKind::kTransient;
+  fault.victim = fault::Victim::kVersion1;
+  fault.when = 5.0 * round_time + 0.2;
+  core::SmtVds vds(options, sim::Rng(9));
+  fault::FaultTimeline timeline({fault});
+  const RunReport report = vds.run(timeline);
+  ASSERT_TRUE(report.completed);
+  EXPECT_EQ(report.adaptive_det_recoveries, 1u);
+  EXPECT_EQ(report.adaptive_prob_recoveries, 0u);
+  // The predictor was consulted even though det executed (to learn).
+  EXPECT_EQ(report.predictions, 1u);
+}
+
+TEST(AdaptiveScheme, SwitchesAreCounted) {
+  const RunReport report = run_adaptive(0.95, 10);
+  ASSERT_TRUE(report.completed);
+  // At least the initial det->prob transition happened.
+  EXPECT_GE(report.scheme_switches, 1u);
+}
+
+TEST(AdaptiveScheme, NeverSilentlyCorrupts) {
+  // The controller only ever uses det/prob (both verify their
+  // roll-forwards), so transient storms cannot commit silent state.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const RunReport report = run_adaptive(0.9, 100 + seed);
+    if (report.completed) {
+      EXPECT_FALSE(report.silent_corruption) << seed;
+    }
+  }
+}
+
+TEST(AdaptiveScheme, BeatsFixedDetOnStructuredStreams) {
+  // The payoff: on learnable streams the adaptive controller matches
+  // or beats the fixed deterministic configuration.
+  FaultConfig config;
+  config.rate = 0.02;
+  config.victim1_bias = 0.95;
+
+  sim::Rng rng_a(21);
+  auto timeline_a = fault::generate_timeline(config, rng_a, 80000.0);
+  core::SmtVds adaptive(adaptive_options(), sim::Rng(22));
+  adaptive.set_predictor(std::make_unique<fault::TwoBitPredictor>(16));
+  const auto adaptive_report = adaptive.run(timeline_a);
+
+  VdsOptions fixed_options = adaptive_options();
+  fixed_options.adaptive_scheme = false;
+  fixed_options.scheme = RecoveryScheme::kRollForwardDet;
+  sim::Rng rng_b(21);
+  auto timeline_b = fault::generate_timeline(config, rng_b, 80000.0);
+  core::SmtVds fixed(fixed_options, sim::Rng(22));
+  const auto fixed_report = fixed.run(timeline_b);
+
+  ASSERT_TRUE(adaptive_report.completed);
+  ASSERT_TRUE(fixed_report.completed);
+  EXPECT_LE(adaptive_report.total_time, fixed_report.total_time * 1.01);
+}
+
+}  // namespace
+}  // namespace vds::core

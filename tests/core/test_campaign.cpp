@@ -1,0 +1,118 @@
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/smt_engine.hpp"
+
+namespace vds::core {
+namespace {
+
+VdsOptions engine_options(RecoveryScheme scheme) {
+  VdsOptions options;
+  options.t = 1.0;
+  options.c = 0.1;
+  options.t_cmp = 0.1;
+  options.alpha = 0.65;
+  options.s = 20;
+  options.job_rounds = 60;
+  options.scheme = scheme;
+  options.permanent_affects_others_prob = 0.0;
+  return options;
+}
+
+EngineRunner smt_runner(RecoveryScheme scheme, std::uint64_t seed = 5) {
+  return [scheme, seed](vds::fault::FaultTimeline& timeline) {
+    SmtVds vds(engine_options(scheme), sim::Rng(seed));
+    return vds.run(timeline);
+  };
+}
+
+InjectionCampaign smt_campaign() {
+  InjectionCampaign campaign;
+  campaign.round_time = 2.0 * 0.65 + 0.1;
+  return campaign;
+}
+
+TEST(Campaign, GridShape) {
+  const auto results = run_injection_campaign(
+      smt_campaign(), smt_runner(RecoveryScheme::kRollForwardDet));
+  EXPECT_EQ(results.size(), 4u * 5u);  // kinds x rounds
+  const auto summary = summarize(results);
+  EXPECT_EQ(summary.injections, 20u);
+}
+
+TEST(Campaign, TransientsAlwaysHandledSafely) {
+  const auto results = run_injection_campaign(
+      smt_campaign(), smt_runner(RecoveryScheme::kRollForwardDet));
+  for (const auto& result : results) {
+    if (result.kind != vds::fault::FaultKind::kTransient) continue;
+    EXPECT_EQ(result.outcome, InjectionOutcome::kRecovered)
+        << "round " << result.round;
+    EXPECT_GE(result.detection_latency, 0.0);
+  }
+}
+
+TEST(Campaign, ProcessorCrashesRollBack) {
+  const auto results = run_injection_campaign(
+      smt_campaign(), smt_runner(RecoveryScheme::kRollForwardDet));
+  for (const auto& result : results) {
+    if (result.kind != vds::fault::FaultKind::kProcessorCrash) continue;
+    EXPECT_EQ(result.outcome, InjectionOutcome::kRolledBack)
+        << "round " << result.round;
+  }
+}
+
+TEST(Campaign, IsolatedPermanentsRecovered) {
+  // permanent_affects_others_prob = 0: every permanent is confined to
+  // its victim version and voted out.
+  const auto results = run_injection_campaign(
+      smt_campaign(), smt_runner(RecoveryScheme::kRollForwardDet));
+  for (const auto& result : results) {
+    if (result.kind != vds::fault::FaultKind::kPermanent) continue;
+    EXPECT_EQ(result.outcome, InjectionOutcome::kRecovered)
+        << "round " << result.round;
+  }
+}
+
+TEST(Campaign, SafetyIsPerfectForDetScheme) {
+  const auto results = run_injection_campaign(
+      smt_campaign(), smt_runner(RecoveryScheme::kRollForwardDet));
+  const auto summary = summarize(results);
+  EXPECT_DOUBLE_EQ(summary.safety(), 1.0);
+  EXPECT_EQ(summary.count(InjectionOutcome::kSilent), 0u);
+}
+
+TEST(Campaign, PervasivePermanentsFailSafe) {
+  InjectionCampaign campaign = smt_campaign();
+  campaign.kinds = {vds::fault::FaultKind::kPermanent};
+  const EngineRunner runner = [](vds::fault::FaultTimeline& timeline) {
+    VdsOptions options = engine_options(RecoveryScheme::kRollForwardDet);
+    options.permanent_affects_others_prob = 1.0;
+    options.max_consecutive_failures = 3;
+    SmtVds vds(options, sim::Rng(5));
+    return vds.run(timeline);
+  };
+  const auto results = run_injection_campaign(campaign, runner);
+  for (const auto& result : results) {
+    EXPECT_EQ(result.outcome, InjectionOutcome::kFailSafe)
+        << "round " << result.round;
+  }
+  EXPECT_DOUBLE_EQ(summarize(results).safety(), 1.0);
+}
+
+TEST(Campaign, EmptyCampaignSafetyDefined) {
+  const CampaignSummary summary = summarize({});
+  EXPECT_DOUBLE_EQ(summary.safety(), 1.0);
+}
+
+TEST(Campaign, OutcomeNamesDistinct) {
+  EXPECT_EQ(to_string(InjectionOutcome::kSilent), "SILENT");
+  EXPECT_EQ(to_string(InjectionOutcome::kRecovered), "recovered");
+  EXPECT_NE(to_string(InjectionOutcome::kRolledBack),
+            to_string(InjectionOutcome::kFailSafe));
+}
+
+}  // namespace
+}  // namespace vds::core

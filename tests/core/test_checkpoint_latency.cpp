@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "core/conventional.hpp"
+#include "core/smt_engine.hpp"
+
+// Exact-timing tests for the stable-storage latency accounting: every
+// checkpoint write and every restore read must appear in the simulated
+// clock exactly once, on both engines, in every recovery path.
+
+namespace vds::core {
+namespace {
+
+using vds::fault::Fault;
+using vds::fault::FaultKind;
+using vds::fault::FaultTimeline;
+using vds::fault::Victim;
+
+VdsOptions options_with_latency(double write, double read) {
+  VdsOptions options;
+  options.t = 1.0;
+  options.c = 0.1;
+  options.t_cmp = 0.05;
+  options.alpha = 0.65;
+  options.s = 10;
+  options.job_rounds = 40;
+  options.scheme = RecoveryScheme::kStopAndRetry;
+  options.checkpoint_write_latency = write;
+  options.checkpoint_read_latency = read;
+  return options;
+}
+
+double conv_round(const VdsOptions& o) {
+  return 2.0 * (o.t + o.c) + o.t_cmp;
+}
+double smt_round(const VdsOptions& o) {
+  return 2.0 * o.alpha * o.t + o.t_cmp;
+}
+
+TEST(CheckpointLatency, ConventionalFaultFree) {
+  const VdsOptions options = options_with_latency(0.7, 0.3);
+  ConventionalVds vds(options, sim::Rng(1));
+  FaultTimeline timeline(std::vector<Fault>{});
+  const RunReport report = vds.run(timeline);
+  ASSERT_TRUE(report.completed);
+  // 40 rounds, checkpoints at 10/20/30/40: 4 writes, no reads.
+  EXPECT_NEAR(report.total_time, 40.0 * conv_round(options) + 4 * 0.7,
+              1e-9);
+  EXPECT_EQ(report.checkpoints, 4u);
+}
+
+TEST(CheckpointLatency, SmtFaultFree) {
+  const VdsOptions options = options_with_latency(0.7, 0.3);
+  SmtVds vds(options, sim::Rng(1));
+  FaultTimeline timeline(std::vector<Fault>{});
+  const RunReport report = vds.run(timeline);
+  ASSERT_TRUE(report.completed);
+  EXPECT_NEAR(report.total_time, 40.0 * smt_round(options) + 4 * 0.7,
+              1e-9);
+}
+
+TEST(CheckpointLatency, RetryPaysOneRead) {
+  // Stop-and-retry loads the checkpoint once: +read.
+  const VdsOptions options = options_with_latency(0.7, 0.3);
+  Fault fault;
+  fault.kind = FaultKind::kTransient;
+  fault.when = 2.0 * conv_round(options) + 0.4;  // round 3, V1 slice
+  ConventionalVds vds(options, sim::Rng(2));
+  FaultTimeline timeline({fault});
+  const RunReport report = vds.run(timeline);
+  ASSERT_TRUE(report.completed);
+  ASSERT_EQ(report.recoveries_ok, 1u);
+  const double corr = 3.0 * options.t + 2.0 * options.t_cmp + 0.3;
+  EXPECT_NEAR(report.total_time,
+              40.0 * conv_round(options) + 4 * 0.7 + corr, 1e-9);
+}
+
+TEST(CheckpointLatency, RollbackPaysOneRead) {
+  VdsOptions options = options_with_latency(0.7, 0.3);
+  options.scheme = RecoveryScheme::kRollback;
+  Fault fault;
+  fault.kind = FaultKind::kTransient;
+  fault.when = 2.0 * conv_round(options) + 0.4;  // detected at round 3
+  ConventionalVds vds(options, sim::Rng(3));
+  FaultTimeline timeline({fault});
+  const RunReport report = vds.run(timeline);
+  ASSERT_TRUE(report.completed);
+  ASSERT_EQ(report.rollbacks, 1u);
+  // Rollback: +read, then rounds 1..3 re-executed.
+  EXPECT_NEAR(report.total_time,
+              (40.0 + 3.0) * conv_round(options) + 4 * 0.7 + 0.3, 1e-9);
+}
+
+TEST(CheckpointLatency, SmtRecoveryPaysOneRead) {
+  VdsOptions options = options_with_latency(0.7, 0.3);
+  options.scheme = RecoveryScheme::kRollForwardDet;
+  Fault fault;
+  fault.kind = FaultKind::kTransient;
+  fault.victim = Victim::kVersion1;
+  fault.when = 7.0 * smt_round(options) + 0.2;  // detected at round 8
+  SmtVds vds(options, sim::Rng(4));
+  FaultTimeline timeline({fault});
+  const RunReport report = vds.run(timeline);
+  ASSERT_TRUE(report.completed);
+  ASSERT_EQ(report.recoveries_ok, 1u);
+  // rf = min(8/4, 10-8) = 2 rounds gained.
+  const double corr =
+      0.3 + 2.0 * 8.0 * options.alpha * options.t + 2.0 * options.t_cmp;
+  EXPECT_NEAR(report.total_time,
+              (40.0 - 2.0) * smt_round(options) + 4 * 0.7 + corr, 1e-9);
+}
+
+TEST(CheckpointLatency, ExpensiveStorageShiftsTheBalance) {
+  // With write = 5t, doubling s halves the write count; the total time
+  // difference must be exactly the saved writes on a fault-free run.
+  VdsOptions narrow = options_with_latency(5.0, 0.0);
+  narrow.s = 5;
+  VdsOptions wide = options_with_latency(5.0, 0.0);
+  wide.s = 10;
+  SmtVds vds_narrow(narrow, sim::Rng(5));
+  SmtVds vds_wide(wide, sim::Rng(5));
+  FaultTimeline t1(std::vector<Fault>{});
+  FaultTimeline t2(std::vector<Fault>{});
+  const double narrow_time = vds_narrow.run(t1).total_time;
+  const double wide_time = vds_wide.run(t2).total_time;
+  EXPECT_NEAR(narrow_time - wide_time, 4.0 * 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace vds::core

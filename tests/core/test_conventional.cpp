@@ -1,0 +1,292 @@
+#include "core/conventional.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/timing.hpp"
+
+namespace vds::core {
+namespace {
+
+using vds::fault::Fault;
+using vds::fault::FaultConfig;
+using vds::fault::FaultKind;
+using vds::fault::FaultTimeline;
+using vds::fault::Victim;
+
+VdsOptions base_options() {
+  VdsOptions options;
+  options.t = 1.0;
+  options.c = 0.1;
+  options.t_cmp = 0.05;
+  options.s = 20;
+  options.job_rounds = 100;
+  options.scheme = RecoveryScheme::kStopAndRetry;
+  return options;
+}
+
+double round_time(const VdsOptions& options) {
+  return 2.0 * (options.t + options.c) + options.t_cmp;
+}
+
+FaultTimeline no_faults() { return FaultTimeline(std::vector<Fault>{}); }
+
+Fault transient_at(double when) {
+  Fault fault;
+  fault.when = when;
+  fault.kind = FaultKind::kTransient;
+  fault.word = 3;
+  fault.bit = 17;
+  return fault;
+}
+
+/// Time at which round `i` (1-based, since the last checkpoint = job
+/// start here) is being computed by version 1.
+double mid_round(const VdsOptions& options, std::uint64_t round) {
+  return static_cast<double>(round - 1) * round_time(options) +
+         0.5 * options.t;
+}
+
+TEST(Conventional, FaultFreeTimingMatchesEq1) {
+  const VdsOptions options = base_options();
+  ConventionalVds vds(options, vds::sim::Rng(1));
+  auto timeline = no_faults();
+  const RunReport report = vds.run(timeline);
+  EXPECT_TRUE(report.completed);
+  EXPECT_FALSE(report.failed_safe);
+  EXPECT_FALSE(report.silent_corruption);
+  EXPECT_EQ(report.rounds_committed, 100u);
+  EXPECT_NEAR(report.total_time, 100.0 * round_time(options), 1e-9);
+  EXPECT_EQ(report.checkpoints, 5u);  // every s = 20 rounds
+  EXPECT_EQ(report.comparisons, 100u);
+  EXPECT_EQ(report.detections, 0u);
+}
+
+TEST(Conventional, CheckpointWriteLatencyAccounted) {
+  VdsOptions options = base_options();
+  options.checkpoint_write_latency = 0.5;
+  ConventionalVds vds(options, vds::sim::Rng(1));
+  auto timeline = no_faults();
+  const RunReport report = vds.run(timeline);
+  EXPECT_NEAR(report.total_time, 100.0 * round_time(options) + 5 * 0.5,
+              1e-9);
+}
+
+TEST(Conventional, SingleTransientRecoveryMatchesEq2) {
+  // Fault in round 7's V1 slice: detected at the end of round 7,
+  // stop-and-retry replays 7 rounds: extra time = 7 t + 2 t'.
+  const VdsOptions options = base_options();
+  const std::uint64_t ic = 7;
+  ConventionalVds vds(options, vds::sim::Rng(2));
+  FaultTimeline timeline({transient_at(mid_round(options, ic))});
+  const RunReport report = vds.run(timeline);
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.detections, 1u);
+  EXPECT_EQ(report.recoveries_ok, 1u);
+  EXPECT_EQ(report.rollbacks, 0u);
+  EXPECT_FALSE(report.silent_corruption);
+  const double expected_corr =
+      static_cast<double>(ic) * options.t + 2.0 * options.t_cmp;
+  EXPECT_NEAR(report.total_time,
+              100.0 * round_time(options) + expected_corr, 1e-9);
+  EXPECT_NEAR(report.recovery_time.mean(), expected_corr, 1e-9);
+}
+
+TEST(Conventional, DetectionLatencyWithinOneRound) {
+  const VdsOptions options = base_options();
+  ConventionalVds vds(options, vds::sim::Rng(3));
+  FaultTimeline timeline({transient_at(mid_round(options, 5))});
+  const RunReport report = vds.run(timeline);
+  ASSERT_EQ(report.detection_latency.count(), 1u);
+  EXPECT_GT(report.detection_latency.mean(), 0.0);
+  EXPECT_LE(report.detection_latency.mean(), round_time(options));
+}
+
+TEST(Conventional, RollbackSchemeLosesInterval) {
+  VdsOptions options = base_options();
+  options.scheme = RecoveryScheme::kRollback;
+  const std::uint64_t ic = 7;
+  ConventionalVds vds(options, vds::sim::Rng(4));
+  FaultTimeline timeline({transient_at(mid_round(options, ic))});
+  const RunReport report = vds.run(timeline);
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.rollbacks, 1u);
+  EXPECT_EQ(report.recoveries_ok, 0u);
+  // The ic rounds since the checkpoint are re-executed.
+  EXPECT_NEAR(report.total_time,
+              (100.0 + static_cast<double>(ic)) * round_time(options),
+              1e-9);
+}
+
+TEST(Conventional, FaultInV2SliceAlsoDetected) {
+  const VdsOptions options = base_options();
+  ConventionalVds vds(options, vds::sim::Rng(5));
+  // Fault during version 2's slice of round 3.
+  const double when = 2.0 * round_time(options) + options.t + options.c +
+                      0.5 * options.t;
+  FaultTimeline timeline({transient_at(when)});
+  const RunReport report = vds.run(timeline);
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.detections, 1u);
+  EXPECT_EQ(report.recoveries_ok, 1u);
+  EXPECT_FALSE(report.silent_corruption);
+}
+
+TEST(Conventional, CrashFaultIdentifiedByVote) {
+  const VdsOptions options = base_options();
+  ConventionalVds vds(options, vds::sim::Rng(6));
+  Fault crash = transient_at(mid_round(options, 4));
+  crash.kind = FaultKind::kCrash;
+  FaultTimeline timeline({crash});
+  const RunReport report = vds.run(timeline);
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.crash_faults, 1u);
+  EXPECT_EQ(report.detections, 1u);
+  EXPECT_EQ(report.recoveries_ok, 1u);
+  EXPECT_FALSE(report.silent_corruption);
+}
+
+TEST(Conventional, ProcessorCrashForcesRollback) {
+  const VdsOptions options = base_options();
+  ConventionalVds vds(options, vds::sim::Rng(7));
+  Fault crash = transient_at(mid_round(options, 9));
+  crash.kind = FaultKind::kProcessorCrash;
+  FaultTimeline timeline({crash});
+  const RunReport report = vds.run(timeline);
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.processor_crashes, 1u);
+  EXPECT_EQ(report.rollbacks, 1u);
+  EXPECT_EQ(report.detections, 0u);  // never reached a comparison
+}
+
+TEST(Conventional, IsolatedPermanentFaultIsTolerated) {
+  // Diversity separates usage perfectly: only the victim version uses
+  // the broken unit; the vote swaps in the spare and processing
+  // continues cleanly.
+  VdsOptions options = base_options();
+  options.permanent_affects_others_prob = 0.0;
+  ConventionalVds vds(options, vds::sim::Rng(8));
+  Fault permanent = transient_at(mid_round(options, 6));
+  permanent.kind = FaultKind::kPermanent;
+  permanent.location = 4;
+  FaultTimeline timeline({permanent});
+  const RunReport report = vds.run(timeline);
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.permanent_faults, 1u);
+  EXPECT_GE(report.recoveries_ok, 1u);
+  EXPECT_FALSE(report.failed_safe);
+  EXPECT_FALSE(report.silent_corruption);
+}
+
+TEST(Conventional, PervasivePermanentFaultFailsSafe) {
+  // Every version exercises the broken unit: no majority is ever
+  // reached, rollbacks repeat, and the VDS shuts down fail-safe --
+  // the paper's "cannot tolerate all permanent hardware faults".
+  VdsOptions options = base_options();
+  options.permanent_affects_others_prob = 1.0;
+  options.max_consecutive_failures = 4;
+  ConventionalVds vds(options, vds::sim::Rng(9));
+  Fault permanent = transient_at(mid_round(options, 6));
+  permanent.kind = FaultKind::kPermanent;
+  FaultTimeline timeline({permanent});
+  const RunReport report = vds.run(timeline);
+  EXPECT_FALSE(report.completed);
+  EXPECT_TRUE(report.failed_safe);
+  EXPECT_GE(report.rollbacks, 4u);
+}
+
+TEST(Conventional, UnexposedPermanentCausesSilentCorruption) {
+  // Diversity fails to expose the fault: all versions wrong in the
+  // same way -- the run completes but the result is corrupt.
+  VdsOptions options = base_options();
+  options.permanent_detectable_prob = 0.0;
+  options.permanent_affects_others_prob = 1.0;
+  ConventionalVds vds(options, vds::sim::Rng(10));
+  Fault permanent = transient_at(mid_round(options, 6));
+  permanent.kind = FaultKind::kPermanent;
+  FaultTimeline timeline({permanent});
+  const RunReport report = vds.run(timeline);
+  EXPECT_TRUE(report.completed);
+  // Activation mid-round corrupts the two versions asymmetrically once
+  // (version 1 had already computed its slice), which is detected and
+  // rolled back; from then on every version is wrong identically and
+  // the corruption sails through undetected.
+  EXPECT_LE(report.detections, 1u);
+  EXPECT_EQ(report.recoveries_ok, 0u);
+  EXPECT_TRUE(report.silent_corruption);
+}
+
+TEST(Conventional, TwoFaultsInSameRoundCauseRollback) {
+  // Both versions corrupted differently: the vote cannot find a
+  // majority and the system rolls back -- then recovers cleanly.
+  const VdsOptions options = base_options();
+  ConventionalVds vds(options, vds::sim::Rng(11));
+  const double r5 = mid_round(options, 5);
+  Fault f1 = transient_at(r5);
+  Fault f2 = transient_at(r5 + options.t + options.c);  // v2 slice
+  f2.word = 9;
+  f2.bit = 3;
+  FaultTimeline timeline({f1, f2});
+  const RunReport report = vds.run(timeline);
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.detections, 1u);
+  EXPECT_EQ(report.rollbacks, 1u);
+  EXPECT_FALSE(report.silent_corruption);
+}
+
+TEST(Conventional, ManyRandomFaultsStillComplete) {
+  VdsOptions options = base_options();
+  options.job_rounds = 500;
+  FaultConfig config;
+  config.rate = 0.01;
+  vds::sim::Rng rng(12);
+  auto timeline = vds::fault::generate_timeline(config, rng, 6000.0);
+  ConventionalVds vds(options, vds::sim::Rng(13));
+  const RunReport report = vds.run(timeline);
+  EXPECT_TRUE(report.completed);
+  EXPECT_FALSE(report.silent_corruption);
+  EXPECT_GT(report.detections, 0u);
+}
+
+TEST(Conventional, TraceReconstructsFigure1a) {
+  VdsOptions options = base_options();
+  options.job_rounds = 2;
+  ConventionalVds vds(options, vds::sim::Rng(14));
+  auto timeline = no_faults();
+  vds::sim::Trace trace;
+  vds.run(timeline, &trace);
+  // Per round: 2 round starts, 2 round ends, 2 context switches, 1
+  // compare; job end adds kJobDone.
+  EXPECT_EQ(trace.count(vds::sim::TraceKind::kRoundStart), 4u);
+  EXPECT_EQ(trace.count(vds::sim::TraceKind::kContextSwitch), 4u);
+  EXPECT_EQ(trace.count(vds::sim::TraceKind::kCompare), 2u);
+  EXPECT_EQ(trace.count(vds::sim::TraceKind::kJobDone), 1u);
+}
+
+TEST(Conventional, DeterministicGivenSeeds) {
+  const VdsOptions options = base_options();
+  FaultConfig config;
+  config.rate = 0.02;
+  vds::sim::Rng rng_a(15);
+  vds::sim::Rng rng_b(15);
+  auto timeline_a = vds::fault::generate_timeline(config, rng_a, 2000.0);
+  auto timeline_b = vds::fault::generate_timeline(config, rng_b, 2000.0);
+  ConventionalVds vds_a(options, vds::sim::Rng(16));
+  ConventionalVds vds_b(options, vds::sim::Rng(16));
+  const RunReport report_a = vds_a.run(timeline_a);
+  const RunReport report_b = vds_b.run(timeline_b);
+  EXPECT_DOUBLE_EQ(report_a.total_time, report_b.total_time);
+  EXPECT_EQ(report_a.detections, report_b.detections);
+}
+
+TEST(Conventional, JobNotMultipleOfSStillCheckpoints) {
+  VdsOptions options = base_options();
+  options.job_rounds = 50;  // 2 full intervals + 10 rounds
+  ConventionalVds vds(options, vds::sim::Rng(17));
+  auto timeline = no_faults();
+  const RunReport report = vds.run(timeline);
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.checkpoints, 3u);  // 20, 40, 50
+}
+
+}  // namespace
+}  // namespace vds::core

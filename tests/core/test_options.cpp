@@ -1,0 +1,85 @@
+#include "core/options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vds::core {
+namespace {
+
+TEST(VdsOptions, DefaultsAreValid) {
+  EXPECT_NO_THROW(VdsOptions{}.validate());
+}
+
+TEST(VdsOptions, RejectsBadTiming) {
+  VdsOptions options;
+  options.t = 0.0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = VdsOptions{};
+  options.c = -0.1;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = VdsOptions{};
+  options.alpha = 0.4;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = VdsOptions{};
+  options.alpha = 1.2;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+}
+
+TEST(VdsOptions, RejectsBadJob) {
+  VdsOptions options;
+  options.job_rounds = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = VdsOptions{};
+  options.s = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = VdsOptions{};
+  options.state_words = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+}
+
+TEST(VdsOptions, RejectsBadThreadCounts) {
+  VdsOptions options;
+  options.hardware_threads = 4;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = VdsOptions{};
+  options.hardware_threads = 3;
+  EXPECT_NO_THROW(options.validate());
+  options.hardware_threads = 5;
+  EXPECT_NO_THROW(options.validate());
+  options.alpha5 = 0.1;  // below 1/5
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+}
+
+TEST(VdsOptions, RejectsBadPermanentProb) {
+  VdsOptions options;
+  options.permanent_detectable_prob = 1.5;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+}
+
+TEST(VdsOptions, ToModelParams) {
+  VdsOptions options;
+  options.t = 2.0;
+  options.c = 0.2;
+  options.t_cmp = 0.1;
+  options.alpha = 0.7;
+  options.s = 25;
+  const auto params = options.to_model_params(0.8);
+  EXPECT_DOUBLE_EQ(params.t, 2.0);
+  EXPECT_DOUBLE_EQ(params.c, 0.2);
+  EXPECT_DOUBLE_EQ(params.t_cmp, 0.1);
+  EXPECT_DOUBLE_EQ(params.alpha, 0.7);
+  EXPECT_EQ(params.s, 25);
+  EXPECT_DOUBLE_EQ(params.p, 0.8);
+}
+
+TEST(RecoverySchemeNames, AllDistinct) {
+  EXPECT_EQ(to_string(RecoveryScheme::kRollback), "rollback");
+  EXPECT_EQ(to_string(RecoveryScheme::kStopAndRetry), "stop_and_retry");
+  EXPECT_EQ(to_string(RecoveryScheme::kRollForwardDet), "roll_forward_det");
+  EXPECT_EQ(to_string(RecoveryScheme::kRollForwardProb),
+            "roll_forward_prob");
+  EXPECT_EQ(to_string(RecoveryScheme::kRollForwardPredict),
+            "roll_forward_predict");
+}
+
+}  // namespace
+}  // namespace vds::core

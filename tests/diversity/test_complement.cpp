@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "diversity/coverage.hpp"
+#include "diversity/generator.hpp"
+#include "diversity/transforms.hpp"
+#include "smt/workload.hpp"
+
+namespace vds::diversity {
+namespace {
+
+using vds::smt::Machine;
+using vds::smt::Opcode;
+using vds::smt::Program;
+
+constexpr std::uint64_t kBase = 400;
+constexpr std::uint64_t kN = 24;
+
+Program kernel() { return vds::smt::make_kernel_program(kBase, kN); }
+
+void seed(Machine& machine) {
+  vds::smt::seed_kernel_inputs(machine, kBase, kN, 55);
+}
+
+TEST(ComplementMemory, StoresComplementedWords) {
+  Program program("store");
+  program.push(vds::smt::make_rri(Opcode::kAdd, 1, 0, 42));
+  program.push(vds::smt::make_store(1, 0, 7));  // mem[7] = 42
+  program.push(vds::smt::make_halt());
+  const Program variant = complement_memory(program);
+
+  Machine machine(64);
+  const auto result = machine.run(variant);
+  ASSERT_TRUE(result.halted);
+  EXPECT_EQ(machine.peek(7), ~std::uint64_t{42});
+}
+
+TEST(ComplementMemory, LoadsDecodeBack) {
+  Program program("roundtrip");
+  program.push(vds::smt::make_rri(Opcode::kAdd, 1, 0, 42));
+  program.push(vds::smt::make_store(1, 0, 7));
+  program.push(vds::smt::make_load(2, 0, 7));
+  program.push(vds::smt::make_halt());
+  const Program variant = complement_memory(program);
+
+  Machine machine(64);
+  machine.run(variant);
+  // The logical value survives the encode/decode round trip.
+  EXPECT_EQ(machine.reg(2), 42u);
+}
+
+TEST(ComplementMemory, DecodedOutputsMatchBaseKernel) {
+  const Program base = kernel();
+  const Program variant = complement_memory(base);
+
+  Machine machine_base(4096);
+  Machine machine_variant(4096);
+  seed(machine_base);
+  // The variant reads complemented *inputs* too: seed the input region
+  // encoded so its loads decode to the same logical values.
+  seed(machine_variant);
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    machine_variant.poke(kBase + k, ~machine_variant.peek(kBase + k));
+  }
+
+  ASSERT_TRUE(machine_base.run(base).halted);
+  ASSERT_TRUE(machine_variant.run(variant).halted);
+
+  EXPECT_EQ(decoded_region_digest(machine_base, Encoding::kIdentity,
+                                  kBase + kN, kN + 1),
+            decoded_region_digest(machine_variant, Encoding::kComplement,
+                                  kBase + kN, kN + 1));
+}
+
+TEST(ComplementMemory, BranchOffsetsSurviveRewriting) {
+  // Loop with a store inside: the store's expansion shifts everything
+  // after it; the backward branch must still land on the loop head.
+  Program program("loop");
+  program.push(vds::smt::make_rri(Opcode::kAdd, 1, 0, 4));    // 0: n=4
+  program.push(vds::smt::make_rri(Opcode::kAdd, 2, 2, 3));    // 1: head
+  program.push(vds::smt::make_store(2, 0, 9));                // 2
+  program.push(vds::smt::make_rri(Opcode::kSub, 1, 1, 1));    // 3
+  program.push(vds::smt::make_branch(Opcode::kBne, 1, 0, -3));// 4 -> 1
+  program.push(vds::smt::make_halt());
+  const Program variant = complement_memory(program);
+
+  Machine machine(64);
+  const auto result = machine.run(variant, 1000);
+  ASSERT_TRUE(result.halted);
+  EXPECT_EQ(machine.reg(2), 12u);              // 4 iterations of +3
+  EXPECT_EQ(machine.peek(9), ~std::uint64_t{12});  // last encoded store
+}
+
+TEST(ComplementMemory, RejectsProgramsUsingScratchRegisters) {
+  Program program("clash");
+  program.push(vds::smt::make_rri(Opcode::kAdd, 26, 0, 1));
+  program.push(vds::smt::make_halt());
+  EXPECT_THROW((void)complement_memory(program), std::invalid_argument);
+
+  Program reader("clash2");
+  reader.push(vds::smt::make_rrr(Opcode::kAdd, 1, 27, 2));
+  reader.push(vds::smt::make_halt());
+  EXPECT_THROW((void)complement_memory(reader), std::invalid_argument);
+}
+
+TEST(ComplementMemory, ExposesMemoryPathStuckAtFaults) {
+  // The limitation documented in test_coverage.cpp, now closed: an
+  // identity/complement pair stores logically equal but bitwise
+  // complementary words, so a stuck-at bit in the memory path corrupts
+  // their *logical* values differently -> detected.
+  const Program base = kernel();
+  const Program variant = complement_memory(base);
+
+  CoverageCampaign campaign;
+  campaign.output_base = kBase + kN;
+  campaign.output_len = kN + 1;
+  campaign.units = {vds::smt::OpClass::kMem};
+  campaign.bits = {0, 1, 2, 3, 7, 15};
+  campaign.encoding_a = Encoding::kIdentity;
+  campaign.encoding_b = Encoding::kComplement;
+
+  // Seeder: identical logical inputs; the variant machine is seeded
+  // with the raw (identity) values and reads them through its decode,
+  // so the *first* load decodes seed values complemented. To keep both
+  // versions on the same logical inputs, the campaign seeds encoded
+  // inputs for the complement variant via the shared seeder below.
+  const auto seeder = [](Machine& machine) { seed(machine); };
+
+  // For the identity/identity pair, nothing is detected.
+  CoverageCampaign both_identity = campaign;
+  both_identity.encoding_b = Encoding::kIdentity;
+  const auto silent = run_coverage(base, base, both_identity, seeder);
+  EXPECT_EQ(silent.detected, 0u);
+  EXPECT_GT(silent.effective, 0u);
+
+  // Identity vs complement detects the memory-path faults. Inputs for
+  // the complement variant must be stored encoded:
+  const auto encoded_seeder = [](Machine& machine) {
+    seed(machine);
+    for (std::uint64_t k = 0; k < kN; ++k) {
+      machine.poke(kBase + k, ~machine.peek(kBase + k));
+    }
+  };
+  // run_coverage uses one seeder for both versions; emulate per-version
+  // seeding by running the campaign on (variant, variant-style seed)
+  // against (base, plain seed) through the encoded pair helper below.
+  CoverageResult diverse;
+  {
+    // Manual campaign: iterate the same fault set.
+    for (const auto bit : campaign.bits) {
+      for (const bool polarity : {true, false}) {
+        vds::smt::StuckAtFault fault{vds::smt::OpClass::kMem, bit,
+                                     polarity};
+        Machine ma(4096);
+        seeder(ma);
+        ma.set_fault(fault);
+        (void)ma.run(base, 1u << 22);
+        Machine mb(4096);
+        encoded_seeder(mb);
+        mb.set_fault(fault);
+        (void)mb.run(variant, 1u << 22);
+
+        Machine ga(4096);
+        seeder(ga);
+        (void)ga.run(base, 1u << 22);
+        Machine gb(4096);
+        encoded_seeder(gb);
+        (void)gb.run(variant, 1u << 22);
+
+        const auto digest = [&](const Machine& m, Encoding e) {
+          return decoded_region_digest(m, e, kBase + kN, kN + 1);
+        };
+        const bool effective =
+            digest(ma, Encoding::kIdentity) !=
+                digest(ga, Encoding::kIdentity) ||
+            digest(mb, Encoding::kComplement) !=
+                digest(gb, Encoding::kComplement);
+        const bool detected = digest(ma, Encoding::kIdentity) !=
+                              digest(mb, Encoding::kComplement);
+        ++diverse.faults_injected;
+        if (effective) ++diverse.effective;
+        if (detected) ++diverse.detected;
+        if (effective && !detected) ++diverse.silent_corruptions;
+      }
+    }
+  }
+  EXPECT_GT(diverse.effective, 0u);
+  EXPECT_GT(diverse.coverage(), 0.9);
+  EXPECT_LT(diverse.silent_corruptions, silent.silent_corruptions);
+}
+
+TEST(ComplementMemory, ComposesWithCoverageCampaignEncodings) {
+  // The built-in campaign path with a shared seeder also improves
+  // coverage when the variant pair differs in encoding (inputs are in
+  // the same raw form for both, so the complement variant computes on
+  // complemented logical inputs -- fine for fault *detection* checks,
+  // the two versions just both deviate from their own goldens).
+  const Program base = kernel();
+  const Program variant = complement_memory(base);
+  CoverageCampaign campaign;
+  campaign.output_base = kBase + kN;
+  campaign.output_len = kN + 1;
+  campaign.units = {vds::smt::OpClass::kMem};
+  campaign.bits = {0, 1, 2};
+  campaign.encoding_a = Encoding::kIdentity;
+  campaign.encoding_b = Encoding::kComplement;
+  const auto result = run_coverage(base, variant, campaign,
+                                   [](Machine& m) { seed(m); });
+  EXPECT_GT(result.detected, 0u);
+}
+
+}  // namespace
+}  // namespace vds::diversity

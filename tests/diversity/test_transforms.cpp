@@ -1,0 +1,201 @@
+#include "diversity/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "diversity/generator.hpp"
+#include "smt/workload.hpp"
+
+namespace vds::diversity {
+namespace {
+
+using vds::smt::Instr;
+using vds::smt::Machine;
+using vds::smt::Opcode;
+using vds::smt::Program;
+
+constexpr std::uint64_t kBase = 100;
+constexpr std::uint64_t kN = 24;
+
+EquivalenceCheck kernel_check() {
+  EquivalenceCheck check;
+  check.output_base = kBase + kN;
+  check.output_len = kN + 1;  // outputs + checksum
+  return check;
+}
+
+void seed(Machine& machine) {
+  vds::smt::seed_kernel_inputs(machine, kBase, kN, 77);
+}
+
+Program kernel() { return vds::smt::make_kernel_program(kBase, kN); }
+
+TEST(Commute, PreservesSemantics) {
+  vds::sim::Rng rng(1);
+  const Program variant = commute_operands(kernel(), rng, 1.0);
+  EXPECT_TRUE(equivalent(kernel(), variant, kernel_check(), seed));
+}
+
+TEST(Commute, ActuallySwapsSomething) {
+  vds::sim::Rng rng(1);
+  const Program variant = commute_operands(kernel(), rng, 1.0);
+  EXPECT_GT(kernel().edit_distance(variant), 0u);
+}
+
+TEST(Commute, NeverTouchesImmediateForms) {
+  Program program("imm");
+  program.push(vds::smt::make_rri(Opcode::kAdd, 1, 2, 5));
+  program.push(vds::smt::make_halt());
+  vds::sim::Rng rng(2);
+  const Program variant = commute_operands(program, rng, 1.0);
+  EXPECT_EQ(variant.at(0), program.at(0));
+}
+
+TEST(StrengthReduce, MulBecomesShift) {
+  Program program("m");
+  program.push(vds::smt::make_rri(Opcode::kMul, 1, 2, 8));
+  program.push(vds::smt::make_halt());
+  vds::sim::Rng rng(3);
+  const Program variant = strength_reduce(program, rng, 1.0);
+  EXPECT_EQ(variant.at(0).op, Opcode::kShl);
+  EXPECT_EQ(variant.at(0).imm, 3);
+}
+
+TEST(StrengthReduce, ShiftBecomesMul) {
+  Program program("s");
+  program.push(vds::smt::make_rri(Opcode::kShl, 1, 2, 4));
+  program.push(vds::smt::make_halt());
+  vds::sim::Rng rng(4);
+  const Program variant = strength_reduce(program, rng, 1.0);
+  EXPECT_EQ(variant.at(0).op, Opcode::kMul);
+  EXPECT_EQ(variant.at(0).imm, 16);
+}
+
+TEST(StrengthReduce, NonPowerOfTwoMulUntouched) {
+  Program program("m3");
+  program.push(vds::smt::make_rri(Opcode::kMul, 1, 2, 3));
+  program.push(vds::smt::make_halt());
+  vds::sim::Rng rng(5);
+  const Program variant = strength_reduce(program, rng, 1.0);
+  EXPECT_EQ(variant.at(0).op, Opcode::kMul);
+}
+
+TEST(StrengthReduce, PreservesKernelSemantics) {
+  vds::sim::Rng rng(6);
+  const Program variant = strength_reduce(kernel(), rng, 1.0);
+  EXPECT_TRUE(equivalent(kernel(), variant, kernel_check(), seed));
+}
+
+TEST(Rename, PreservesSemantics) {
+  vds::sim::Rng rng(7);
+  const Program variant = permute_registers(kernel(), rng);
+  EXPECT_TRUE(equivalent(kernel(), variant, kernel_check(), seed));
+}
+
+TEST(Rename, PinnedRegistersKeepNames) {
+  vds::sim::Rng rng(8);
+  Program program("p");
+  program.push(vds::smt::make_rrr(Opcode::kAdd, 1, 2, 3));
+  program.push(vds::smt::make_halt());
+  const Program variant =
+      permute_registers(program, rng, /*pinned=*/{1, 2, 3});
+  EXPECT_EQ(variant.at(0), program.at(0));
+}
+
+TEST(Rename, ChangesRegisterUsage) {
+  vds::sim::Rng rng(9);
+  const Program variant = permute_registers(kernel(), rng);
+  EXPECT_GT(kernel().edit_distance(variant), 0u);
+}
+
+TEST(Reorder, PreservesSemantics) {
+  vds::sim::Rng rng(10);
+  const Program variant = reorder_independent(kernel(), rng, 1.0);
+  EXPECT_TRUE(equivalent(kernel(), variant, kernel_check(), seed));
+}
+
+TEST(Reorder, SwapsIndependentNeighbours) {
+  Program program("ind");
+  program.push(vds::smt::make_rri(Opcode::kAdd, 1, 0, 5));
+  program.push(vds::smt::make_rri(Opcode::kAdd, 2, 0, 7));  // independent
+  program.push(vds::smt::make_halt());
+  vds::sim::Rng rng(11);
+  const Program variant = reorder_independent(program, rng, 1.0);
+  EXPECT_EQ(variant.at(0).dst, 2);
+  EXPECT_EQ(variant.at(1).dst, 1);
+}
+
+TEST(Reorder, RespectsRawDependency) {
+  Program program("raw");
+  program.push(vds::smt::make_rri(Opcode::kAdd, 1, 0, 5));
+  program.push(vds::smt::make_rri(Opcode::kAdd, 2, 1, 7));  // reads r1
+  program.push(vds::smt::make_halt());
+  vds::sim::Rng rng(12);
+  const Program variant = reorder_independent(program, rng, 1.0);
+  EXPECT_EQ(variant.at(0).dst, 1);  // order kept
+}
+
+TEST(InsertAtPositions, FixesForwardBranchOffsets) {
+  // beq at 0 jumps +2 over the poison at 1 to the instr at 2.
+  Program program("fwd");
+  program.push(vds::smt::make_branch(Opcode::kBeq, 0, 0, 2));
+  program.push(vds::smt::make_rri(Opcode::kAdd, 10, 0, 666));
+  program.push(vds::smt::make_rri(Opcode::kAdd, 11, 0, 1));
+  program.push(vds::smt::make_halt());
+  // Insert a filler between branch and target.
+  const Instr filler = vds::smt::make_rri(Opcode::kAdd, 25, 25, 0);
+  const Program padded = insert_at_positions(program, {1}, filler);
+  ASSERT_EQ(padded.size(), 5u);
+  Machine machine(64);
+  machine.run(padded);
+  EXPECT_EQ(machine.reg(10), 0u);  // poison still skipped
+  EXPECT_EQ(machine.reg(11), 1u);
+}
+
+TEST(InsertAtPositions, FixesBackwardBranchOffsets) {
+  // Loop: 3 iterations of r10++ with a filler injected inside the loop.
+  Program program("bwd");
+  program.push(vds::smt::make_rri(Opcode::kAdd, 1, 0, 3));
+  program.push(vds::smt::make_rri(Opcode::kAdd, 10, 10, 1));   // 1: body
+  program.push(vds::smt::make_rri(Opcode::kSub, 1, 1, 1));     // 2
+  program.push(vds::smt::make_branch(Opcode::kBne, 1, 0, -2)); // 3 -> 1
+  program.push(vds::smt::make_halt());
+  const Instr filler = vds::smt::make_rri(Opcode::kAdd, 25, 25, 0);
+  const Program padded = insert_at_positions(program, {2}, filler);
+  Machine machine(64);
+  const auto result = machine.run(padded, 1000);
+  EXPECT_TRUE(result.halted);
+  EXPECT_EQ(machine.reg(10), 3u);
+}
+
+TEST(InsertAtPositions, MultipleInsertsStillCorrect) {
+  vds::sim::Rng rng(13);
+  const Instr filler = vds::smt::make_rri(Opcode::kAdd, 25, 25, 0);
+  const Program padded =
+      insert_at_positions(kernel(), {0, 5, 5, 9, 14, 16}, filler);
+  EXPECT_EQ(padded.size(), kernel().size() + 6);
+  EXPECT_TRUE(equivalent(kernel(), padded, kernel_check(), seed));
+}
+
+TEST(InsertNeutralOps, PreservesSemanticsAtHighDensity) {
+  vds::sim::Rng rng(14);
+  const Program padded = insert_neutral_ops(kernel(), rng, 0.5);
+  EXPECT_GT(padded.size(), kernel().size());
+  EXPECT_TRUE(equivalent(kernel(), padded, kernel_check(), seed));
+}
+
+class TransformPipelineSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransformPipelineSweep, FullRecipePreservesSemantics) {
+  // Property: any seeded composition of all transforms stays
+  // semantically equivalent to the base kernel.
+  Generator generator{vds::sim::Rng(static_cast<std::uint64_t>(GetParam()))};
+  const Program variant = generator.variant(kernel(), recipe_full());
+  EXPECT_TRUE(equivalent(kernel(), variant, kernel_check(), seed))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformPipelineSweep,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace vds::diversity

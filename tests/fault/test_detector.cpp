@@ -1,0 +1,67 @@
+#include "fault/detector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vds::fault {
+namespace {
+
+using vds::checkpoint::VersionState;
+
+VersionState advanced(std::uint64_t seed, std::uint64_t rounds) {
+  VersionState state(seed, 8);
+  for (std::uint64_t r = 1; r <= rounds; ++r) state.advance_round(r);
+  return state;
+}
+
+TEST(CompareStates, EqualStatesMatch) {
+  const VersionState a = advanced(1, 10);
+  const VersionState b = advanced(1, 10);
+  EXPECT_EQ(compare_states(a, b), CompareOutcome::kMatch);
+}
+
+TEST(CompareStates, CorruptedStateMismatches) {
+  const VersionState a = advanced(1, 10);
+  VersionState b = advanced(1, 10);
+  b.flip_bit(3, 9);
+  EXPECT_EQ(compare_states(a, b), CompareOutcome::kMismatch);
+}
+
+TEST(MajorityVote, Version1Faulty) {
+  const VersionState good = advanced(1, 10);
+  VersionState bad = good;
+  bad.flip_bit(0, 0);
+  // P corrupted, Q == S good.
+  EXPECT_EQ(majority_vote(bad, good, good), VoteOutcome::kVersion1Faulty);
+}
+
+TEST(MajorityVote, Version2Faulty) {
+  const VersionState good = advanced(1, 10);
+  VersionState bad = good;
+  bad.flip_bit(0, 0);
+  EXPECT_EQ(majority_vote(good, bad, good), VoteOutcome::kVersion2Faulty);
+}
+
+TEST(MajorityVote, AllAgree) {
+  const VersionState good = advanced(1, 10);
+  EXPECT_EQ(majority_vote(good, good, good), VoteOutcome::kAllAgree);
+}
+
+TEST(MajorityVote, AllDifferentNoMajority) {
+  const VersionState good = advanced(1, 10);
+  VersionState bad1 = good;
+  VersionState bad2 = good;
+  bad1.flip_bit(0, 0);
+  bad2.flip_bit(1, 1);
+  EXPECT_EQ(majority_vote(good, bad1, bad2), VoteOutcome::kNoMajority);
+}
+
+TEST(MajorityVote, RetryDisagreesWithAgreeingPair) {
+  // P == Q but S differs: the retry itself was hit.
+  const VersionState good = advanced(1, 10);
+  VersionState bad = good;
+  bad.flip_bit(5, 50);
+  EXPECT_EQ(majority_vote(good, good, bad), VoteOutcome::kNoMajority);
+}
+
+}  // namespace
+}  // namespace vds::fault

@@ -1,0 +1,159 @@
+#include "fault/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace vds::fault {
+namespace {
+
+FaultEvidence evidence_at(std::uint32_t location) {
+  FaultEvidence evidence;
+  evidence.location = location;
+  return evidence;
+}
+
+TEST(RandomPredictor, AccuracyNearHalfOnRandomTruth) {
+  vds::sim::Rng rng(1);
+  RandomPredictor predictor{vds::sim::Rng(2)};
+  for (int k = 0; k < 10000; ++k) {
+    const FaultEvidence e = evidence_at(0);
+    (void)predictor.predict(e);
+    predictor.feedback(e, rng.bernoulli(0.5) ? VersionGuess::kVersion1
+                                             : VersionGuess::kVersion2);
+  }
+  EXPECT_NEAR(predictor.accuracy(), 0.5, 0.03);
+}
+
+TEST(OraclePredictor, AlwaysRight) {
+  OraclePredictor predictor;
+  vds::sim::Rng rng(3);
+  for (int k = 0; k < 100; ++k) {
+    const VersionGuess truth = rng.bernoulli(0.5)
+                                   ? VersionGuess::kVersion1
+                                   : VersionGuess::kVersion2;
+    predictor.plant_truth(truth);
+    const FaultEvidence e = evidence_at(0);
+    EXPECT_EQ(predictor.predict(e), truth);
+    predictor.feedback(e, truth);
+  }
+  EXPECT_DOUBLE_EQ(predictor.accuracy(), 1.0);
+}
+
+TEST(StaticPredictor, TracksBias) {
+  StaticPredictor predictor(VersionGuess::kVersion1);
+  vds::sim::Rng rng(4);
+  for (int k = 0; k < 10000; ++k) {
+    const FaultEvidence e = evidence_at(0);
+    (void)predictor.predict(e);
+    predictor.feedback(e, rng.bernoulli(0.7) ? VersionGuess::kVersion1
+                                             : VersionGuess::kVersion2);
+  }
+  EXPECT_NEAR(predictor.accuracy(), 0.7, 0.02);
+}
+
+TEST(CrashEvidencePredictor, UsesCrashWhenPresent) {
+  auto predictor = CrashEvidencePredictor(
+      std::make_unique<StaticPredictor>(VersionGuess::kVersion1));
+  FaultEvidence crash = evidence_at(0);
+  crash.crashed = VersionGuess::kVersion2;
+  EXPECT_EQ(predictor.predict(crash), VersionGuess::kVersion2);
+  predictor.feedback(crash, VersionGuess::kVersion2);
+  EXPECT_DOUBLE_EQ(predictor.accuracy(), 1.0);
+}
+
+TEST(CrashEvidencePredictor, DelegatesWithoutCrash) {
+  auto predictor = CrashEvidencePredictor(
+      std::make_unique<StaticPredictor>(VersionGuess::kVersion1));
+  EXPECT_EQ(predictor.predict(evidence_at(0)), VersionGuess::kVersion1);
+}
+
+TEST(LastFaultyPredictor, RepeatsLastOutcome) {
+  LastFaultyPredictor predictor;
+  const FaultEvidence e = evidence_at(0);
+  (void)predictor.predict(e);
+  predictor.feedback(e, VersionGuess::kVersion2);
+  EXPECT_EQ(predictor.predict(e), VersionGuess::kVersion2);
+  predictor.feedback(e, VersionGuess::kVersion1);
+  EXPECT_EQ(predictor.predict(e), VersionGuess::kVersion1);
+}
+
+TEST(LastFaultyPredictor, LearnsStickyFaultStream) {
+  // A weak hardware part keeps hitting the same version: after the
+  // first miss, last-faulty predicts perfectly.
+  LastFaultyPredictor predictor;
+  for (int k = 0; k < 100; ++k) {
+    const FaultEvidence e = evidence_at(0);
+    (void)predictor.predict(e);
+    predictor.feedback(e, VersionGuess::kVersion2);
+  }
+  EXPECT_GT(predictor.accuracy(), 0.98);
+}
+
+TEST(TwoBitPredictor, SaturatesAndHoldsThroughGlitches) {
+  TwoBitPredictor predictor(4);
+  const FaultEvidence e = evidence_at(1);
+  // Train to "version 2 faulty at location 1".
+  for (int k = 0; k < 4; ++k) {
+    (void)predictor.predict(e);
+    predictor.feedback(e, VersionGuess::kVersion2);
+  }
+  EXPECT_EQ(predictor.predict(e), VersionGuess::kVersion2);
+  // One contrary outcome must not flip a saturated counter.
+  predictor.feedback(e, VersionGuess::kVersion1);
+  EXPECT_EQ(predictor.predict(e), VersionGuess::kVersion2);
+  predictor.feedback(e, VersionGuess::kVersion2);
+}
+
+TEST(TwoBitPredictor, LearnsPerLocationMapping) {
+  TwoBitPredictor predictor(8);
+  // Location 0 faults version 1; location 5 faults version 2.
+  for (int k = 0; k < 6; ++k) {
+    const FaultEvidence e0 = evidence_at(0);
+    (void)predictor.predict(e0);
+    predictor.feedback(e0, VersionGuess::kVersion1);
+    const FaultEvidence e5 = evidence_at(5);
+    (void)predictor.predict(e5);
+    predictor.feedback(e5, VersionGuess::kVersion2);
+  }
+  EXPECT_EQ(predictor.predict(evidence_at(0)), VersionGuess::kVersion1);
+  EXPECT_EQ(predictor.predict(evidence_at(5)), VersionGuess::kVersion2);
+}
+
+TEST(HistoryPredictor, LearnsAlternatingPattern) {
+  // Faults strictly alternate victims; a gshare-style predictor keyed
+  // on global history picks the pattern up, a bimodal one cannot.
+  HistoryPredictor predictor(6, 4);
+  VersionGuess truth = VersionGuess::kVersion1;
+  int hits_late = 0;
+  const int n = 400;
+  for (int k = 0; k < n; ++k) {
+    const FaultEvidence e = evidence_at(0);
+    const VersionGuess guess = predictor.predict(e);
+    if (k >= n / 2 && guess == truth) ++hits_late;
+    predictor.feedback(e, truth);
+    truth = truth == VersionGuess::kVersion1 ? VersionGuess::kVersion2
+                                             : VersionGuess::kVersion1;
+  }
+  EXPECT_GT(hits_late / double(n / 2), 0.9);
+}
+
+TEST(HistoryPredictor, AccuracyStartsAtHalfByConvention) {
+  HistoryPredictor predictor;
+  EXPECT_DOUBLE_EQ(predictor.accuracy(), 0.5);
+}
+
+TEST(AllPredictors, NamesAreDistinct) {
+  RandomPredictor random{vds::sim::Rng(1)};
+  OraclePredictor oracle;
+  StaticPredictor fixed(VersionGuess::kVersion1);
+  LastFaultyPredictor last;
+  TwoBitPredictor two_bit;
+  HistoryPredictor history;
+  EXPECT_NE(random.name(), oracle.name());
+  EXPECT_NE(fixed.name(), last.name());
+  EXPECT_NE(two_bit.name(), history.name());
+}
+
+}  // namespace
+}  // namespace vds::fault

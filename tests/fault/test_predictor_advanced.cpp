@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "fault/predictor.hpp"
+#include "sim/rng.hpp"
+
+namespace vds::fault {
+namespace {
+
+FaultEvidence evidence_at(std::uint32_t location) {
+  FaultEvidence evidence;
+  evidence.location = location;
+  return evidence;
+}
+
+/// Drives a predictor with `truth(k)` for n steps, returning accuracy
+/// over the second half (after training).
+template <typename Truth>
+double trained_accuracy(Predictor& predictor, Truth&& truth, int n = 600,
+                        std::uint32_t location = 0) {
+  int hits = 0;
+  for (int k = 0; k < n; ++k) {
+    const FaultEvidence e = evidence_at(location);
+    const VersionGuess actual = truth(k);
+    const VersionGuess guess = predictor.predict(e);
+    if (k >= n / 2 && guess == actual) ++hits;
+    predictor.feedback(e, actual);
+  }
+  return static_cast<double>(hits) / (n / 2);
+}
+
+TEST(Tournament, LearnsStickyStreamLikeBimodal) {
+  TournamentPredictor predictor;
+  const double acc = trained_accuracy(
+      predictor, [](int) { return VersionGuess::kVersion2; });
+  EXPECT_GT(acc, 0.98);
+}
+
+TEST(Tournament, LearnsAlternatingStreamLikeGshare) {
+  TournamentPredictor predictor;
+  const double acc = trained_accuracy(predictor, [](int k) {
+    return k % 2 == 0 ? VersionGuess::kVersion1 : VersionGuess::kVersion2;
+  });
+  EXPECT_GT(acc, 0.9);
+}
+
+TEST(Tournament, HandlesPerLocationMixture) {
+  // Location 0 is sticky, location 1 alternates: the chooser must pick
+  // a different component per location.
+  TournamentPredictor predictor;
+  int hits = 0;
+  const int n = 1200;
+  bool alt = false;
+  for (int k = 0; k < n; ++k) {
+    const std::uint32_t location = static_cast<std::uint32_t>(k % 2);
+    VersionGuess actual;
+    if (location == 0) {
+      actual = VersionGuess::kVersion1;
+    } else {
+      alt = !alt;
+      actual = alt ? VersionGuess::kVersion1 : VersionGuess::kVersion2;
+    }
+    const FaultEvidence e = evidence_at(location);
+    const VersionGuess guess = predictor.predict(e);
+    if (k >= n / 2 && guess == actual) ++hits;
+    predictor.feedback(e, actual);
+  }
+  EXPECT_GT(static_cast<double>(hits) / (n / 2), 0.85);
+}
+
+TEST(Perceptron, LearnsStickyStream) {
+  PerceptronPredictor predictor;
+  const double acc = trained_accuracy(
+      predictor, [](int) { return VersionGuess::kVersion1; });
+  EXPECT_GT(acc, 0.98);
+}
+
+TEST(Perceptron, LearnsAlternatingStream) {
+  PerceptronPredictor predictor;
+  const double acc = trained_accuracy(predictor, [](int k) {
+    return k % 2 == 0 ? VersionGuess::kVersion1 : VersionGuess::kVersion2;
+  });
+  EXPECT_GT(acc, 0.95);
+}
+
+TEST(Perceptron, LearnsPeriodFourPattern) {
+  // 1,1,2,2 repeating: requires correlating with history bit 2, which
+  // a plain two-bit counter cannot do.
+  PerceptronPredictor perceptron;
+  TwoBitPredictor bimodal(4);
+  const auto truth = [](int k) {
+    return (k % 4) < 2 ? VersionGuess::kVersion1
+                       : VersionGuess::kVersion2;
+  };
+  const double acc_perceptron = trained_accuracy(perceptron, truth, 2000);
+  const double acc_bimodal = trained_accuracy(bimodal, truth, 2000);
+  EXPECT_GT(acc_perceptron, 0.9);
+  EXPECT_GT(acc_perceptron, acc_bimodal + 0.2);
+}
+
+TEST(Perceptron, DoesNotHallucinateStructureOnRandomStreams) {
+  // On a genuinely random stream no predictor can beat chance; the
+  // perceptron must not overfit noise into false confidence.
+  PerceptronPredictor predictor;
+  vds::sim::Rng rng(4242);
+  const double acc = trained_accuracy(predictor, [&rng](int) {
+    return rng.bernoulli(0.5) ? VersionGuess::kVersion1
+                              : VersionGuess::kVersion2;
+  }, 4000);
+  EXPECT_GT(acc, 0.4);
+  EXPECT_LT(acc, 0.6);
+}
+
+TEST(Tournament, DoesNotHallucinateStructureOnRandomStreams) {
+  TournamentPredictor predictor;
+  vds::sim::Rng rng(99);
+  const double acc = trained_accuracy(predictor, [&rng](int) {
+    return rng.bernoulli(0.5) ? VersionGuess::kVersion1
+                              : VersionGuess::kVersion2;
+  }, 4000);
+  EXPECT_GT(acc, 0.4);
+  EXPECT_LT(acc, 0.6);
+}
+
+TEST(AdvancedPredictors, NamesAreDistinct) {
+  TournamentPredictor tournament;
+  PerceptronPredictor perceptron;
+  EXPECT_EQ(tournament.name(), "tournament");
+  EXPECT_EQ(perceptron.name(), "perceptron");
+}
+
+TEST(AdvancedPredictors, AccuracyStartsAtHalf) {
+  TournamentPredictor tournament;
+  PerceptronPredictor perceptron;
+  EXPECT_DOUBLE_EQ(tournament.accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(perceptron.accuracy(), 0.5);
+}
+
+}  // namespace
+}  // namespace vds::fault

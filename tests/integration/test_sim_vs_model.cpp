@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/conventional.hpp"
+#include "core/smt_engine.hpp"
+#include "model/gain.hpp"
+#include "model/timing.hpp"
+#include "smt/metrics.hpp"
+#include "smt/workload.hpp"
+
+// End-to-end validation that the discrete-event engines reproduce the
+// paper's closed-form model (E8): per-detection-round correction times,
+// roll-forward progress and the resulting gains.
+
+namespace vds {
+namespace {
+
+using core::RecoveryScheme;
+using core::RunReport;
+using core::SmtVds;
+using core::VdsOptions;
+using fault::Fault;
+using fault::FaultKind;
+using fault::FaultTimeline;
+using fault::Victim;
+
+VdsOptions options_for(RecoveryScheme scheme) {
+  VdsOptions options;
+  options.t = 1.0;
+  options.c = 0.1;
+  options.t_cmp = 0.05;
+  options.alpha = 0.65;
+  options.s = 20;
+  options.job_rounds = 60;
+  options.scheme = scheme;
+  return options;
+}
+
+Fault fault_in_round(const VdsOptions& options, std::uint64_t round,
+                     bool smt) {
+  const double round_time =
+      smt ? 2.0 * options.alpha * options.t + options.t_cmp
+          : 2.0 * (options.t + options.c) + options.t_cmp;
+  Fault fault;
+  fault.kind = FaultKind::kTransient;
+  fault.victim = Victim::kVersion1;
+  fault.when = static_cast<double>(round - 1) * round_time +
+               0.25 * options.t;
+  fault.word = 2;
+  fault.bit = 9;
+  return fault;
+}
+
+class RoundSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundSweep, CorrectionGainMatchesModelPerRound) {
+  const auto ic = static_cast<std::uint64_t>(GetParam());
+  const auto params_p1 =
+      options_for(RecoveryScheme::kStopAndRetry).to_model_params(1.0);
+
+  // Conventional: recovery duration must equal eq (2).
+  {
+    const VdsOptions options = options_for(RecoveryScheme::kStopAndRetry);
+    core::ConventionalVds vds(options, sim::Rng(1));
+    FaultTimeline timeline({fault_in_round(options, ic, /*smt=*/false)});
+    const RunReport report = vds.run(timeline);
+    ASSERT_TRUE(report.completed);
+    ASSERT_EQ(report.recovery_time.count(), 1u);
+    EXPECT_NEAR(report.recovery_time.mean(),
+                model::t1_corr(params_p1, static_cast<double>(ic)), 1e-9);
+  }
+
+  // SMT deterministic: duration eq (5), progress floor(ic/4) capped,
+  // and the engine-measured gain matches eq (6) with floored progress.
+  {
+    const VdsOptions options = options_for(RecoveryScheme::kRollForwardDet);
+    SmtVds vds(options, sim::Rng(2));
+    FaultTimeline timeline({fault_in_round(options, ic, /*smt=*/true)});
+    const RunReport report = vds.run(timeline);
+    ASSERT_TRUE(report.completed);
+    ASSERT_EQ(report.recovery_time.count(), 1u);
+    EXPECT_NEAR(report.recovery_time.mean(),
+                model::tht2_corr(params_p1, static_cast<double>(ic)),
+                1e-9);
+    const std::uint64_t cap =
+        static_cast<std::uint64_t>(options.s) - ic;
+    const std::uint64_t expected_progress = std::min(ic / 4, cap);
+    EXPECT_EQ(report.roll_forward_rounds_gained, expected_progress);
+
+    const double engine_gain =
+        (model::t1_corr(params_p1, static_cast<double>(ic)) +
+         static_cast<double>(expected_progress) *
+             model::t1_round(params_p1)) /
+        report.recovery_time.mean();
+    const double model_gain_floored =
+        (model::t1_corr(params_p1, static_cast<double>(ic)) +
+         static_cast<double>(expected_progress) *
+             model::t1_round(params_p1)) /
+        model::tht2_corr(params_p1, static_cast<double>(ic));
+    EXPECT_NEAR(engine_gain, model_gain_floored, 1e-9);
+    // The continuous-i/4 paper formula is close to the floored one.
+    EXPECT_NEAR(engine_gain,
+                model::gain_det(params_p1, static_cast<double>(ic)), 0.45);
+  }
+
+  // SMT prediction with an oracle (p = 1): progress min(ic, s - ic),
+  // engine gain equals eq (9)/(10) with integer progress.
+  {
+    const VdsOptions options =
+        options_for(RecoveryScheme::kRollForwardPredict);
+    SmtVds vds(options, sim::Rng(3));
+    vds.set_predictor(std::make_unique<fault::OraclePredictor>());
+    FaultTimeline timeline({fault_in_round(options, ic, /*smt=*/true)});
+    const RunReport report = vds.run(timeline);
+    ASSERT_TRUE(report.completed);
+    const std::uint64_t expected_progress =
+        std::min(ic, static_cast<std::uint64_t>(options.s) - ic);
+    EXPECT_EQ(report.roll_forward_rounds_gained, expected_progress);
+    const double engine_gain =
+        (model::t1_corr(params_p1, static_cast<double>(ic)) +
+         static_cast<double>(expected_progress) *
+             model::t1_round(params_p1)) /
+        report.recovery_time.mean();
+    EXPECT_NEAR(engine_gain,
+                model::gain_hit(params_p1, static_cast<double>(ic)),
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DetectionRounds, RoundSweep,
+                         ::testing::Range(1, 20));
+
+TEST(JobLevel, SmtBeatsConventionalUnderPoissonFaults) {
+  fault::FaultConfig config;
+  config.rate = 0.01;
+  VdsOptions options = options_for(RecoveryScheme::kRollForwardDet);
+  options.job_rounds = 2000;
+
+  sim::Accumulator conv_times;
+  sim::Accumulator smt_times;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    sim::Rng rng_a(seed);
+    sim::Rng rng_b(seed);
+    auto timeline_a = fault::generate_timeline(config, rng_a, 20000.0);
+    auto timeline_b = fault::generate_timeline(config, rng_b, 20000.0);
+    core::ConventionalVds conv(options, sim::Rng(seed + 100));
+    SmtVds smt(options, sim::Rng(seed + 100));
+    const auto conv_report = conv.run(timeline_a);
+    const auto smt_report = smt.run(timeline_b);
+    ASSERT_TRUE(conv_report.completed);
+    ASSERT_TRUE(smt_report.completed);
+    conv_times.add(conv_report.total_time);
+    smt_times.add(smt_report.total_time);
+  }
+  const double measured_gain = conv_times.mean() / smt_times.mean();
+  const double model_gain =
+      model::gain_round(options.to_model_params(0.5));
+  // Recovery gains perturb the pure round-gain only slightly at this
+  // fault rate; the measured job-level gain should be near G_round.
+  EXPECT_GT(measured_gain, 1.0);
+  EXPECT_NEAR(measured_gain, model_gain, 0.12);
+}
+
+TEST(MeanGain, EngineRecoveryGainTracksEq13) {
+  // Inject exactly one fault per checkpoint interval at uniformly
+  // random rounds and compare the average per-recovery gain with the
+  // model's mean_gain_corr at the predictor's measured p.
+  VdsOptions options = options_for(RecoveryScheme::kRollForwardPredict);
+  options.job_rounds = 20;  // one interval per run
+
+  sim::Rng round_rng(7);
+  double gain_sum = 0.0;
+  int samples = 0;
+  const auto params = options.to_model_params(1.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto ic = static_cast<std::uint64_t>(
+        1 + round_rng.uniform_index(20));
+    SmtVds vds(options, sim::Rng(trial + 500));
+    vds.set_predictor(std::make_unique<fault::OraclePredictor>());
+    FaultTimeline timeline({fault_in_round(options, ic, true)});
+    const RunReport report = vds.run(timeline);
+    if (!report.completed || report.recovery_time.count() != 1) continue;
+    const double conv_corr =
+        model::t1_corr(params, static_cast<double>(ic));
+    const double progress =
+        static_cast<double>(report.roll_forward_rounds_gained);
+    gain_sum += (conv_corr + progress * model::t1_round(params)) /
+                report.recovery_time.mean();
+    ++samples;
+  }
+  ASSERT_GT(samples, 150);
+  const double mean_engine_gain = gain_sum / samples;
+  // p = 1 (oracle): expect mean_gain_corr(p=1). Integer-progress
+  // effects keep it within a few percent.
+  EXPECT_NEAR(mean_engine_gain, model::mean_gain_corr(params), 0.08);
+}
+
+TEST(Pipeline, MeasuredAlphaFeedsTheModel) {
+  // Full substrate pipeline: measure alpha on the cycle-level SMT core,
+  // clamp it into the model's domain, and evaluate the paper's gain.
+  sim::Rng rng(21);
+  const auto trace_a =
+      smt::generate_trace(smt::compute_bound_workload(20000), rng);
+  const auto trace_b =
+      smt::generate_trace(smt::compute_bound_workload(20000), rng);
+  smt::CoreConfig core_config;
+  const auto m = smt::measure_alpha(core_config, smt::FetchPolicy::kIcount,
+                                    trace_a, trace_b);
+  const double alpha = std::clamp(m.alpha, 0.5, 1.0);
+  EXPECT_GT(alpha, 0.5);
+  EXPECT_LT(alpha, 0.9);
+  const auto params = model::Params::with_beta(alpha, 0.1, 20, 0.5);
+  EXPECT_GT(model::gain_round(params), 1.0);
+  EXPECT_GT(model::mean_gain_corr(params), 1.0);
+}
+
+}  // namespace
+}  // namespace vds

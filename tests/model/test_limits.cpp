@@ -1,0 +1,85 @@
+#include "model/limits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/gain.hpp"
+
+namespace vds::model {
+namespace {
+
+TEST(GMax, PaperAnchor138) {
+  // "If we pessimistically set p = 0.5, we get an acceleration of
+  // G_max ~ 1.38" at alpha = 0.65, beta = 0.1.
+  EXPECT_NEAR(g_max(0.5, 0.65, 0.1), 1.38, 0.005);
+}
+
+TEST(GMax, PaperAnchorAlphaNine) {
+  // Applying the Alewife-style 10% multithreading benefit (alpha = 0.9)
+  // "we still would not lose as G_max ~ 1.0".
+  EXPECT_NEAR(g_max(0.5, 0.9, 0.1), 1.0, 0.01);
+}
+
+TEST(GMax, OracleDoublesAtBestCase) {
+  EXPECT_NEAR(g_max(1.0, 0.65, 0.1), 2.0, 0.01);
+}
+
+TEST(GMax, ReducesToEq13AtZeroBeta) {
+  for (const double p : {0.0, 0.3, 0.5, 0.8, 1.0}) {
+    for (const double alpha : {0.5, 0.65, 0.9}) {
+      EXPECT_NEAR(g_max(p, alpha, 0.0),
+                  (1.0 + 2.0 * p * std::log(2.0)) / (2.0 * alpha), 1e-12)
+          << p << " " << alpha;
+    }
+  }
+}
+
+TEST(GMax, ParamsOverloadAgrees) {
+  const Params params = Params::with_beta(0.65, 0.1, 20, 0.5);
+  EXPECT_DOUBLE_EQ(g_max(params), g_max(0.5, 0.65, 0.1));
+}
+
+TEST(GMax, IncreasesInPAndBeta) {
+  EXPECT_LT(g_max(0.3, 0.65, 0.1), g_max(0.7, 0.65, 0.1));
+  EXPECT_LT(g_max(0.5, 0.65, 0.0), g_max(0.5, 0.65, 0.3));
+  EXPECT_GT(g_max(0.5, 0.55, 0.1), g_max(0.5, 0.75, 0.1));
+}
+
+TEST(Convergence, FiniteSApproachesLimit) {
+  // The paper: "beyond s = 20, G_corr is already very close to the
+  // limit". The finite sum converges from below as s grows.
+  double prev_gap = 1e9;
+  for (const int s : {5, 20, 100, 1000, 10000}) {
+    const Params params = Params::with_beta(0.65, 0.1, s, 0.5);
+    const double gap = std::fabs(convergence_gap(params));
+    EXPECT_LT(gap, prev_gap) << s;
+    prev_gap = gap;
+  }
+  const Params large = Params::with_beta(0.65, 0.1, 20000, 0.5);
+  EXPECT_LT(std::fabs(convergence_gap(large)), 2e-3);
+}
+
+TEST(Convergence, S20IsWithinFivePercent) {
+  const Params params = Params::with_beta(0.65, 0.1, 20, 0.5);
+  EXPECT_LT(std::fabs(convergence_gap(params)) / g_max(params), 0.05);
+}
+
+TEST(Convergence, SForConvergenceFindsSmallS) {
+  const int s = s_for_convergence(0.5, 0.65, 0.1, /*tol=*/0.05);
+  EXPECT_LE(s, 30);
+  EXPECT_GE(s, 1);
+}
+
+TEST(Convergence, TightToleranceNeedsLargerS) {
+  const int loose = s_for_convergence(0.5, 0.65, 0.1, 0.05, 100000);
+  const int tight = s_for_convergence(0.5, 0.65, 0.1, 0.005, 100000);
+  EXPECT_LT(loose, tight);
+}
+
+TEST(Convergence, UnreachableToleranceReturnsCapPlusOne) {
+  EXPECT_EQ(s_for_convergence(0.5, 0.65, 0.1, 0.0, 50), 51);
+}
+
+}  // namespace
+}  // namespace vds::model

@@ -1,0 +1,120 @@
+#include "model/surface.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace vds::model {
+namespace {
+
+TEST(Axis, SamplesEndpoints) {
+  const Axis axis{0.5, 1.0, 6};
+  EXPECT_DOUBLE_EQ(axis.at(0), 0.5);
+  EXPECT_DOUBLE_EQ(axis.at(5), 1.0);
+  EXPECT_DOUBLE_EQ(axis.at(1), 0.6);
+}
+
+TEST(Axis, SingleSamplePinsLo) {
+  const Axis axis{0.65, 0.9, 1};
+  EXPECT_DOUBLE_EQ(axis.at(0), 0.65);
+}
+
+TEST(GainSurface, ValuesMatchDirectComputation) {
+  const Axis alpha{0.5, 1.0, 5};
+  const Axis beta{0.0, 0.4, 3};
+  const GainSurface surface(alpha, beta, 0.5, 20);
+  for (std::size_t ai = 0; ai < 5; ++ai) {
+    for (std::size_t bi = 0; bi < 3; ++bi) {
+      const Params params =
+          Params::with_beta(alpha.at(ai), beta.at(bi), 20, 0.5);
+      EXPECT_NEAR(surface.at(ai, bi), mean_gain_corr(params), 1e-12);
+    }
+  }
+}
+
+TEST(GainSurface, Figure4Anchor) {
+  // Figure 4's operating point (alpha = 0.65, beta = 0.1, p = 0.5,
+  // s = 20): expected gain ~ 1.35, close to the G_max anchor 1.38.
+  const GainSurface surface(Axis{0.65, 0.65, 1}, Axis{0.1, 0.1, 1}, 0.5,
+                            20);
+  EXPECT_NEAR(surface.at(0, 0), 1.3466, 1e-3);
+}
+
+TEST(GainSurface, Figure5Anchor) {
+  // Figure 5 (p = 1.0): ~1.92 at the same operating point.
+  const GainSurface surface(Axis{0.65, 0.65, 1}, Axis{0.1, 0.1, 1}, 1.0,
+                            20);
+  EXPECT_NEAR(surface.at(0, 0), 1.9180, 1e-3);
+}
+
+TEST(GainSurface, MinMaxBracketAllValues) {
+  const GainSurface surface(Axis{0.5, 1.0, 11}, Axis{0.0, 1.0, 11}, 0.5,
+                            20);
+  for (std::size_t ai = 0; ai < 11; ++ai) {
+    for (std::size_t bi = 0; bi < 11; ++bi) {
+      EXPECT_GE(surface.at(ai, bi), surface.min_gain());
+      EXPECT_LE(surface.at(ai, bi), surface.max_gain());
+    }
+  }
+  EXPECT_LT(surface.min_gain(), surface.max_gain());
+}
+
+TEST(GainSurface, MaxAtLowAlphaHighBeta) {
+  // The surface is monotone: best at alpha = 0.5 with large beta.
+  const Axis alpha{0.5, 1.0, 6};
+  const Axis beta{0.0, 1.0, 6};
+  const GainSurface surface(alpha, beta, 0.5, 20);
+  EXPECT_DOUBLE_EQ(surface.max_gain(), surface.at(0, 5));
+  EXPECT_DOUBLE_EQ(surface.min_gain(), surface.at(5, 0));
+}
+
+TEST(GainSurface, Figure5DominatesFigure4Pointwise) {
+  // p = 1 beats p = 0.5 everywhere on the grid.
+  const Axis alpha{0.5, 1.0, 6};
+  const Axis beta{0.0, 1.0, 6};
+  const GainSurface fig4(alpha, beta, 0.5, 20);
+  const GainSurface fig5(alpha, beta, 1.0, 20);
+  for (std::size_t ai = 0; ai < 6; ++ai) {
+    for (std::size_t bi = 0; bi < 6; ++bi) {
+      EXPECT_GT(fig5.at(ai, bi), fig4.at(ai, bi));
+    }
+  }
+}
+
+TEST(GainSurface, OutOfRangeThrows) {
+  const GainSurface surface(Axis{0.5, 1.0, 2}, Axis{0.0, 1.0, 2}, 0.5, 20);
+  EXPECT_THROW((void)surface.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)surface.at(0, 2), std::out_of_range);
+}
+
+TEST(GainSurface, MatrixOutputShape) {
+  const GainSurface surface(Axis{0.5, 1.0, 3}, Axis{0.0, 0.2, 2}, 0.5, 20);
+  std::ostringstream os;
+  surface.write_matrix(os);
+  const std::string out = os.str();
+  // Header + 3 alpha rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("alpha\\beta"), std::string::npos);
+}
+
+TEST(GainSurface, CsvOutputShape) {
+  const GainSurface surface(Axis{0.5, 1.0, 3}, Axis{0.0, 0.2, 2}, 0.5, 20);
+  std::ostringstream os;
+  surface.write_csv(os);
+  const std::string out = os.str();
+  // Header + 6 data rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 7);
+  EXPECT_NE(out.find("alpha,beta,gain"), std::string::npos);
+}
+
+TEST(Sweep, EvaluatesFunctionOverAxis) {
+  const auto points = sweep(Axis{0.0, 2.0, 3},
+                            [](double x) { return x * x; });
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[1].x, 1.0);
+  EXPECT_DOUBLE_EQ(points[2].y, 4.0);
+}
+
+}  // namespace
+}  // namespace vds::model

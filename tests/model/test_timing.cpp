@@ -1,0 +1,121 @@
+#include "model/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vds::model {
+namespace {
+
+Params base() {
+  Params params;
+  params.t = 1.0;
+  params.c = 0.1;
+  params.t_cmp = 0.05;
+  params.alpha = 0.65;
+  params.s = 20;
+  return params;
+}
+
+TEST(Timing, Eq1ConventionalRound) {
+  // T_1,round = 2 (t + c) + t'
+  EXPECT_DOUBLE_EQ(t1_round(base()), 2.0 * (1.0 + 0.1) + 0.05);
+}
+
+TEST(Timing, Eq2ConventionalCorrection) {
+  // T_1,corr = i t + 2 t'
+  EXPECT_DOUBLE_EQ(t1_corr(base(), 7.0), 7.0 + 2.0 * 0.05);
+}
+
+TEST(Timing, Eq3SmtRound) {
+  // T_HT2,round = 2 alpha t + t'
+  EXPECT_DOUBLE_EQ(tht2_round(base()), 2.0 * 0.65 + 0.05);
+}
+
+TEST(Timing, Eq5SmtCorrection) {
+  // T_HT2,corr = 2 i alpha t + 2 t'
+  EXPECT_DOUBLE_EQ(tht2_corr(base(), 7.0), 2.0 * 7.0 * 0.65 + 2.0 * 0.05);
+}
+
+TEST(Timing, SmtRoundBeatsConventionalForAlphaBelowThreshold) {
+  for (double alpha = 0.5; alpha <= 1.0; alpha += 0.05) {
+    Params params = base();
+    params.alpha = alpha;
+    // With c = 0.1 > 0, SMT wins whenever 2 alpha t < 2(t + c).
+    if (alpha < 1.0 + 0.1) {
+      EXPECT_LT(tht2_round(params), t1_round(params)) << "alpha=" << alpha;
+    }
+  }
+}
+
+TEST(Timing, KThreadCorrectionGeneralizesEq5) {
+  const Params params = base();
+  // k = 2 with alpha_k = alpha and 2 vote compares reduces to eq (5).
+  EXPECT_DOUBLE_EQ(thtk_corr(params.alpha, 2, params, 7.0, 2),
+                   tht2_corr(params, 7.0));
+  // More threads at the same per-thread efficiency cost more.
+  EXPECT_GT(thtk_corr(0.65, 3, params, 7.0, 2),
+            thtk_corr(0.65, 2, params, 7.0, 2));
+}
+
+TEST(Timing, CappedRollForwardUncappedRegion) {
+  // Intending x rounds at detection round i caps at s - i.
+  EXPECT_DOUBLE_EQ(capped_roll_forward(2.0, 8.0, 20), 2.0);
+}
+
+TEST(Timing, CappedRollForwardAtCheckpointBoundary) {
+  EXPECT_DOUBLE_EQ(capped_roll_forward(10.0, 15.0, 20), 5.0);
+  EXPECT_DOUBLE_EQ(capped_roll_forward(3.0, 20.0, 20), 0.0);
+}
+
+TEST(Timing, CappedRollForwardNeverNegative) {
+  EXPECT_DOUBLE_EQ(capped_roll_forward(5.0, 25.0, 20), 0.0);
+}
+
+TEST(Timing, DetCapBoundaryIsFourFifthsS) {
+  // i/4 <= s - i  iff  i <= 4s/5 (paper §3.2).
+  const int s = 20;
+  const double boundary = 4.0 * s / 5.0;  // 16
+  EXPECT_DOUBLE_EQ(capped_roll_forward(boundary / 4.0, boundary, s),
+                   boundary / 4.0);
+  EXPECT_LT(capped_roll_forward((boundary + 1) / 4.0, boundary + 1, s),
+            (boundary + 1) / 4.0);
+}
+
+TEST(Timing, ProbCapBoundaryIsTwoThirdsS) {
+  // i/2 <= s - i  iff  i <= 2s/3.
+  const int s = 21;
+  const double boundary = 2.0 * s / 3.0;  // 14
+  EXPECT_DOUBLE_EQ(capped_roll_forward(boundary / 2.0, boundary, s),
+                   boundary / 2.0);
+  EXPECT_LT(capped_roll_forward((boundary + 3) / 2.0, boundary + 3, s),
+            (boundary + 3) / 2.0);
+}
+
+TEST(ParamsValidate, AcceptsPaperValues) {
+  EXPECT_NO_THROW((void)Params::with_beta(0.65, 0.1, 20, 0.5));
+  EXPECT_NO_THROW((void)Params::with_beta(0.5, 0.0, 1, 0.0));
+  EXPECT_NO_THROW((void)Params::with_beta(1.0, 1.0, 100, 1.0));
+}
+
+TEST(ParamsValidate, RejectsOutOfDomain) {
+  EXPECT_THROW((void)Params::with_beta(0.4, 0.1), std::invalid_argument);
+  EXPECT_THROW((void)Params::with_beta(1.1, 0.1), std::invalid_argument);
+  EXPECT_THROW((void)Params::with_beta(0.65, 0.1, 0), std::invalid_argument);
+  EXPECT_THROW((void)Params::with_beta(0.65, 0.1, 20, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)Params::with_beta(0.65, 0.1, 20, 1.5), std::invalid_argument);
+  Params params;
+  params.t = 0.0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = Params{};
+  params.c = -1.0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+}
+
+TEST(ParamsValidate, BetaAccessor) {
+  const Params params = Params::with_beta(0.65, 0.25);
+  EXPECT_DOUBLE_EQ(params.beta(), 0.25);
+  EXPECT_DOUBLE_EQ(params.c, 0.25);
+  EXPECT_DOUBLE_EQ(params.t_cmp, 0.25);
+}
+
+}  // namespace
+}  // namespace vds::model

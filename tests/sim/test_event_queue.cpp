@@ -1,0 +1,120 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vds::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_FALSE(queue.pop().has_value());
+  EXPECT_FALSE(queue.next_time().has_value());
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.schedule(3.0, [&] { fired.push_back(3); });
+  queue.schedule(1.0, [&] { fired.push_back(1); });
+  queue.schedule(2.0, [&] { fired.push_back(2); });
+  while (auto ev = queue.pop()) ev->action();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInSchedulingOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  for (int k = 0; k < 10; ++k) {
+    queue.schedule(5.0, [&fired, k] { fired.push_back(k); });
+  }
+  while (auto ev = queue.pop()) ev->action();
+  for (int k = 0; k < 10; ++k) EXPECT_EQ(fired[static_cast<size_t>(k)], k);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest) {
+  EventQueue queue;
+  queue.schedule(7.0, [] {});
+  queue.schedule(4.0, [] {});
+  ASSERT_TRUE(queue.next_time().has_value());
+  EXPECT_DOUBLE_EQ(*queue.next_time(), 4.0);
+}
+
+TEST(EventQueue, CancelPreventsDelivery) {
+  EventQueue queue;
+  bool fired = false;
+  const EventId id = queue.schedule(1.0, [&] { fired = true; });
+  queue.schedule(2.0, [] {});
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_EQ(queue.size(), 1u);
+  while (auto ev = queue.pop()) ev->action();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue queue;
+  const EventId id = queue.schedule(1.0, [] {});
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_FALSE(queue.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterPopFails) {
+  EventQueue queue;
+  const EventId id = queue.schedule(1.0, [] {});
+  ASSERT_TRUE(queue.pop().has_value());
+  EXPECT_FALSE(queue.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.cancel(EventId{}));
+  EXPECT_FALSE(queue.cancel(EventId{12345}));
+}
+
+TEST(EventQueue, CancelledHeadIsSkippedByNextTime) {
+  EventQueue queue;
+  const EventId early = queue.schedule(1.0, [] {});
+  queue.schedule(9.0, [] {});
+  ASSERT_TRUE(queue.cancel(early));
+  ASSERT_TRUE(queue.next_time().has_value());
+  EXPECT_DOUBLE_EQ(*queue.next_time(), 9.0);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue queue;
+  const EventId a = queue.schedule(1.0, [] {});
+  queue.schedule(2.0, [] {});
+  EXPECT_EQ(queue.size(), 2u);
+  queue.cancel(a);
+  EXPECT_EQ(queue.size(), 1u);
+  queue.pop();
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue queue;
+  for (int k = 0; k < 5; ++k) queue.schedule(k, [] {});
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(EventQueue, ManyInterleavedOperationsStaySorted) {
+  EventQueue queue;
+  std::vector<double> fired;
+  for (int k = 100; k > 0; --k) {
+    queue.schedule(static_cast<double>(k % 17), [&fired, k] {
+      fired.push_back(static_cast<double>(k % 17));
+    });
+  }
+  while (auto ev = queue.pop()) ev->action();
+  for (std::size_t j = 1; j < fired.size(); ++j) {
+    EXPECT_LE(fired[j - 1], fired[j]);
+  }
+}
+
+}  // namespace
+}  // namespace vds::sim

@@ -1,0 +1,169 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace vds::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int k = 0; k < 100; ++k) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int k = 0; k < 100; ++k) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng(77);
+  const auto first = rng.next();
+  rng.next();
+  rng.reseed(77);
+  EXPECT_EQ(rng.next(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int k = 0; k < 10000; ++k) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int k = 0; k < n; ++k) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(6);
+  for (int k = 0; k < 1000; ++k) {
+    const double u = rng.uniform(-3.0, 4.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 4.0);
+  }
+}
+
+TEST(Rng, UniformIndexStaysBelowN) {
+  Rng rng(7);
+  for (int k = 0; k < 10000; ++k) EXPECT_LT(rng.uniform_index(17), 17u);
+}
+
+TEST(Rng, UniformIndexIsRoughlyUniform) {
+  Rng rng(8);
+  std::array<int, 8> counts{};
+  const int n = 80000;
+  for (int k = 0; k < n; ++k) ++counts[rng.uniform_index(8)];
+  for (const int c : counts) EXPECT_NEAR(c, n / 8, n / 8 * 0.1);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int k = 0; k < 10000; ++k) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(10);
+  for (int k = 0; k < 100; ++k) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int k = 0; k < n; ++k) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(12);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int k = 0; k < n; ++k) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(13);
+  for (int k = 0; k < 10000; ++k) EXPECT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(14);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int k = 0; k < n; ++k) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Rng rng(15);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int k = 0; k < n; ++k) {
+    sum += static_cast<double>(rng.geometric(0.25));
+  }
+  // Mean of failures-before-success geometric: (1-p)/p = 3.
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, GeometricPOneIsZero) {
+  Rng rng(16);
+  EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(17);
+  Rng child_a = parent.split(1);
+  Rng child_b = parent.split(2);
+  int equal = 0;
+  for (int k = 0; k < 1000; ++k) {
+    if (child_a.next() == child_b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~0ull);
+  Rng rng(18);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace vds::sim

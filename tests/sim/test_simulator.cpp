@@ -1,0 +1,126 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+namespace vds::sim {
+namespace {
+
+TEST(Simulator, TimeStartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulator, RunAdvancesTimeToLastEvent) {
+  Simulator sim;
+  sim.call_at(2.5, [] {});
+  sim.call_at(7.0, [] {});
+  const auto executed = sim.run();
+  EXPECT_EQ(executed, 2u);
+  EXPECT_DOUBLE_EQ(sim.now(), 7.0);
+}
+
+TEST(Simulator, CallInIsRelative) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.call_at(5.0, [&] {
+    sim.call_in(3.0, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 8.0);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.call_at(10.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.call_at(5.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.call_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  for (int k = 1; k <= 10; ++k) {
+    sim.call_at(static_cast<double>(k), [&] { ++fired; });
+  }
+  const auto executed = sim.run_until(4.5);
+  EXPECT_EQ(executed, 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.5);
+  EXPECT_EQ(sim.pending(), 6u);
+}
+
+TEST(Simulator, RunUntilIncludesEventsExactlyAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.call_at(3.0, [&] { ++fired; });
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, StopHaltsDelivery) {
+  Simulator sim;
+  int fired = 0;
+  sim.call_at(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.call_at(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, CancelledEventsDoNotFire) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.call_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  std::vector<double> times;
+  // A self-rescheduling process: classic DES pattern.
+  std::function<void()> tick = [&] {
+    times.push_back(sim.now());
+    if (times.size() < 5) sim.call_in(1.5, tick);
+  };
+  sim.call_at(0.0, tick);
+  sim.run();
+  ASSERT_EQ(times.size(), 5u);
+  EXPECT_DOUBLE_EQ(times.back(), 6.0);
+}
+
+TEST(Simulator, DrainClearsPendingButKeepsTime) {
+  Simulator sim;
+  sim.call_at(4.0, [] {});
+  sim.run();
+  sim.call_at(9.0, [] {});
+  sim.drain();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(Simulator, ExecutedCountsAcrossRuns) {
+  Simulator sim;
+  sim.call_at(1.0, [] {});
+  sim.run();
+  sim.call_at(2.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed(), 2u);
+}
+
+TEST(Simulator, RunUntilAdvancesToHorizonWhenIdle) {
+  Simulator sim;
+  sim.run_until(42.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 42.0);
+}
+
+}  // namespace
+}  // namespace vds::sim

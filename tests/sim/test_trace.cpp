@@ -1,0 +1,84 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace vds::sim {
+namespace {
+
+TEST(Trace, RecordsInOrder) {
+  Trace trace;
+  trace.record(1.0, "V1", TraceKind::kRoundStart, "round 1");
+  trace.record(2.0, "V2", TraceKind::kRoundEnd);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.records()[0].actor, "V1");
+  EXPECT_EQ(trace.records()[1].kind, TraceKind::kRoundEnd);
+}
+
+TEST(Trace, DisabledRecordsNothing) {
+  Trace trace(/*enabled=*/false);
+  trace.record(1.0, "V1", TraceKind::kCompare);
+  EXPECT_EQ(trace.size(), 0u);
+  trace.set_enabled(true);
+  trace.record(2.0, "V1", TraceKind::kCompare);
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+TEST(Trace, CapDropsExcess) {
+  Trace trace(true, /*cap=*/2);
+  for (int k = 0; k < 5; ++k) {
+    trace.record(k, "x", TraceKind::kInfo);
+  }
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.dropped(), 3u);
+}
+
+TEST(Trace, CountByKind) {
+  Trace trace;
+  trace.record(1.0, "a", TraceKind::kCompare);
+  trace.record(2.0, "a", TraceKind::kCompare);
+  trace.record(3.0, "a", TraceKind::kCheckpoint);
+  EXPECT_EQ(trace.count(TraceKind::kCompare), 2u);
+  EXPECT_EQ(trace.count(TraceKind::kCheckpoint), 1u);
+  EXPECT_EQ(trace.count(TraceKind::kRollback), 0u);
+}
+
+TEST(Trace, ListenerSeesEveryRecordEvenPastCap) {
+  Trace trace(true, /*cap=*/1);
+  int seen = 0;
+  trace.set_listener([&](const TraceRecord&) { ++seen; });
+  for (int k = 0; k < 4; ++k) trace.record(k, "x", TraceKind::kInfo);
+  EXPECT_EQ(seen, 4);
+}
+
+TEST(Trace, ClearResets) {
+  Trace trace(true, 1);
+  trace.record(0.0, "x", TraceKind::kInfo);
+  trace.record(1.0, "x", TraceKind::kInfo);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(Trace, DumpContainsKindNamesAndActors) {
+  Trace trace;
+  trace.record(1.5, "V2", TraceKind::kCompareMismatch, "round 7");
+  std::ostringstream os;
+  trace.dump(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("compare_mismatch"), std::string::npos);
+  EXPECT_NE(out.find("V2"), std::string::npos);
+  EXPECT_NE(out.find("round 7"), std::string::npos);
+}
+
+TEST(TraceKindNames, AllDistinctAndNonEmpty) {
+  for (int k = 0; k <= static_cast<int>(TraceKind::kInfo); ++k) {
+    const auto name = to_string(static_cast<TraceKind>(k));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace vds::sim

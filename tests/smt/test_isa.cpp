@@ -1,0 +1,112 @@
+#include "smt/isa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vds::smt {
+namespace {
+
+TEST(OpClassOf, MapsAllOpcodes) {
+  EXPECT_EQ(op_class(Opcode::kAdd), OpClass::kAlu);
+  EXPECT_EQ(op_class(Opcode::kSub), OpClass::kAlu);
+  EXPECT_EQ(op_class(Opcode::kAnd), OpClass::kAlu);
+  EXPECT_EQ(op_class(Opcode::kOr), OpClass::kAlu);
+  EXPECT_EQ(op_class(Opcode::kXor), OpClass::kAlu);
+  EXPECT_EQ(op_class(Opcode::kShl), OpClass::kAlu);
+  EXPECT_EQ(op_class(Opcode::kShr), OpClass::kAlu);
+  EXPECT_EQ(op_class(Opcode::kMul), OpClass::kMul);
+  EXPECT_EQ(op_class(Opcode::kDiv), OpClass::kDiv);
+  EXPECT_EQ(op_class(Opcode::kLoad), OpClass::kMem);
+  EXPECT_EQ(op_class(Opcode::kStore), OpClass::kMem);
+  EXPECT_EQ(op_class(Opcode::kBeq), OpClass::kBranch);
+  EXPECT_EQ(op_class(Opcode::kBne), OpClass::kBranch);
+  EXPECT_EQ(op_class(Opcode::kJmp), OpClass::kBranch);
+  EXPECT_EQ(op_class(Opcode::kNop), OpClass::kNone);
+  EXPECT_EQ(op_class(Opcode::kHalt), OpClass::kNone);
+}
+
+TEST(Commutativity, OnlyTrueForCommutativeOps) {
+  EXPECT_TRUE(is_commutative(Opcode::kAdd));
+  EXPECT_TRUE(is_commutative(Opcode::kMul));
+  EXPECT_TRUE(is_commutative(Opcode::kAnd));
+  EXPECT_TRUE(is_commutative(Opcode::kOr));
+  EXPECT_TRUE(is_commutative(Opcode::kXor));
+  EXPECT_FALSE(is_commutative(Opcode::kSub));
+  EXPECT_FALSE(is_commutative(Opcode::kDiv));
+  EXPECT_FALSE(is_commutative(Opcode::kShl));
+  EXPECT_FALSE(is_commutative(Opcode::kLoad));
+}
+
+TEST(BranchPredicate, CoversControlFlowOps) {
+  EXPECT_TRUE(is_branch(Opcode::kBeq));
+  EXPECT_TRUE(is_branch(Opcode::kBne));
+  EXPECT_TRUE(is_branch(Opcode::kJmp));
+  EXPECT_FALSE(is_branch(Opcode::kAdd));
+  EXPECT_FALSE(is_branch(Opcode::kHalt));
+}
+
+TEST(WritesRegister, StoresAndBranchesDoNot) {
+  EXPECT_TRUE(writes_register(Opcode::kAdd));
+  EXPECT_TRUE(writes_register(Opcode::kLoad));
+  EXPECT_FALSE(writes_register(Opcode::kStore));
+  EXPECT_FALSE(writes_register(Opcode::kBeq));
+  EXPECT_FALSE(writes_register(Opcode::kJmp));
+  EXPECT_FALSE(writes_register(Opcode::kNop));
+  EXPECT_FALSE(writes_register(Opcode::kHalt));
+}
+
+TEST(Constructors, MakeRrr) {
+  const Instr instr = make_rrr(Opcode::kAdd, 3, 1, 2);
+  EXPECT_EQ(instr.op, Opcode::kAdd);
+  EXPECT_EQ(instr.dst, 3);
+  EXPECT_EQ(instr.src1, 1);
+  EXPECT_EQ(instr.src2, 2);
+  EXPECT_FALSE(instr.uses_imm);
+}
+
+TEST(Constructors, MakeRri) {
+  const Instr instr = make_rri(Opcode::kMul, 4, 2, -7);
+  EXPECT_TRUE(instr.uses_imm);
+  EXPECT_EQ(instr.imm, -7);
+}
+
+TEST(Constructors, MemoryForms) {
+  const Instr load = make_load(5, 1, 100);
+  EXPECT_EQ(load.op, Opcode::kLoad);
+  EXPECT_EQ(load.dst, 5);
+  EXPECT_EQ(load.src1, 1);
+  EXPECT_EQ(load.imm, 100);
+  const Instr store = make_store(6, 2, 8);
+  EXPECT_EQ(store.op, Opcode::kStore);
+  EXPECT_EQ(store.src2, 6);
+  EXPECT_EQ(store.src1, 2);
+}
+
+TEST(Constructors, ControlForms) {
+  const Instr branch = make_branch(Opcode::kBne, 1, 2, -5);
+  EXPECT_EQ(branch.imm, -5);
+  const Instr jump = make_jmp(9);
+  EXPECT_EQ(jump.op, Opcode::kJmp);
+  const Instr halt = make_halt();
+  EXPECT_EQ(halt.op, Opcode::kHalt);
+}
+
+TEST(Disassembly, ReadableForms) {
+  EXPECT_EQ(make_rrr(Opcode::kAdd, 3, 1, 2).to_string(), "add r3, r1, r2");
+  EXPECT_EQ(make_rri(Opcode::kShl, 3, 1, 4).to_string(), "shl r3, r1, 4");
+  EXPECT_EQ(make_load(5, 1, 8).to_string(), "load r5, [r1+8]");
+  EXPECT_EQ(make_store(6, 2, -4).to_string(), "store [r2-4], r6");
+  EXPECT_EQ(make_branch(Opcode::kBne, 1, 2, -5).to_string(),
+            "bne r1, r2, -5");
+  EXPECT_EQ(make_halt().to_string(), "halt");
+}
+
+TEST(InstrEquality, FieldSensitive) {
+  const Instr a = make_rrr(Opcode::kAdd, 3, 1, 2);
+  Instr b = a;
+  EXPECT_EQ(a, b);
+  b.src1 = 9;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace vds::smt

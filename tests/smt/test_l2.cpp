@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "smt/core.hpp"
+#include "smt/metrics.hpp"
+#include "smt/workload.hpp"
+
+namespace vds::smt {
+namespace {
+
+/// Fair comparison: memory sits 60 cycles away in both configurations;
+/// enabling the L2 inserts a 12-cycle middle level, it does not move
+/// memory closer. Without the L2, an L1 miss therefore costs the full
+/// 60 cycles.
+CoreConfig with_l2(bool enabled) {
+  CoreConfig config;
+  config.cache.sets = 8;
+  config.cache.ways = 2;
+  config.cache.line_words = 4;
+  config.cache.hit_latency = 2;
+  config.cache.miss_latency = enabled ? 12 : 60;
+  config.l2_enabled = enabled;
+  config.l2.sets = 256;
+  config.l2.ways = 8;
+  config.l2.line_words = 4;
+  config.l2.hit_latency = 12;   // informational; L1 miss cost applies
+  config.l2.miss_latency = 60;
+  return config;
+}
+
+TraceEntry load_at(std::uint64_t addr) {
+  TraceEntry entry;
+  entry.cls = OpClass::kMem;
+  entry.addr = addr;
+  entry.has_dst = true;
+  entry.dst = 9;
+  return entry;
+}
+
+TEST(L2Config, Validation) {
+  EXPECT_NO_THROW(with_l2(true).validate());
+  CoreConfig bad = with_l2(true);
+  bad.l2.miss_latency = 4;  // below L1 miss
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = with_l2(true);
+  bad.l2.sets = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  // Disabled L2 geometry is not validated.
+  bad = with_l2(false);
+  bad.l2.sets = 0;
+  EXPECT_NO_THROW(bad.validate());
+}
+
+TEST(L2, MediumFootprintServedFromL2OnSecondPass) {
+  // Footprint larger than L1 (64 words) but within L2: the second walk
+  // hits L2 instead of memory.
+  InstrTrace trace;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t addr = 0; addr < 512; addr += 4) {
+      trace.push_back(load_at(addr));
+    }
+  }
+  Core without(with_l2(false));
+  Core with(with_l2(true));
+  const auto result_without = without.run(trace);
+  const auto result_with = with.run(trace);
+  EXPECT_LT(result_with.cycles, result_without.cycles);
+  EXPECT_GT(result_with.l2_hits, 0u);
+}
+
+TEST(L2, TinyFootprintUnaffected) {
+  // Everything fits in L1 after the cold pass, and the cold misses go
+  // all the way to memory in both configurations: the L2 never matters.
+  InstrTrace trace;
+  for (int pass = 0; pass < 4; ++pass) {
+    for (std::uint64_t addr = 0; addr < 32; addr += 4) {
+      trace.push_back(load_at(addr));
+    }
+  }
+  Core without(with_l2(false));
+  Core with(with_l2(true));
+  EXPECT_EQ(with.run(trace).cycles, without.run(trace).cycles);
+}
+
+TEST(L2, HugeFootprintStillMissesToMemory) {
+  InstrTrace trace;
+  for (std::uint64_t addr = 0; addr < 64 * 1024; addr += 64) {
+    trace.push_back(load_at(addr));
+  }
+  Core core(with_l2(true));
+  const auto result = core.run(trace);
+  EXPECT_GT(result.l2_misses, 0u);
+}
+
+TEST(L2, CountsReportedInResult) {
+  InstrTrace trace;
+  for (std::uint64_t addr = 0; addr < 512; addr += 4) {
+    trace.push_back(load_at(addr));
+  }
+  Core core(with_l2(true));
+  const auto result = core.run(trace);
+  EXPECT_EQ(result.l2_hits + result.l2_misses, result.cache_misses);
+  Core no_l2(with_l2(false));
+  const auto plain = no_l2.run(trace);
+  EXPECT_EQ(plain.l2_hits + plain.l2_misses, 0u);
+}
+
+TEST(L2, SharedL2AbsorbsInterThreadMisses) {
+  // Two threads over the same medium footprint: with a shared L2, one
+  // thread's fills serve the other's L1 misses.
+  vds::sim::Rng rng(5);
+  auto workload = memory_bound_workload(8000);
+  workload.footprint_words = 2048;
+  const auto trace = generate_trace(workload, rng);
+  const auto m_without =
+      measure_alpha(with_l2(false), FetchPolicy::kIcount, trace, trace);
+  const auto m_with =
+      measure_alpha(with_l2(true), FetchPolicy::kIcount, trace, trace);
+  EXPECT_LT(m_with.cycles_together, m_without.cycles_together);
+}
+
+}  // namespace
+}  // namespace vds::smt

@@ -1,0 +1,125 @@
+#include "smt/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace vds::smt {
+namespace {
+
+TEST(WorkloadConfig, Validation) {
+  EXPECT_NO_THROW(balanced_workload(100).validate());
+  WorkloadConfig bad = balanced_workload(100);
+  bad.frac_alu = bad.frac_mul = bad.frac_div = bad.frac_mem =
+      bad.frac_branch = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = balanced_workload(100);
+  bad.dependency_density = 1.5;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = balanced_workload(100);
+  bad.footprint_words = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = balanced_workload(0);
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(GenerateTrace, ProducesRequestedLength) {
+  vds::sim::Rng rng(1);
+  const auto trace = generate_trace(balanced_workload(1234), rng);
+  EXPECT_EQ(trace.size(), 1234u);
+}
+
+TEST(GenerateTrace, MixMatchesFractions) {
+  vds::sim::Rng rng(2);
+  WorkloadConfig config = balanced_workload(50000);
+  config.frac_alu = 0.4;
+  config.frac_mul = 0.1;
+  config.frac_div = 0.05;
+  config.frac_mem = 0.25;
+  config.frac_branch = 0.2;
+  const auto trace = generate_trace(config, rng);
+  std::array<std::size_t, 6> counts{};
+  for (const auto& entry : trace) {
+    ++counts[static_cast<std::size_t>(entry.cls)];
+  }
+  const double n = static_cast<double>(trace.size());
+  EXPECT_NEAR(counts[0] / n, 0.4, 0.02);   // alu
+  EXPECT_NEAR(counts[1] / n, 0.1, 0.02);   // mul
+  EXPECT_NEAR(counts[2] / n, 0.05, 0.02);  // div
+  EXPECT_NEAR(counts[3] / n, 0.25, 0.02);  // mem
+  EXPECT_NEAR(counts[4] / n, 0.2, 0.02);   // branch
+}
+
+TEST(GenerateTrace, MemAddressesWithinFootprint) {
+  vds::sim::Rng rng(3);
+  WorkloadConfig config = memory_bound_workload(5000);
+  config.footprint_words = 512;
+  const auto trace = generate_trace(config, rng);
+  for (const auto& entry : trace) {
+    if (entry.cls == OpClass::kMem) {
+      EXPECT_LT(entry.addr, 512u);
+    }
+  }
+}
+
+TEST(GenerateTrace, BranchBiasRespected) {
+  vds::sim::Rng rng(4);
+  WorkloadConfig config = branchy_workload(40000);
+  config.branch_taken_bias = 0.8;
+  const auto trace = generate_trace(config, rng);
+  std::size_t branches = 0;
+  std::size_t taken = 0;
+  for (const auto& entry : trace) {
+    if (entry.cls == OpClass::kBranch) {
+      ++branches;
+      if (entry.taken) ++taken;
+    }
+  }
+  ASSERT_GT(branches, 0u);
+  EXPECT_NEAR(static_cast<double>(taken) / branches, 0.8, 0.03);
+}
+
+TEST(GenerateTrace, DeterministicGivenSeed) {
+  vds::sim::Rng rng_a(5);
+  vds::sim::Rng rng_b(5);
+  const auto a = generate_trace(balanced_workload(500), rng_a);
+  const auto b = generate_trace(balanced_workload(500), rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].cls, b[k].cls) << k;
+    EXPECT_EQ(a[k].addr, b[k].addr) << k;
+  }
+}
+
+TEST(Presets, HaveDistinctCharacters) {
+  const auto compute = compute_bound_workload(100);
+  const auto memory = memory_bound_workload(100);
+  const auto branchy = branchy_workload(100);
+  const auto serial = serial_chain_workload(100);
+  EXPECT_GT(compute.frac_alu + compute.frac_mul,
+            memory.frac_alu + memory.frac_mul);
+  EXPECT_GT(memory.frac_mem, compute.frac_mem);
+  EXPECT_GT(branchy.frac_branch, compute.frac_branch);
+  EXPECT_GT(serial.dependency_density, compute.dependency_density);
+  EXPECT_NO_THROW(compute.validate());
+  EXPECT_NO_THROW(memory.validate());
+  EXPECT_NO_THROW(branchy.validate());
+  EXPECT_NO_THROW(serial.validate());
+}
+
+TEST(SeedKernelInputs, DeterministicAndNonTrivial) {
+  Machine a(4096);
+  Machine b(4096);
+  seed_kernel_inputs(a, 0, 64, 42);
+  seed_kernel_inputs(b, 0, 64, 42);
+  EXPECT_EQ(a.digest(), b.digest());
+  Machine c(4096);
+  seed_kernel_inputs(c, 0, 64, 43);
+  EXPECT_NE(a.digest(), c.digest());
+  // Values are non-zero pseudo-random words.
+  EXPECT_NE(a.peek(0), 0u);
+  EXPECT_NE(a.peek(0), a.peek(1));
+}
+
+}  // namespace
+}  // namespace vds::smt

@@ -1,0 +1,282 @@
+// vds_cli -- command-line driver for the VDS simulators.
+//
+//   vds_cli --engine smt --scheme det --alpha 0.65 --rate 0.01
+//           --rounds 10000 --seed 7 --model
+//
+// Runs one protocol simulation and prints the run report; with --model
+// it also prints the paper's closed-form predictions for the same
+// configuration, and with --trace N the first N protocol events.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "baseline/duplex.hpp"
+#include "baseline/srt.hpp"
+#include "core/conventional.hpp"
+#include "core/smt_engine.hpp"
+#include "model/gain.hpp"
+#include "model/limits.hpp"
+#include "model/reliability.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: vds_cli [options]
+
+engine selection:
+  --engine smt|conv|srt|duplex   protocol engine            [smt]
+
+VDS configuration:
+  --scheme rollback|retry|det|prob|predict   recovery scheme [det]
+  --adaptive                     adaptive det/prob selection
+  --alpha X                      SMT slowdown factor        [0.65]
+  --beta X                       c = t_cmp = beta * t       [0.1]
+  --s N                          checkpoint interval        [20]
+  --rounds N                     job length in rounds       [10000]
+  --threads 2|3|5                hardware threads           [2]
+  --predictor random|oracle|static1|static2|last|two_bit|history|tournament|perceptron|crash
+                                 faulty-version predictor   [random]
+
+fault process:
+  --rate X                       Poisson fault rate         [0.01]
+  --crash-weight X               crash fault fraction       [0]
+  --permanent-weight X           permanent fault fraction   [0]
+  --bias X                       P(fault hits version 1)    [0.5]
+  --locations N                  abstract fault locations   [16]
+  --skew X                       location uniformity (0,1]  [1.0]
+  --seed N                       RNG seed                   [1]
+
+output:
+  --model                        print closed-form predictions
+  --trace N                      dump the first N protocol events
+  --help                         this text
+)";
+
+struct CliOptions {
+  std::string engine = "smt";
+  std::string scheme = "det";
+  std::string predictor = "random";
+  bool adaptive = false;
+  double alpha = 0.65;
+  double beta = 0.1;
+  int s = 20;
+  std::uint64_t rounds = 10000;
+  int threads = 2;
+  double rate = 0.01;
+  double crash_weight = 0.0;
+  double permanent_weight = 0.0;
+  double bias = 0.5;
+  std::uint32_t locations = 16;
+  double skew = 1.0;
+  std::uint64_t seed = 1;
+  bool model = false;
+  std::size_t trace = 0;
+};
+
+bool parse_args(int argc, char** argv, CliOptions& cli) {
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    const auto next = [&]() -> const char* {
+      if (k + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++k];
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return false;
+    } else if (arg == "--engine") {
+      cli.engine = next();
+    } else if (arg == "--scheme") {
+      cli.scheme = next();
+    } else if (arg == "--predictor") {
+      cli.predictor = next();
+    } else if (arg == "--adaptive") {
+      cli.adaptive = true;
+    } else if (arg == "--alpha") {
+      cli.alpha = std::atof(next());
+    } else if (arg == "--beta") {
+      cli.beta = std::atof(next());
+    } else if (arg == "--s") {
+      cli.s = std::atoi(next());
+    } else if (arg == "--rounds") {
+      cli.rounds = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--threads") {
+      cli.threads = std::atoi(next());
+    } else if (arg == "--rate") {
+      cli.rate = std::atof(next());
+    } else if (arg == "--crash-weight") {
+      cli.crash_weight = std::atof(next());
+    } else if (arg == "--permanent-weight") {
+      cli.permanent_weight = std::atof(next());
+    } else if (arg == "--bias") {
+      cli.bias = std::atof(next());
+    } else if (arg == "--locations") {
+      cli.locations = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--skew") {
+      cli.skew = std::atof(next());
+    } else if (arg == "--seed") {
+      cli.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--model") {
+      cli.model = true;
+    } else if (arg == "--trace") {
+      cli.trace = static_cast<std::size_t>(std::atoi(next()));
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n%s", arg.c_str(),
+                   kUsage);
+      std::exit(2);
+    }
+  }
+  return true;
+}
+
+vds::core::RecoveryScheme parse_scheme(const std::string& name) {
+  using vds::core::RecoveryScheme;
+  if (name == "rollback") return RecoveryScheme::kRollback;
+  if (name == "retry") return RecoveryScheme::kStopAndRetry;
+  if (name == "det") return RecoveryScheme::kRollForwardDet;
+  if (name == "prob") return RecoveryScheme::kRollForwardProb;
+  if (name == "predict") return RecoveryScheme::kRollForwardPredict;
+  std::fprintf(stderr, "unknown scheme '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+std::unique_ptr<vds::fault::Predictor> make_predictor(
+    const std::string& name, vds::sim::Rng rng) {
+  using namespace vds::fault;
+  if (name == "random") return std::make_unique<RandomPredictor>(rng);
+  if (name == "oracle") return std::make_unique<OraclePredictor>();
+  if (name == "static1") {
+    return std::make_unique<StaticPredictor>(VersionGuess::kVersion1);
+  }
+  if (name == "static2") {
+    return std::make_unique<StaticPredictor>(VersionGuess::kVersion2);
+  }
+  if (name == "last") return std::make_unique<LastFaultyPredictor>();
+  if (name == "two_bit") return std::make_unique<TwoBitPredictor>(16);
+  if (name == "history") return std::make_unique<HistoryPredictor>(6, 4);
+  if (name == "tournament") {
+    return std::make_unique<TournamentPredictor>(6, 4);
+  }
+  if (name == "perceptron") return std::make_unique<PerceptronPredictor>();
+  if (name == "crash") {
+    return std::make_unique<CrashEvidencePredictor>(
+        std::make_unique<TwoBitPredictor>(16));
+  }
+  std::fprintf(stderr, "unknown predictor '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!parse_args(argc, argv, cli)) return 0;
+
+  vds::fault::FaultConfig fault_config;
+  fault_config.rate = cli.rate;
+  fault_config.weight_transient =
+      1.0 - cli.crash_weight - cli.permanent_weight;
+  fault_config.weight_crash = cli.crash_weight;
+  fault_config.weight_permanent = cli.permanent_weight;
+  fault_config.victim1_bias = cli.bias;
+  fault_config.locations = cli.locations;
+  fault_config.location_uniformity = cli.skew;
+
+  // Generous horizon: the job can stretch under recoveries.
+  const double horizon = static_cast<double>(cli.rounds) * 20.0 + 1000.0;
+  vds::sim::Rng fault_rng(cli.seed);
+  auto timeline =
+      vds::fault::generate_timeline(fault_config, fault_rng, horizon);
+  std::printf("faults scheduled: %zu over horizon %.0f\n",
+              timeline.size(), horizon);
+
+  vds::sim::Trace trace(/*enabled=*/cli.trace > 0, /*cap=*/cli.trace);
+
+  vds::core::RunReport report;
+  if (cli.engine == "smt" || cli.engine == "conv") {
+    vds::core::VdsOptions options;
+    options.t = 1.0;
+    options.c = cli.beta;
+    options.t_cmp = cli.beta;
+    options.alpha = cli.alpha;
+    options.s = cli.s;
+    options.job_rounds = cli.rounds;
+    options.scheme = parse_scheme(cli.scheme);
+    options.adaptive_scheme = cli.adaptive;
+    options.hardware_threads = cli.threads;
+    if (cli.engine == "smt") {
+      vds::core::SmtVds vds(options, vds::sim::Rng(cli.seed + 1));
+      vds.set_predictor(
+          make_predictor(cli.predictor, vds::sim::Rng(cli.seed + 2)));
+      report = vds.run(timeline, &trace);
+    } else {
+      vds::core::ConventionalVds vds(options,
+                                     vds::sim::Rng(cli.seed + 1));
+      report = vds.run(timeline, &trace);
+    }
+  } else if (cli.engine == "srt") {
+    vds::baseline::SrtConfig config;
+    config.alpha = cli.alpha;
+    config.s = cli.s;
+    config.job_rounds = cli.rounds;
+    vds::baseline::LockstepSrt srt(config, vds::sim::Rng(cli.seed + 1));
+    report = srt.run(timeline);
+  } else if (cli.engine == "duplex") {
+    vds::baseline::DuplexConfig config;
+    config.t_cmp = cli.beta;
+    config.s = cli.s;
+    config.job_rounds = cli.rounds;
+    vds::baseline::PhysicalDuplex duplex(config,
+                                         vds::sim::Rng(cli.seed + 1));
+    report = duplex.run(timeline);
+  } else {
+    std::fprintf(stderr, "unknown engine '%s'\n%s", cli.engine.c_str(),
+                 kUsage);
+    return 2;
+  }
+
+  std::printf("%s\n", report.to_string().c_str());
+
+  if (cli.trace > 0) {
+    std::printf("\nfirst %zu protocol events:\n", cli.trace);
+    trace.dump(std::cout);
+  }
+
+  if (cli.model && (cli.engine == "smt" || cli.engine == "conv")) {
+    const auto params = vds::model::Params::with_beta(
+        std::clamp(cli.alpha, 0.5, 1.0), cli.beta, cli.s,
+        report.predictor_accuracy());
+    std::printf("\nclosed-form predictions at measured p = %.3f:\n",
+                report.predictor_accuracy());
+    std::printf("  G_round (eq 4)        = %.4f\n",
+                vds::model::gain_round(params));
+    std::printf("  mean G_det (eq 7)     = %.4f\n",
+                vds::model::mean_gain_det(params));
+    std::printf("  mean G_prob (eq 8)    = %.4f\n",
+                vds::model::mean_gain_prob(params));
+    std::printf("  mean G_corr (eq 13)   = %.4f\n",
+                vds::model::mean_gain_corr(params));
+    std::printf("  G_max (s -> inf)      = %.4f\n",
+                vds::model::g_max(params));
+    const auto scheme = cli.scheme == "prob"
+                            ? vds::model::Scheme::kProbabilistic
+                        : cli.scheme == "predict"
+                            ? vds::model::Scheme::kPrediction
+                            : vds::model::Scheme::kDeterministic;
+    const auto est = vds::model::estimate_reliability(
+        params, scheme, cli.rate, cli.rounds);
+    std::printf("  expected detections   = %.1f (measured %llu)\n",
+                est.expected_detections,
+                static_cast<unsigned long long>(report.detections));
+    std::printf("  expected total time   = %.1f (measured %.1f)\n",
+                est.expected_total_time, report.total_time);
+    std::printf("  P(silent corruption)  = %.4f\n", est.p_job_silent);
+  }
+  return report.completed ? 0 : 1;
+}

@@ -1,0 +1,194 @@
+// vds_sweep -- emits CSV datasets for plotting the paper's figures and
+// this repository's extensions. Each dataset goes to stdout; select one
+// with --dataset. Intended for piping into gnuplot/pandas:
+//
+//   vds_sweep --dataset fig4 > fig4.csv
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/conventional.hpp"
+#include "core/smt_engine.hpp"
+#include "model/limits.hpp"
+#include "model/reliability.hpp"
+#include "model/surface.hpp"
+#include "smt/metrics.hpp"
+#include "smt/workload.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: vds_sweep --dataset NAME [--samples N]
+
+datasets:
+  fig4        G_corr(alpha, beta) surface at p = 0.5, s = 20 (Figure 4)
+  fig5        the same at p = 1.0 (Figure 5)
+  gmax        G_max(p) and finite-s convergence rows
+  schemes     engine speedup vs conventional per scheme and fault rate
+  alpha       measured alpha of the SMT core across workloads/widths
+  reliability closed-form reliability estimates over the fault rate
+)";
+
+void emit_fig(double p, std::size_t samples) {
+  const vds::model::GainSurface surface(
+      vds::model::Axis{0.5, 1.0, samples},
+      vds::model::Axis{0.0, 1.0, samples}, p, 20);
+  surface.write_csv(std::cout);
+}
+
+void emit_gmax() {
+  std::printf("p,alpha,beta,g_max,mean_gain_corr_s20\n");
+  for (int pi = 0; pi <= 10; ++pi) {
+    const double p = 0.1 * pi;
+    for (int ai = 0; ai <= 10; ++ai) {
+      const double alpha = 0.5 + 0.05 * ai;
+      const auto params = vds::model::Params::with_beta(alpha, 0.1, 20, p);
+      std::printf("%.2f,%.2f,0.10,%.6f,%.6f\n", p, alpha,
+                  vds::model::g_max(params),
+                  vds::model::mean_gain_corr(params));
+    }
+  }
+}
+
+void emit_schemes() {
+  std::printf("scheme,rate,conv_time,smt_time,speedup,detections,"
+              "rollbacks,rf_rounds\n");
+  const vds::core::RecoveryScheme schemes[] = {
+      vds::core::RecoveryScheme::kRollback,
+      vds::core::RecoveryScheme::kStopAndRetry,
+      vds::core::RecoveryScheme::kRollForwardDet,
+      vds::core::RecoveryScheme::kRollForwardProb,
+      vds::core::RecoveryScheme::kRollForwardPredict,
+  };
+  for (const auto scheme : schemes) {
+    for (const double rate : {0.002, 0.01, 0.02, 0.05}) {
+      vds::core::VdsOptions options;
+      options.c = 0.1;
+      options.t_cmp = 0.1;
+      options.alpha = 0.65;
+      options.s = 20;
+      options.job_rounds = 10000;
+      options.scheme = scheme;
+
+      vds::fault::FaultConfig config;
+      config.rate = rate;
+      config.victim1_bias = 0.8;
+
+      vds::sim::Rng rng_a(7);
+      auto timeline_a = vds::fault::generate_timeline(config, rng_a,
+                                                      400000.0);
+      vds::core::SmtVds smt(options, vds::sim::Rng(8));
+      smt.set_predictor(
+          std::make_unique<vds::fault::TwoBitPredictor>(16));
+      const auto smt_report = smt.run(timeline_a);
+
+      vds::core::VdsOptions conv_options = options;
+      conv_options.scheme = vds::core::RecoveryScheme::kStopAndRetry;
+      vds::sim::Rng rng_b(7);
+      auto timeline_b = vds::fault::generate_timeline(config, rng_b,
+                                                      400000.0);
+      vds::core::ConventionalVds conv(conv_options, vds::sim::Rng(8));
+      const auto conv_report = conv.run(timeline_b);
+
+      std::printf("%s,%.3f,%.2f,%.2f,%.4f,%llu,%llu,%llu\n",
+                  vds::core::to_string(scheme).data(), rate,
+                  conv_report.total_time, smt_report.total_time,
+                  conv_report.total_time / smt_report.total_time,
+                  static_cast<unsigned long long>(smt_report.detections),
+                  static_cast<unsigned long long>(smt_report.rollbacks),
+                  static_cast<unsigned long long>(
+                      smt_report.roll_forward_rounds_gained));
+    }
+  }
+}
+
+void emit_alpha() {
+  std::printf("workload,issue_width,alpha,ipc_alone,ipc_together\n");
+  vds::sim::Rng rng(42);
+  const std::pair<const char*, vds::smt::WorkloadConfig> workloads[] = {
+      {"compute", vds::smt::compute_bound_workload(20000)},
+      {"memory", vds::smt::memory_bound_workload(20000)},
+      {"branchy", vds::smt::branchy_workload(20000)},
+      {"serial", vds::smt::serial_chain_workload(20000)},
+      {"balanced", vds::smt::balanced_workload(20000)},
+  };
+  for (const auto& [name, workload] : workloads) {
+    const auto trace_a = vds::smt::generate_trace(workload, rng);
+    const auto trace_b = vds::smt::generate_trace(workload, rng);
+    for (const std::uint32_t width : {2u, 4u, 8u}) {
+      vds::smt::CoreConfig config;
+      config.issue_width = width;
+      config.max_issue_per_thread = width;
+      const auto m = vds::smt::measure_alpha(
+          config, vds::smt::FetchPolicy::kIcount, trace_a, trace_b);
+      std::printf("%s,%u,%.4f,%.4f,%.4f\n", name, width, m.alpha,
+                  m.ipc_a_alone, m.ipc_together);
+    }
+  }
+}
+
+void emit_reliability() {
+  std::printf("scheme,rate,p,expected_detections,p_recovery_failure,"
+              "expected_rollbacks,p_job_silent,expected_total_time\n");
+  const std::pair<const char*, vds::model::Scheme> schemes[] = {
+      {"det", vds::model::Scheme::kDeterministic},
+      {"prob", vds::model::Scheme::kProbabilistic},
+      {"predict", vds::model::Scheme::kPrediction},
+  };
+  for (const auto& [name, scheme] : schemes) {
+    for (const double rate : {0.001, 0.005, 0.01, 0.02, 0.05}) {
+      for (const double p : {0.5, 0.9}) {
+        const auto params =
+            vds::model::Params::with_beta(0.65, 0.1, 20, p);
+        const auto est = vds::model::estimate_reliability(params, scheme,
+                                                          rate, 10000);
+        std::printf("%s,%.3f,%.1f,%.3f,%.6f,%.3f,%.6f,%.1f\n", name, rate,
+                    p, est.expected_detections, est.p_recovery_failure,
+                    est.expected_rollbacks, est.p_job_silent,
+                    est.expected_total_time);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dataset;
+  std::size_t samples = 11;
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    if (arg == "--dataset" && k + 1 < argc) {
+      dataset = argv[++k];
+    } else if (arg == "--samples" && k + 1 < argc) {
+      samples = static_cast<std::size_t>(std::atoi(argv[++k]));
+    } else if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n%s", arg.c_str(), kUsage);
+      return 2;
+    }
+  }
+
+  if (dataset == "fig4") {
+    emit_fig(0.5, samples);
+  } else if (dataset == "fig5") {
+    emit_fig(1.0, samples);
+  } else if (dataset == "gmax") {
+    emit_gmax();
+  } else if (dataset == "schemes") {
+    emit_schemes();
+  } else if (dataset == "alpha") {
+    emit_alpha();
+  } else if (dataset == "reliability") {
+    emit_reliability();
+  } else {
+    std::fprintf(stderr, "missing or unknown --dataset\n%s", kUsage);
+    return 2;
+  }
+  return 0;
+}
