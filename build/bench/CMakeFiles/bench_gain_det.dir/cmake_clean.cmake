@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gain_det.dir/bench_gain_det.cpp.o"
+  "CMakeFiles/bench_gain_det.dir/bench_gain_det.cpp.o.d"
+  "bench_gain_det"
+  "bench_gain_det.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gain_det.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

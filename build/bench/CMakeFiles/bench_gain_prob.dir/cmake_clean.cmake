@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gain_prob.dir/bench_gain_prob.cpp.o"
+  "CMakeFiles/bench_gain_prob.dir/bench_gain_prob.cpp.o.d"
+  "bench_gain_prob"
+  "bench_gain_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gain_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gain_round.dir/bench_gain_round.cpp.o"
+  "CMakeFiles/bench_gain_round.dir/bench_gain_round.cpp.o.d"
+  "bench_gain_round"
+  "bench_gain_round.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gain_round.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gmax.dir/bench_gmax.cpp.o"
+  "CMakeFiles/bench_gmax.dir/bench_gmax.cpp.o.d"
+  "bench_gmax"
+  "bench_gmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_injection.dir/bench_injection.cpp.o"
+  "CMakeFiles/bench_injection.dir/bench_injection.cpp.o.d"
+  "bench_injection"
+  "bench_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multithread.dir/bench_multithread.cpp.o"
+  "CMakeFiles/bench_multithread.dir/bench_multithread.cpp.o.d"
+  "bench_multithread"
+  "bench_multithread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multithread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

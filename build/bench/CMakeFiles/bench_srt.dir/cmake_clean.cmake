@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_srt.dir/bench_srt.cpp.o"
+  "CMakeFiles/bench_srt.dir/bench_srt.cpp.o.d"
+  "bench_srt"
+  "bench_srt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_srt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alpha_study.dir/alpha_study.cpp.o"
+  "CMakeFiles/alpha_study.dir/alpha_study.cpp.o.d"
+  "alpha_study"
+  "alpha_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alpha_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

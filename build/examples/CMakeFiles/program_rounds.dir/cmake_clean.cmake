@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/program_rounds.dir/program_rounds.cpp.o"
+  "CMakeFiles/program_rounds.dir/program_rounds.cpp.o.d"
+  "program_rounds"
+  "program_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_mission.dir/space_mission.cpp.o"
+  "CMakeFiles/space_mission.dir/space_mission.cpp.o.d"
+  "space_mission"
+  "space_mission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_mission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subway_interlocking.dir/subway_interlocking.cpp.o"
+  "CMakeFiles/subway_interlocking.dir/subway_interlocking.cpp.o.d"
+  "subway_interlocking"
+  "subway_interlocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subway_interlocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

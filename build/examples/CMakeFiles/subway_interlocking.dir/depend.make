@@ -1,0 +1,2 @@
+# Empty dependencies file for subway_interlocking.
+# This may be replaced when dependencies are built.

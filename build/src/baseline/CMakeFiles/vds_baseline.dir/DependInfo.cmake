@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/duplex.cpp" "src/baseline/CMakeFiles/vds_baseline.dir/duplex.cpp.o" "gcc" "src/baseline/CMakeFiles/vds_baseline.dir/duplex.cpp.o.d"
+  "/root/repo/src/baseline/srt.cpp" "src/baseline/CMakeFiles/vds_baseline.dir/srt.cpp.o" "gcc" "src/baseline/CMakeFiles/vds_baseline.dir/srt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/vds_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/vds_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/vds_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vds_baseline.dir/duplex.cpp.o"
+  "CMakeFiles/vds_baseline.dir/duplex.cpp.o.d"
+  "CMakeFiles/vds_baseline.dir/srt.cpp.o"
+  "CMakeFiles/vds_baseline.dir/srt.cpp.o.d"
+  "libvds_baseline.a"
+  "libvds_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vds_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checkpoint/codes.cpp" "src/checkpoint/CMakeFiles/vds_checkpoint.dir/codes.cpp.o" "gcc" "src/checkpoint/CMakeFiles/vds_checkpoint.dir/codes.cpp.o.d"
+  "/root/repo/src/checkpoint/state.cpp" "src/checkpoint/CMakeFiles/vds_checkpoint.dir/state.cpp.o" "gcc" "src/checkpoint/CMakeFiles/vds_checkpoint.dir/state.cpp.o.d"
+  "/root/repo/src/checkpoint/store.cpp" "src/checkpoint/CMakeFiles/vds_checkpoint.dir/store.cpp.o" "gcc" "src/checkpoint/CMakeFiles/vds_checkpoint.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vds_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

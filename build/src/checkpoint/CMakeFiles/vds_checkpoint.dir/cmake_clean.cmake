@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vds_checkpoint.dir/codes.cpp.o"
+  "CMakeFiles/vds_checkpoint.dir/codes.cpp.o.d"
+  "CMakeFiles/vds_checkpoint.dir/state.cpp.o"
+  "CMakeFiles/vds_checkpoint.dir/state.cpp.o.d"
+  "CMakeFiles/vds_checkpoint.dir/store.cpp.o"
+  "CMakeFiles/vds_checkpoint.dir/store.cpp.o.d"
+  "libvds_checkpoint.a"
+  "libvds_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vds_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

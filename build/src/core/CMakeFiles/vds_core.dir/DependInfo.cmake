@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/vds_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/vds_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/conventional.cpp" "src/core/CMakeFiles/vds_core.dir/conventional.cpp.o" "gcc" "src/core/CMakeFiles/vds_core.dir/conventional.cpp.o.d"
+  "/root/repo/src/core/options.cpp" "src/core/CMakeFiles/vds_core.dir/options.cpp.o" "gcc" "src/core/CMakeFiles/vds_core.dir/options.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/vds_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/vds_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/smt_engine.cpp" "src/core/CMakeFiles/vds_core.dir/smt_engine.cpp.o" "gcc" "src/core/CMakeFiles/vds_core.dir/smt_engine.cpp.o.d"
+  "/root/repo/src/core/version_set.cpp" "src/core/CMakeFiles/vds_core.dir/version_set.cpp.o" "gcc" "src/core/CMakeFiles/vds_core.dir/version_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/vds_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/vds_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/vds_fault.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

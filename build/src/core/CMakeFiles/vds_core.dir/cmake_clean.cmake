@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vds_core.dir/campaign.cpp.o"
+  "CMakeFiles/vds_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/vds_core.dir/conventional.cpp.o"
+  "CMakeFiles/vds_core.dir/conventional.cpp.o.d"
+  "CMakeFiles/vds_core.dir/options.cpp.o"
+  "CMakeFiles/vds_core.dir/options.cpp.o.d"
+  "CMakeFiles/vds_core.dir/report.cpp.o"
+  "CMakeFiles/vds_core.dir/report.cpp.o.d"
+  "CMakeFiles/vds_core.dir/smt_engine.cpp.o"
+  "CMakeFiles/vds_core.dir/smt_engine.cpp.o.d"
+  "CMakeFiles/vds_core.dir/version_set.cpp.o"
+  "CMakeFiles/vds_core.dir/version_set.cpp.o.d"
+  "libvds_core.a"
+  "libvds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvds_core.a"
+)

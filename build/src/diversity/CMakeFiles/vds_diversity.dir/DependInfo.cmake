@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diversity/coverage.cpp" "src/diversity/CMakeFiles/vds_diversity.dir/coverage.cpp.o" "gcc" "src/diversity/CMakeFiles/vds_diversity.dir/coverage.cpp.o.d"
+  "/root/repo/src/diversity/generator.cpp" "src/diversity/CMakeFiles/vds_diversity.dir/generator.cpp.o" "gcc" "src/diversity/CMakeFiles/vds_diversity.dir/generator.cpp.o.d"
+  "/root/repo/src/diversity/transforms.cpp" "src/diversity/CMakeFiles/vds_diversity.dir/transforms.cpp.o" "gcc" "src/diversity/CMakeFiles/vds_diversity.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smt/CMakeFiles/vds_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vds_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vds_diversity.dir/coverage.cpp.o"
+  "CMakeFiles/vds_diversity.dir/coverage.cpp.o.d"
+  "CMakeFiles/vds_diversity.dir/generator.cpp.o"
+  "CMakeFiles/vds_diversity.dir/generator.cpp.o.d"
+  "CMakeFiles/vds_diversity.dir/transforms.cpp.o"
+  "CMakeFiles/vds_diversity.dir/transforms.cpp.o.d"
+  "libvds_diversity.a"
+  "libvds_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vds_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vds_fault.dir/detector.cpp.o"
+  "CMakeFiles/vds_fault.dir/detector.cpp.o.d"
+  "CMakeFiles/vds_fault.dir/fault_model.cpp.o"
+  "CMakeFiles/vds_fault.dir/fault_model.cpp.o.d"
+  "CMakeFiles/vds_fault.dir/injector.cpp.o"
+  "CMakeFiles/vds_fault.dir/injector.cpp.o.d"
+  "CMakeFiles/vds_fault.dir/predictor.cpp.o"
+  "CMakeFiles/vds_fault.dir/predictor.cpp.o.d"
+  "libvds_fault.a"
+  "libvds_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vds_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/gain.cpp" "src/model/CMakeFiles/vds_model.dir/gain.cpp.o" "gcc" "src/model/CMakeFiles/vds_model.dir/gain.cpp.o.d"
+  "/root/repo/src/model/limits.cpp" "src/model/CMakeFiles/vds_model.dir/limits.cpp.o" "gcc" "src/model/CMakeFiles/vds_model.dir/limits.cpp.o.d"
+  "/root/repo/src/model/params.cpp" "src/model/CMakeFiles/vds_model.dir/params.cpp.o" "gcc" "src/model/CMakeFiles/vds_model.dir/params.cpp.o.d"
+  "/root/repo/src/model/reliability.cpp" "src/model/CMakeFiles/vds_model.dir/reliability.cpp.o" "gcc" "src/model/CMakeFiles/vds_model.dir/reliability.cpp.o.d"
+  "/root/repo/src/model/surface.cpp" "src/model/CMakeFiles/vds_model.dir/surface.cpp.o" "gcc" "src/model/CMakeFiles/vds_model.dir/surface.cpp.o.d"
+  "/root/repo/src/model/timing.cpp" "src/model/CMakeFiles/vds_model.dir/timing.cpp.o" "gcc" "src/model/CMakeFiles/vds_model.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

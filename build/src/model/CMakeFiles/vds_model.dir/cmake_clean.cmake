@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vds_model.dir/gain.cpp.o"
+  "CMakeFiles/vds_model.dir/gain.cpp.o.d"
+  "CMakeFiles/vds_model.dir/limits.cpp.o"
+  "CMakeFiles/vds_model.dir/limits.cpp.o.d"
+  "CMakeFiles/vds_model.dir/params.cpp.o"
+  "CMakeFiles/vds_model.dir/params.cpp.o.d"
+  "CMakeFiles/vds_model.dir/reliability.cpp.o"
+  "CMakeFiles/vds_model.dir/reliability.cpp.o.d"
+  "CMakeFiles/vds_model.dir/surface.cpp.o"
+  "CMakeFiles/vds_model.dir/surface.cpp.o.d"
+  "CMakeFiles/vds_model.dir/timing.cpp.o"
+  "CMakeFiles/vds_model.dir/timing.cpp.o.d"
+  "libvds_model.a"
+  "libvds_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vds_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vds_model.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vds_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/vds_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/vds_sim.dir/rng.cpp.o"
+  "CMakeFiles/vds_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/vds_sim.dir/simulator.cpp.o"
+  "CMakeFiles/vds_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/vds_sim.dir/stats.cpp.o"
+  "CMakeFiles/vds_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/vds_sim.dir/trace.cpp.o"
+  "CMakeFiles/vds_sim.dir/trace.cpp.o.d"
+  "libvds_sim.a"
+  "libvds_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vds_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

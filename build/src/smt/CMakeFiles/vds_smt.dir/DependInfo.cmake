@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/cache.cpp" "src/smt/CMakeFiles/vds_smt.dir/cache.cpp.o" "gcc" "src/smt/CMakeFiles/vds_smt.dir/cache.cpp.o.d"
+  "/root/repo/src/smt/core.cpp" "src/smt/CMakeFiles/vds_smt.dir/core.cpp.o" "gcc" "src/smt/CMakeFiles/vds_smt.dir/core.cpp.o.d"
+  "/root/repo/src/smt/isa.cpp" "src/smt/CMakeFiles/vds_smt.dir/isa.cpp.o" "gcc" "src/smt/CMakeFiles/vds_smt.dir/isa.cpp.o.d"
+  "/root/repo/src/smt/machine.cpp" "src/smt/CMakeFiles/vds_smt.dir/machine.cpp.o" "gcc" "src/smt/CMakeFiles/vds_smt.dir/machine.cpp.o.d"
+  "/root/repo/src/smt/metrics.cpp" "src/smt/CMakeFiles/vds_smt.dir/metrics.cpp.o" "gcc" "src/smt/CMakeFiles/vds_smt.dir/metrics.cpp.o.d"
+  "/root/repo/src/smt/program.cpp" "src/smt/CMakeFiles/vds_smt.dir/program.cpp.o" "gcc" "src/smt/CMakeFiles/vds_smt.dir/program.cpp.o.d"
+  "/root/repo/src/smt/workload.cpp" "src/smt/CMakeFiles/vds_smt.dir/workload.cpp.o" "gcc" "src/smt/CMakeFiles/vds_smt.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vds_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vds_smt.dir/cache.cpp.o"
+  "CMakeFiles/vds_smt.dir/cache.cpp.o.d"
+  "CMakeFiles/vds_smt.dir/core.cpp.o"
+  "CMakeFiles/vds_smt.dir/core.cpp.o.d"
+  "CMakeFiles/vds_smt.dir/isa.cpp.o"
+  "CMakeFiles/vds_smt.dir/isa.cpp.o.d"
+  "CMakeFiles/vds_smt.dir/machine.cpp.o"
+  "CMakeFiles/vds_smt.dir/machine.cpp.o.d"
+  "CMakeFiles/vds_smt.dir/metrics.cpp.o"
+  "CMakeFiles/vds_smt.dir/metrics.cpp.o.d"
+  "CMakeFiles/vds_smt.dir/program.cpp.o"
+  "CMakeFiles/vds_smt.dir/program.cpp.o.d"
+  "CMakeFiles/vds_smt.dir/workload.cpp.o"
+  "CMakeFiles/vds_smt.dir/workload.cpp.o.d"
+  "libvds_smt.a"
+  "libvds_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vds_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

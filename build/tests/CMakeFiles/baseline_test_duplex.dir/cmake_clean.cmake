@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_test_duplex.dir/baseline/test_duplex.cpp.o"
+  "CMakeFiles/baseline_test_duplex.dir/baseline/test_duplex.cpp.o.d"
+  "baseline_test_duplex"
+  "baseline_test_duplex.pdb"
+  "baseline_test_duplex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_test_duplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

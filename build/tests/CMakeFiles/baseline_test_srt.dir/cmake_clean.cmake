@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_test_srt.dir/baseline/test_srt.cpp.o"
+  "CMakeFiles/baseline_test_srt.dir/baseline/test_srt.cpp.o.d"
+  "baseline_test_srt"
+  "baseline_test_srt.pdb"
+  "baseline_test_srt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_test_srt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_test_codes.dir/checkpoint/test_codes.cpp.o"
+  "CMakeFiles/checkpoint_test_codes.dir/checkpoint/test_codes.cpp.o.d"
+  "checkpoint_test_codes"
+  "checkpoint_test_codes.pdb"
+  "checkpoint_test_codes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_test_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for checkpoint_test_ecc_store.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_test_state.dir/checkpoint/test_state.cpp.o"
+  "CMakeFiles/checkpoint_test_state.dir/checkpoint/test_state.cpp.o.d"
+  "checkpoint_test_state"
+  "checkpoint_test_state.pdb"
+  "checkpoint_test_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_test_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_test_store.dir/checkpoint/test_store.cpp.o"
+  "CMakeFiles/checkpoint_test_store.dir/checkpoint/test_store.cpp.o.d"
+  "checkpoint_test_store"
+  "checkpoint_test_store.pdb"
+  "checkpoint_test_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_test_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_adaptive.dir/core/test_adaptive.cpp.o"
+  "CMakeFiles/core_test_adaptive.dir/core/test_adaptive.cpp.o.d"
+  "core_test_adaptive"
+  "core_test_adaptive.pdb"
+  "core_test_adaptive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

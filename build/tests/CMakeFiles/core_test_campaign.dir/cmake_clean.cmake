@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_campaign.dir/core/test_campaign.cpp.o"
+  "CMakeFiles/core_test_campaign.dir/core/test_campaign.cpp.o.d"
+  "core_test_campaign"
+  "core_test_campaign.pdb"
+  "core_test_campaign[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

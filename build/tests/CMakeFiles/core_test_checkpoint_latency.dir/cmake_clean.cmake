@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_checkpoint_latency.dir/core/test_checkpoint_latency.cpp.o"
+  "CMakeFiles/core_test_checkpoint_latency.dir/core/test_checkpoint_latency.cpp.o.d"
+  "core_test_checkpoint_latency"
+  "core_test_checkpoint_latency.pdb"
+  "core_test_checkpoint_latency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_checkpoint_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

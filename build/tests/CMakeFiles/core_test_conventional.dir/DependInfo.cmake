@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_conventional.cpp" "tests/CMakeFiles/core_test_conventional.dir/core/test_conventional.cpp.o" "gcc" "tests/CMakeFiles/core_test_conventional.dir/core/test_conventional.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/diversity/CMakeFiles/vds_diversity.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/vds_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/vds_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/vds_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/vds_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/vds_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vds_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_conventional.dir/core/test_conventional.cpp.o"
+  "CMakeFiles/core_test_conventional.dir/core/test_conventional.cpp.o.d"
+  "core_test_conventional"
+  "core_test_conventional.pdb"
+  "core_test_conventional[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_conventional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_options.dir/core/test_options.cpp.o"
+  "CMakeFiles/core_test_options.dir/core/test_options.cpp.o.d"
+  "core_test_options"
+  "core_test_options.pdb"
+  "core_test_options[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_smt_engine.dir/core/test_smt_engine.cpp.o"
+  "CMakeFiles/core_test_smt_engine.dir/core/test_smt_engine.cpp.o.d"
+  "core_test_smt_engine"
+  "core_test_smt_engine.pdb"
+  "core_test_smt_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_smt_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

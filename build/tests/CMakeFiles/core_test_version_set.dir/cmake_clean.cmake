@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_version_set.dir/core/test_version_set.cpp.o"
+  "CMakeFiles/core_test_version_set.dir/core/test_version_set.cpp.o.d"
+  "core_test_version_set"
+  "core_test_version_set.pdb"
+  "core_test_version_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_version_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

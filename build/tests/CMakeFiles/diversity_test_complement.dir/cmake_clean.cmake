@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diversity_test_complement.dir/diversity/test_complement.cpp.o"
+  "CMakeFiles/diversity_test_complement.dir/diversity/test_complement.cpp.o.d"
+  "diversity_test_complement"
+  "diversity_test_complement.pdb"
+  "diversity_test_complement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diversity_test_complement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diversity_test_coverage.dir/diversity/test_coverage.cpp.o"
+  "CMakeFiles/diversity_test_coverage.dir/diversity/test_coverage.cpp.o.d"
+  "diversity_test_coverage"
+  "diversity_test_coverage.pdb"
+  "diversity_test_coverage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diversity_test_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

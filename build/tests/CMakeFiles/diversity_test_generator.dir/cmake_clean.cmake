@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diversity_test_generator.dir/diversity/test_generator.cpp.o"
+  "CMakeFiles/diversity_test_generator.dir/diversity/test_generator.cpp.o.d"
+  "diversity_test_generator"
+  "diversity_test_generator.pdb"
+  "diversity_test_generator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diversity_test_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diversity_test_transforms.dir/diversity/test_transforms.cpp.o"
+  "CMakeFiles/diversity_test_transforms.dir/diversity/test_transforms.cpp.o.d"
+  "diversity_test_transforms"
+  "diversity_test_transforms.pdb"
+  "diversity_test_transforms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diversity_test_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_test_detector.dir/fault/test_detector.cpp.o"
+  "CMakeFiles/fault_test_detector.dir/fault/test_detector.cpp.o.d"
+  "fault_test_detector"
+  "fault_test_detector.pdb"
+  "fault_test_detector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_test_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_test_predictor.dir/fault/test_predictor.cpp.o"
+  "CMakeFiles/fault_test_predictor.dir/fault/test_predictor.cpp.o.d"
+  "fault_test_predictor"
+  "fault_test_predictor.pdb"
+  "fault_test_predictor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_test_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_test_predictor_advanced.dir/fault/test_predictor_advanced.cpp.o"
+  "CMakeFiles/fault_test_predictor_advanced.dir/fault/test_predictor_advanced.cpp.o.d"
+  "fault_test_predictor_advanced"
+  "fault_test_predictor_advanced.pdb"
+  "fault_test_predictor_advanced[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_test_predictor_advanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fault_test_predictor_advanced.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test_engine_properties.dir/integration/test_engine_properties.cpp.o"
+  "CMakeFiles/integration_test_engine_properties.dir/integration/test_engine_properties.cpp.o.d"
+  "integration_test_engine_properties"
+  "integration_test_engine_properties.pdb"
+  "integration_test_engine_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test_engine_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test_sim_vs_model.dir/integration/test_sim_vs_model.cpp.o"
+  "CMakeFiles/integration_test_sim_vs_model.dir/integration/test_sim_vs_model.cpp.o.d"
+  "integration_test_sim_vs_model"
+  "integration_test_sim_vs_model.pdb"
+  "integration_test_sim_vs_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test_sim_vs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_test_gain.dir/model/test_gain.cpp.o"
+  "CMakeFiles/model_test_gain.dir/model/test_gain.cpp.o.d"
+  "model_test_gain"
+  "model_test_gain.pdb"
+  "model_test_gain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_test_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

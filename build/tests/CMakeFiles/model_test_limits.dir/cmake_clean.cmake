@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_test_limits.dir/model/test_limits.cpp.o"
+  "CMakeFiles/model_test_limits.dir/model/test_limits.cpp.o.d"
+  "model_test_limits"
+  "model_test_limits.pdb"
+  "model_test_limits[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_test_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_test_reliability.dir/model/test_reliability.cpp.o"
+  "CMakeFiles/model_test_reliability.dir/model/test_reliability.cpp.o.d"
+  "model_test_reliability"
+  "model_test_reliability.pdb"
+  "model_test_reliability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_test_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

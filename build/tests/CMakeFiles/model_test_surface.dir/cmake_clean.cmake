@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_test_surface.dir/model/test_surface.cpp.o"
+  "CMakeFiles/model_test_surface.dir/model/test_surface.cpp.o.d"
+  "model_test_surface"
+  "model_test_surface.pdb"
+  "model_test_surface[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_test_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_test_timing.dir/model/test_timing.cpp.o"
+  "CMakeFiles/model_test_timing.dir/model/test_timing.cpp.o.d"
+  "model_test_timing"
+  "model_test_timing.pdb"
+  "model_test_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_test_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test_event_queue.dir/sim/test_event_queue.cpp.o"
+  "CMakeFiles/sim_test_event_queue.dir/sim/test_event_queue.cpp.o.d"
+  "sim_test_event_queue"
+  "sim_test_event_queue.pdb"
+  "sim_test_event_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test_event_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

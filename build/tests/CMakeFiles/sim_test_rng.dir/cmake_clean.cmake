@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test_rng.dir/sim/test_rng.cpp.o"
+  "CMakeFiles/sim_test_rng.dir/sim/test_rng.cpp.o.d"
+  "sim_test_rng"
+  "sim_test_rng.pdb"
+  "sim_test_rng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test_simulator.dir/sim/test_simulator.cpp.o"
+  "CMakeFiles/sim_test_simulator.dir/sim/test_simulator.cpp.o.d"
+  "sim_test_simulator"
+  "sim_test_simulator.pdb"
+  "sim_test_simulator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test_stats.dir/sim/test_stats.cpp.o"
+  "CMakeFiles/sim_test_stats.dir/sim/test_stats.cpp.o.d"
+  "sim_test_stats"
+  "sim_test_stats.pdb"
+  "sim_test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test_time.dir/sim/test_time.cpp.o"
+  "CMakeFiles/sim_test_time.dir/sim/test_time.cpp.o.d"
+  "sim_test_time"
+  "sim_test_time.pdb"
+  "sim_test_time[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_test_cache.dir/smt/test_cache.cpp.o"
+  "CMakeFiles/smt_test_cache.dir/smt/test_cache.cpp.o.d"
+  "smt_test_cache"
+  "smt_test_cache.pdb"
+  "smt_test_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_test_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_test_core.dir/smt/test_core.cpp.o"
+  "CMakeFiles/smt_test_core.dir/smt/test_core.cpp.o.d"
+  "smt_test_core"
+  "smt_test_core.pdb"
+  "smt_test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

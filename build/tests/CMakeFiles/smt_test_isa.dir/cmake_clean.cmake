@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_test_isa.dir/smt/test_isa.cpp.o"
+  "CMakeFiles/smt_test_isa.dir/smt/test_isa.cpp.o.d"
+  "smt_test_isa"
+  "smt_test_isa.pdb"
+  "smt_test_isa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_test_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

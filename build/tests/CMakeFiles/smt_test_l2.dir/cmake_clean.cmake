@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_test_l2.dir/smt/test_l2.cpp.o"
+  "CMakeFiles/smt_test_l2.dir/smt/test_l2.cpp.o.d"
+  "smt_test_l2"
+  "smt_test_l2.pdb"
+  "smt_test_l2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_test_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

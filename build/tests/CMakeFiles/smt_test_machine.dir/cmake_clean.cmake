@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_test_machine.dir/smt/test_machine.cpp.o"
+  "CMakeFiles/smt_test_machine.dir/smt/test_machine.cpp.o.d"
+  "smt_test_machine"
+  "smt_test_machine.pdb"
+  "smt_test_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_test_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

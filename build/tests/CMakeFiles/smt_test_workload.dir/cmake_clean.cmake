@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_test_workload.dir/smt/test_workload.cpp.o"
+  "CMakeFiles/smt_test_workload.dir/smt/test_workload.cpp.o.d"
+  "smt_test_workload"
+  "smt_test_workload.pdb"
+  "smt_test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vds_cli.dir/vds_cli.cpp.o"
+  "CMakeFiles/vds_cli.dir/vds_cli.cpp.o.d"
+  "vds_cli"
+  "vds_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vds_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vds_sweep.dir/vds_sweep.cpp.o"
+  "CMakeFiles/vds_sweep.dir/vds_sweep.cpp.o.d"
+  "vds_sweep"
+  "vds_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vds_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
