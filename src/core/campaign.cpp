@@ -27,9 +27,14 @@ double CampaignSummary::safety() const {
                    static_cast<double>(effective);
 }
 
-namespace {
+void CampaignSummary::merge(const CampaignSummary& other) noexcept {
+  for (std::size_t k = 0; k < by_outcome.size(); ++k) {
+    by_outcome[k] += other.by_outcome[k];
+  }
+  injections += other.injections;
+}
 
-InjectionOutcome classify(const RunReport& report) {
+InjectionOutcome classify_outcome(const RunReport& report) noexcept {
   if (report.failed_safe) return InjectionOutcome::kFailSafe;
   if (!report.completed) return InjectionOutcome::kNotCompleted;
   if (report.silent_corruption) return InjectionOutcome::kSilent;
@@ -37,8 +42,6 @@ InjectionOutcome classify(const RunReport& report) {
   if (report.rollbacks > 0) return InjectionOutcome::kRolledBack;
   return InjectionOutcome::kNoEffect;
 }
-
-}  // namespace
 
 std::vector<InjectionResult> run_injection_campaign(
     const InjectionCampaign& campaign, const EngineRunner& runner) {
@@ -66,7 +69,7 @@ std::vector<InjectionResult> run_injection_campaign(
       InjectionResult result;
       result.kind = kind;
       result.round = round;
-      result.outcome = classify(report);
+      result.outcome = classify_outcome(report);
       result.detection_latency = report.detection_latency.empty()
                                      ? -1.0
                                      : report.detection_latency.mean();

@@ -27,6 +27,11 @@ enum class InjectionOutcome : std::uint8_t {
 
 [[nodiscard]] std::string_view to_string(InjectionOutcome outcome) noexcept;
 
+/// Classifies one run report into an outcome (shared by the
+/// sequential grid campaign and the Monte Carlo runtime).
+[[nodiscard]] InjectionOutcome classify_outcome(
+    const RunReport& report) noexcept;
+
 /// One cell of the campaign grid.
 struct InjectionResult {
   vds::fault::FaultKind kind = vds::fault::FaultKind::kTransient;
@@ -48,6 +53,13 @@ struct CampaignSummary {
   /// kNotCompleted) that ended in a safe state (recovered, rolled back
   /// or fail-safe) rather than silent corruption.
   [[nodiscard]] double safety() const;
+
+  /// Folds another (shard) summary into this one. Counts are exact,
+  /// so the merge is associative and commutative — shards produced by
+  /// parallel workers combine to the same totals in any order.
+  void merge(const CampaignSummary& other) noexcept;
+
+  [[nodiscard]] bool operator==(const CampaignSummary&) const = default;
 };
 
 /// Campaign configuration: which single faults to inject, one run per

@@ -1,0 +1,280 @@
+#include "runtime/journal.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+
+namespace vds::runtime {
+
+// --- JsonWriter ------------------------------------------------------
+
+void JsonWriter::separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows its key on the same line
+  }
+  if (!wrote_element_.empty()) {
+    if (wrote_element_.back()) os_ << ',';
+    wrote_element_.back() = true;
+    os_ << '\n';
+    indent();
+  }
+}
+
+void JsonWriter::indent() {
+  for (std::size_t k = 0; k < wrote_element_.size(); ++k) os_ << "  ";
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  os_ << '{';
+  wrote_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool had_elements = wrote_element_.back();
+  wrote_element_.pop_back();
+  if (had_elements) {
+    os_ << '\n';
+    indent();
+  }
+  os_ << '}';
+  if (wrote_element_.empty()) os_ << '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  os_ << '[';
+  wrote_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool had_elements = wrote_element_.back();
+  wrote_element_.pop_back();
+  if (had_elements) {
+    os_ << '\n';
+    indent();
+  }
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  separate();
+  write_string(name);
+  os_ << ": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  separate();
+  write_string(text);
+  return *this;
+}
+
+void JsonWriter::write_string(std::string_view text) {
+  os_ << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': os_ << "\\\""; break;
+      case '\\': os_ << "\\\\"; break;
+      case '\n': os_ << "\\n"; break;
+      case '\r': os_ << "\\r"; break;
+      case '\t': os_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os_ << buf;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  separate();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", number);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  separate();
+  os_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  separate();
+  os_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  separate();
+  os_ << (flag ? "true" : "false");
+  return *this;
+}
+
+// --- shared report/summary serialization -----------------------------
+
+void write_json(JsonWriter& json, const core::RunReport& report) {
+  json.begin_object();
+  json.field("completed", report.completed);
+  json.field("failed_safe", report.failed_safe);
+  json.field("silent_corruption", report.silent_corruption);
+  json.field("total_time", report.total_time);
+  json.field("rounds_committed", report.rounds_committed);
+  json.field("faults_seen", report.faults_seen);
+  json.field("transient_faults", report.transient_faults);
+  json.field("crash_faults", report.crash_faults);
+  json.field("permanent_faults", report.permanent_faults);
+  json.field("processor_crashes", report.processor_crashes);
+  json.field("detections", report.detections);
+  json.field("recoveries_ok", report.recoveries_ok);
+  json.field("rollbacks", report.rollbacks);
+  json.field("comparisons", report.comparisons);
+  json.field("checkpoints", report.checkpoints);
+  json.field("roll_forwards_kept", report.roll_forwards_kept);
+  json.field("roll_forwards_discarded", report.roll_forwards_discarded);
+  json.field("roll_forward_rounds_gained", report.roll_forward_rounds_gained);
+  json.field("predictions", report.predictions);
+  json.field("prediction_hits", report.prediction_hits);
+  json.field("predictor_accuracy", report.predictor_accuracy());
+  json.field("throughput", report.throughput());
+  json.key("detection_latency").begin_object();
+  json.field("count", static_cast<std::uint64_t>(report.detection_latency.count()));
+  json.field("mean", report.detection_latency.mean());
+  json.field("stddev", report.detection_latency.stddev());
+  json.end_object();
+  json.key("recovery_time").begin_object();
+  json.field("count", static_cast<std::uint64_t>(report.recovery_time.count()));
+  json.field("mean", report.recovery_time.mean());
+  json.field("stddev", report.recovery_time.stddev());
+  json.end_object();
+  json.end_object();
+}
+
+void write_json(JsonWriter& json, const core::CampaignSummary& summary) {
+  json.begin_object();
+  json.field("injections", summary.injections);
+  json.field("safety", summary.safety());
+  json.key("by_outcome").begin_object();
+  for (std::size_t k = 0; k < summary.by_outcome.size(); ++k) {
+    json.field(core::to_string(static_cast<core::InjectionOutcome>(k)),
+               summary.by_outcome[k]);
+  }
+  json.end_object();
+  json.end_object();
+}
+
+// --- fingerprint hash ------------------------------------------------
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t seed) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t k = 0; k < bytes; ++k) {
+    h ^= p[k];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(std::string_view text, std::uint64_t seed) noexcept {
+  return fnv1a(text.data(), text.size(), seed);
+}
+
+// --- Journal ---------------------------------------------------------
+
+namespace {
+
+constexpr const char* kHeaderFormat = "vds-mc-journal v1 fingerprint %016" PRIx64 "\n";
+
+}  // namespace
+
+std::vector<JournalRecord> Journal::load(const std::string& path,
+                                         std::uint64_t fingerprint) {
+  std::vector<JournalRecord> records;
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return records;  // nothing journaled yet
+
+  char line[256];
+  bool have_header = false;
+  while (std::fgets(line, sizeof line, file) != nullptr) {
+    const std::size_t len = std::strlen(line);
+    if (len == 0 || line[len - 1] != '\n') break;  // torn final line
+    if (!have_header) {
+      std::uint64_t stored = 0;
+      if (std::sscanf(line, "vds-mc-journal v1 fingerprint %" SCNx64,
+                      &stored) != 1) {
+        std::fclose(file);
+        throw std::runtime_error("journal '" + path +
+                                 "': unrecognized header");
+      }
+      if (stored != fingerprint) {
+        std::fclose(file);
+        throw std::runtime_error(
+            "journal '" + path +
+            "' was written for a different campaign configuration; "
+            "refusing to resume (delete it to start over)");
+      }
+      have_header = true;
+      continue;
+    }
+    JournalRecord record;
+    if (std::sscanf(line,
+                    "cell %" SCNu64 " %d %la %la %la %" SCNu64,
+                    &record.index, &record.outcome,
+                    &record.detection_latency, &record.recovery_time,
+                    &record.total_time, &record.rounds_committed) == 6) {
+      records.push_back(record);
+    }
+    // Unparseable interior lines are skipped (future extensions).
+  }
+  std::fclose(file);
+  return records;
+}
+
+Journal::Journal(const std::string& path, std::uint64_t fingerprint)
+    : path_(path) {
+  // "a" keeps existing records (resume); the header is only written
+  // when the file is empty.
+  file_ = std::fopen(path.c_str(), "a");
+  if (file_ == nullptr) {
+    throw std::runtime_error("cannot open journal '" + path + "'");
+  }
+  std::fseek(file_, 0, SEEK_END);
+  if (std::ftell(file_) == 0) {
+    std::fprintf(file_, kHeaderFormat, fingerprint);
+    std::fflush(file_);
+  }
+}
+
+Journal::~Journal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void Journal::append(const JournalRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(file_, "cell %" PRIu64 " %d %a %a %a %" PRIu64 "\n",
+               record.index, record.outcome, record.detection_latency,
+               record.recovery_time, record.total_time,
+               record.rounds_committed);
+  std::fflush(file_);
+}
+
+}  // namespace vds::runtime

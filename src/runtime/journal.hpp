@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vds::core {
+struct RunReport;
+struct CampaignSummary;
+}  // namespace vds::core
+
+namespace vds::runtime {
+
+/// Minimal streaming JSON emitter — the one machine-readable schema
+/// shared by `vds_mc --json-out`, `vds_cli --json` and the journal's
+/// snapshot. Handles nesting, comma placement, string escaping and
+/// round-trippable doubles; the caller supplies structure.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits the key of the next object member.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(bool flag);
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(static_cast<T&&>(v));
+  }
+
+ private:
+  void separate();
+  void indent();
+  void write_string(std::string_view text);
+
+  std::ostream& os_;
+  // One entry per open container: true once the first element has
+  // been written (a comma is then needed before the next one).
+  std::vector<bool> wrote_element_;
+  bool pending_key_ = false;
+};
+
+/// Serializes a full engine run report (schema `vds.run_report.v1`
+/// object body). Shared between the CLIs.
+void write_json(JsonWriter& json, const core::RunReport& report);
+
+/// Serializes outcome counts of a campaign summary.
+void write_json(JsonWriter& json, const core::CampaignSummary& summary);
+
+/// One journaled Monte Carlo cell: everything the aggregation needs,
+/// so a resumed campaign reproduces the merged summary bit for bit.
+struct JournalRecord {
+  std::uint64_t index = 0;           ///< cell index in the canonical grid order
+  int outcome = 0;                   ///< InjectionOutcome as integer
+  double detection_latency = -1.0;   ///< -1 when never detected
+  double recovery_time = 0.0;
+  double total_time = 0.0;
+  std::uint64_t rounds_committed = 0;
+
+  [[nodiscard]] bool operator==(const JournalRecord&) const = default;
+};
+
+/// Append-only progress journal for resumable campaigns.
+///
+/// Plain text, one record per line, doubles in hex-float so reloads
+/// are bitwise exact. The header carries a fingerprint of the
+/// campaign configuration; `load()` refuses a journal written for a
+/// different configuration. A torn final line (the process was killed
+/// mid-write) is ignored on load, so a crashed campaign always
+/// resumes from its last *complete* record.
+class Journal {
+ public:
+  /// Parses `path`. Returns the complete records found; an absent
+  /// file yields an empty vector. Throws std::runtime_error when the
+  /// file exists but its fingerprint does not match.
+  static std::vector<JournalRecord> load(const std::string& path,
+                                         std::uint64_t fingerprint);
+
+  /// Opens `path` for appending, writing the fingerprint header first
+  /// if the file is new/empty. Throws std::runtime_error on I/O error.
+  Journal(const std::string& path, std::uint64_t fingerprint);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Appends one completed cell and flushes. Thread-safe.
+  void append(const JournalRecord& record);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+};
+
+/// FNV-1a, the journal/config fingerprint hash.
+[[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                                  std::uint64_t seed = 0xcbf29ce484222325ull) noexcept;
+
+[[nodiscard]] std::uint64_t fnv1a(std::string_view text,
+                                  std::uint64_t seed = 0xcbf29ce484222325ull) noexcept;
+
+}  // namespace vds::runtime

@@ -1,0 +1,295 @@
+#include "runtime/mc_campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/smt_engine.hpp"
+#include "runtime/journal.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace vds::runtime {
+
+namespace {
+
+/// Cells per aggregation shard. Shards are fixed index blocks (not
+/// per-worker bins), so the reduction shape is independent of the
+/// thread count and of which worker ran which cell.
+constexpr std::size_t kShardCells = 64;
+
+std::uint64_t hash_double(double x, std::uint64_t h) noexcept {
+  return fnv1a(&x, sizeof x, h);
+}
+
+std::uint64_t hash_u64(std::uint64_t x, std::uint64_t h) noexcept {
+  return fnv1a(&x, sizeof x, h);
+}
+
+std::uint64_t hash_accumulator(const vds::sim::Accumulator& acc,
+                               std::uint64_t h) noexcept {
+  h = hash_u64(acc.count(), h);
+  h = hash_double(acc.mean(), h);
+  h = hash_double(acc.variance(), h);
+  h = hash_double(acc.min(), h);
+  h = hash_double(acc.max(), h);
+  h = hash_double(acc.sum(), h);
+  return h;
+}
+
+McCell cell_at(const McConfig& config, std::uint64_t index) {
+  McCell cell;
+  cell.index = index;
+  const std::uint64_t replicas = config.replicas;
+  const std::uint64_t rounds = config.rounds.size();
+  cell.replica = index % replicas;
+  const std::uint64_t grid = index / replicas;
+  cell.round = config.rounds[grid % rounds];
+  cell.kind = config.kinds[grid / rounds];
+  return cell;
+}
+
+/// Draws the cell's fault. The draw order matches the sequential
+/// campaign (victim, location, word, bit) with the offset appended,
+/// every value coming from the cell's private substream.
+vds::fault::Fault draw_fault(const McConfig& config, const McCell& cell,
+                             vds::sim::Rng& rng) {
+  vds::fault::Fault fault;
+  fault.kind = cell.kind;
+  fault.victim = rng.bernoulli(0.5) ? vds::fault::Victim::kVersion1
+                                    : vds::fault::Victim::kVersion2;
+  fault.location = static_cast<std::uint32_t>(rng.uniform_index(16));
+  fault.word = static_cast<std::uint32_t>(rng.uniform_index(1u << 16));
+  fault.bit = static_cast<std::uint8_t>(rng.uniform_index(64));
+  const double offset =
+      config.jitter_offset ? rng.uniform() : config.fixed_offset;
+  fault.when = (static_cast<double>(cell.round) - 1.0) * config.round_time +
+               offset * config.round_time;
+  return fault;
+}
+
+McCellResult to_cell_result(const core::RunReport& report) {
+  McCellResult result;
+  result.outcome = core::classify_outcome(report);
+  result.detection_latency = report.detection_latency.empty()
+                                 ? -1.0
+                                 : report.detection_latency.mean();
+  result.recovery_time =
+      report.recovery_time.empty() ? 0.0 : report.recovery_time.mean();
+  result.total_time = report.total_time;
+  result.rounds_committed = report.rounds_committed;
+  return result;
+}
+
+JournalRecord to_record(std::uint64_t index, const McCellResult& result) {
+  JournalRecord record;
+  record.index = index;
+  record.outcome = static_cast<int>(result.outcome);
+  record.detection_latency = result.detection_latency;
+  record.recovery_time = result.recovery_time;
+  record.total_time = result.total_time;
+  record.rounds_committed = result.rounds_committed;
+  return record;
+}
+
+McCellResult from_record(const JournalRecord& record) {
+  McCellResult result;
+  result.outcome = static_cast<core::InjectionOutcome>(record.outcome);
+  result.detection_latency = record.detection_latency;
+  result.recovery_time = record.recovery_time;
+  result.total_time = record.total_time;
+  result.rounds_committed = record.rounds_committed;
+  return result;
+}
+
+void write_json(JsonWriter& json, const char* name,
+                const vds::sim::Accumulator& acc) {
+  json.key(name).begin_object();
+  json.field("count", static_cast<std::uint64_t>(acc.count()));
+  json.field("mean", acc.mean());
+  json.field("stddev", acc.stddev());
+  json.field("sem", acc.sem());
+  json.field("min", acc.min());
+  json.field("max", acc.max());
+  json.field("sum", acc.sum());
+  json.end_object();
+}
+
+}  // namespace
+
+std::uint64_t McConfig::fingerprint() const noexcept {
+  std::uint64_t h = fnv1a("vds-mc-config-v1");
+  for (const auto kind : kinds) {
+    h = hash_u64(static_cast<std::uint64_t>(kind), h);
+  }
+  h = hash_u64(0xfeed, h);  // domain separator kinds/rounds
+  for (const auto round : rounds) h = hash_u64(round, h);
+  h = hash_u64(replicas, h);
+  h = hash_double(round_time, h);
+  h = hash_u64(jitter_offset ? 1 : 0, h);
+  h = hash_double(fixed_offset, h);
+  h = hash_u64(seed, h);
+  h = hash_u64(runner_fingerprint, h);
+  return h;
+}
+
+void McSummary::add(const McCellResult& result) {
+  ++outcomes.by_outcome[static_cast<std::size_t>(result.outcome)];
+  ++outcomes.injections;
+  if (result.detection_latency >= 0.0) {
+    detection_latency.add(result.detection_latency);
+  }
+  if (result.recovery_time > 0.0) recovery_time.add(result.recovery_time);
+  total_time.add(result.total_time);
+  rounds_committed.add(static_cast<double>(result.rounds_committed));
+}
+
+void McSummary::merge(const McSummary& other) {
+  outcomes.merge(other.outcomes);
+  detection_latency.merge(other.detection_latency);
+  recovery_time.merge(other.recovery_time);
+  total_time.merge(other.total_time);
+  rounds_committed.merge(other.rounds_committed);
+  cells_executed += other.cells_executed;
+  cells_resumed += other.cells_resumed;
+}
+
+std::uint64_t McSummary::digest() const noexcept {
+  // cells_executed / cells_resumed are deliberately excluded: a
+  // resumed campaign must digest-match its uninterrupted twin.
+  std::uint64_t h = fnv1a("vds-mc-summary-v1");
+  for (const auto count : outcomes.by_outcome) h = hash_u64(count, h);
+  h = hash_u64(outcomes.injections, h);
+  h = hash_accumulator(detection_latency, h);
+  h = hash_accumulator(recovery_time, h);
+  h = hash_accumulator(total_time, h);
+  h = hash_accumulator(rounds_committed, h);
+  return h;
+}
+
+McRunner make_smt_runner(core::VdsOptions options) {
+  return [options](const McCell&, vds::fault::FaultTimeline& timeline,
+                   vds::sim::Rng& rng) {
+    core::SmtVds vds(options, rng.split(1));
+    vds.set_predictor(
+        std::make_unique<vds::fault::RandomPredictor>(rng.split(2)));
+    return vds.run(timeline);
+  };
+}
+
+McSummary run_mc_campaign(const McConfig& config, const McRunner& runner) {
+  if (config.kinds.empty() || config.rounds.empty() ||
+      config.replicas == 0) {
+    throw std::runtime_error("mc campaign: empty grid");
+  }
+  const std::size_t cells = config.cells();
+  const std::uint64_t fingerprint = config.fingerprint();
+
+  std::vector<McCellResult> results(cells);
+  std::vector<char> done(cells, 0);
+  std::uint64_t resumed = 0;
+
+  if (!config.journal_path.empty()) {
+    if (config.resume) {
+      for (const JournalRecord& record :
+           Journal::load(config.journal_path, fingerprint)) {
+        if (record.index >= cells || done[record.index]) continue;
+        results[record.index] = from_record(record);
+        done[record.index] = 1;
+        ++resumed;
+      }
+    } else {
+      // A fresh (non-resuming) campaign starts a fresh journal.
+      std::remove(config.journal_path.c_str());
+    }
+  }
+
+  std::unique_ptr<Journal> journal;
+  if (!config.journal_path.empty()) {
+    journal = std::make_unique<Journal>(config.journal_path, fingerprint);
+  }
+
+  ThreadPool pool(config.threads);
+  const vds::sim::Rng base(config.seed);
+  std::atomic<std::uint64_t> executed{0};
+
+  for (std::size_t index = 0; index < cells; ++index) {
+    if (done[index]) continue;
+    pool.submit([&, index] {
+      // Every random draw comes from the cell's own substream, a pure
+      // function of (seed, index): scheduling cannot perturb it.
+      vds::sim::Rng rng = base.substream(index);
+      const McCell cell = cell_at(config, index);
+      vds::fault::Fault fault = draw_fault(config, cell, rng);
+      vds::fault::FaultTimeline timeline({fault});
+      const core::RunReport report = runner(cell, timeline, rng);
+      results[index] = to_cell_result(report);
+      if (journal) journal->append(to_record(index, results[index]));
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.wait_idle();
+
+  // Sharded reduction: fixed index blocks, built in parallel, merged
+  // in block order -- deterministic for any thread count.
+  const std::size_t shard_count = (cells + kShardCells - 1) / kShardCells;
+  std::vector<McSummary> shards(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    pool.submit([&, s] {
+      const std::size_t lo = s * kShardCells;
+      const std::size_t hi = std::min(cells, lo + kShardCells);
+      for (std::size_t index = lo; index < hi; ++index) {
+        shards[s].add(results[index]);
+      }
+    });
+  }
+  pool.wait_idle();
+
+  McSummary total;
+  for (const McSummary& shard : shards) total.merge(shard);
+  total.cells_executed = executed.load();
+  total.cells_resumed = resumed;
+  return total;
+}
+
+void write_snapshot(std::ostream& os, const McConfig& config,
+                    const McSummary& summary) {
+  JsonWriter json(os);
+  json.begin_object();
+  json.field("schema", "vds.mc_summary.v1");
+  json.key("config").begin_object();
+  json.key("kinds").begin_array();
+  for (const auto kind : config.kinds) {
+    json.value(vds::fault::to_string(kind));
+  }
+  json.end_array();
+  json.key("rounds").begin_array();
+  for (const auto round : config.rounds) json.value(round);
+  json.end_array();
+  json.field("replicas", config.replicas);
+  json.field("round_time", config.round_time);
+  json.field("jitter_offset", config.jitter_offset);
+  json.field("seed", config.seed);
+  json.field("cells", static_cast<std::uint64_t>(config.cells()));
+  json.field("fingerprint", config.fingerprint());
+  json.end_object();
+  json.key("summary").begin_object();
+  json.key("outcomes");
+  write_json(json, summary.outcomes);
+  write_json(json, "detection_latency", summary.detection_latency);
+  write_json(json, "recovery_time", summary.recovery_time);
+  write_json(json, "total_time", summary.total_time);
+  write_json(json, "rounds_committed", summary.rounds_committed);
+  json.field("cells_executed", summary.cells_executed);
+  json.field("cells_resumed", summary.cells_resumed);
+  char digest_hex[20];
+  std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
+                static_cast<unsigned long long>(summary.digest()));
+  json.field("digest", digest_hex);
+  json.end_object();
+  json.end_object();
+}
+
+}  // namespace vds::runtime

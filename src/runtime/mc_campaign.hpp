@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/options.hpp"
+#include "core/report.hpp"
+#include "fault/fault_model.hpp"
+#include "fault/injector.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace vds::runtime {
+
+/// Monte Carlo injection-campaign configuration. The grid is the same
+/// (fault kind × detection round) lattice as core::InjectionCampaign;
+/// `replicas` runs every cell that many times with an independently
+/// randomized fault position, turning the grid into a Monte Carlo
+/// estimate of the paper's expectations over fault position (the
+/// quantities behind Ḡ_det / Ḡ_corr and the Figure 4/5 surfaces).
+struct McConfig {
+  std::vector<vds::fault::FaultKind> kinds = {
+      vds::fault::FaultKind::kTransient, vds::fault::FaultKind::kCrash,
+      vds::fault::FaultKind::kPermanent,
+      vds::fault::FaultKind::kProcessorCrash};
+  /// Detection-interval rounds at which faults strike, 1-based.
+  std::vector<std::uint64_t> rounds = {1, 5, 10, 15, 20};
+  std::uint64_t replicas = 1;
+  /// Round-pair duration of the engine under test.
+  double round_time = 1.4;
+  /// When true (the Monte Carlo default) each replica draws its own
+  /// fractional offset inside the round window; when false all cells
+  /// use `fixed_offset` (the sequential campaign's behavior).
+  bool jitter_offset = true;
+  double fixed_offset = 0.3;
+  std::uint64_t seed = 1;
+
+  /// Worker threads; 0 = hardware concurrency.
+  unsigned threads = 1;
+  /// Progress journal path; empty disables journaling.
+  std::string journal_path;
+  /// Load the journal and skip already-completed cells.
+  bool resume = false;
+  /// Extra fingerprint salt for engine parameters the runner closes
+  /// over (scheme, alpha, s, ...), so a journal cannot be resumed
+  /// against a differently configured engine.
+  std::uint64_t runner_fingerprint = 0;
+
+  [[nodiscard]] std::size_t cells() const noexcept {
+    return kinds.size() * rounds.size() *
+           static_cast<std::size_t>(replicas);
+  }
+
+  /// Fingerprint over everything that shapes the per-cell work.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+};
+
+/// One unit of Monte Carlo work, identified by its canonical index
+///   index = (kind_index * |rounds| + round_index) * replicas + replica.
+struct McCell {
+  std::uint64_t index = 0;
+  vds::fault::FaultKind kind = vds::fault::FaultKind::kTransient;
+  std::uint64_t round = 1;
+  std::uint64_t replica = 0;
+};
+
+/// Per-cell result; exactly what aggregation (and the journal)
+/// needs, nothing more.
+struct McCellResult {
+  core::InjectionOutcome outcome = core::InjectionOutcome::kNoEffect;
+  double detection_latency = -1.0;  ///< -1 when never detected
+  double recovery_time = 0.0;
+  double total_time = 0.0;
+  std::uint64_t rounds_committed = 0;
+
+  [[nodiscard]] bool operator==(const McCellResult&) const = default;
+};
+
+/// Merged campaign aggregate. Shards are combined with `merge()`
+/// (exact counts + Chan-et-al accumulator merge); the engine always
+/// folds shards in canonical cell order, so the final summary is
+/// bitwise identical for every thread count.
+struct McSummary {
+  core::CampaignSummary outcomes;
+  vds::sim::Accumulator detection_latency;  ///< over detected cells
+  vds::sim::Accumulator recovery_time;      ///< over recovering cells
+  vds::sim::Accumulator total_time;         ///< over all cells
+  vds::sim::Accumulator rounds_committed;   ///< over all cells
+  std::uint64_t cells_executed = 0;  ///< ran this invocation (not journaled)
+  std::uint64_t cells_resumed = 0;   ///< satisfied from the journal
+
+  void add(const McCellResult& result);
+  void merge(const McSummary& other);
+
+  /// Order-sensitive hash of every moment and count — two summaries
+  /// with equal digests are bitwise identical. Used by the
+  /// determinism tests and the scaling bench.
+  [[nodiscard]] std::uint64_t digest() const noexcept;
+};
+
+/// Executes one engine run for a cell. `timeline` holds the drawn
+/// fault; `rng` is the cell's private substream, already advanced
+/// past the fault draw — split engine/predictor streams from it.
+using McRunner = std::function<core::RunReport(
+    const McCell& cell, vds::fault::FaultTimeline& timeline,
+    vds::sim::Rng& rng)>;
+
+/// A runner executing core::SmtVds with the given options; the
+/// engine seed derives from each cell's substream.
+[[nodiscard]] McRunner make_smt_runner(core::VdsOptions options);
+
+/// Runs the campaign across a work-stealing pool. Cells fan out over
+/// `config.threads` workers; each cell draws its fault from
+/// `Rng(config.seed).substream(cell index)` so the work decomposition
+/// has no effect on any random draw. Aggregation shards the cell
+/// results into fixed blocks, reduces the blocks in parallel and
+/// merges them in canonical order — the returned summary is bitwise
+/// identical for every thread count, and (with a journal) across
+/// kill/resume boundaries. Throws std::runtime_error if a journal is
+/// present but was written by a different configuration.
+[[nodiscard]] McSummary run_mc_campaign(const McConfig& config,
+                                        const McRunner& runner);
+
+/// Writes the `vds.mc_summary.v1` JSON snapshot (config + summary).
+void write_snapshot(std::ostream& os, const McConfig& config,
+                    const McSummary& summary);
+
+}  // namespace vds::runtime

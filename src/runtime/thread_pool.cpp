@@ -1,0 +1,109 @@
+#include "runtime/thread_pool.hpp"
+
+#include <utility>
+
+namespace vds::runtime {
+
+unsigned ThreadPool::hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = hardware_threads();
+  workers_.reserve(threads);
+  for (unsigned k = 0; k < threads; ++k) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(threads);
+  for (unsigned k = 0; k < threads; ++k) {
+    threads_.emplace_back([this, k] { worker_loop(k); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(work_mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::submit(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    ++pending_;
+  }
+  std::size_t victim;
+  {
+    std::lock_guard<std::mutex> lock(work_mutex_);
+    victim = next_queue_++ % workers_.size();
+    ++queued_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[victim]->mutex);
+    workers_[victim]->queue.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool ThreadPool::try_pop(unsigned id, Task& task) {
+  // Own queue first, newest task (LIFO keeps the working set warm)...
+  {
+    Worker& own = *workers_[id];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.queue.empty()) {
+      task = std::move(own.queue.back());
+      own.queue.pop_back();
+      return true;
+    }
+  }
+  // ...then steal the oldest task from another worker.
+  const std::size_t n = workers_.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    Worker& victim = *workers_[(id + k) % n];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.queue.empty()) {
+      task = std::move(victim.queue.front());
+      victim.queue.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(unsigned id) {
+  for (;;) {
+    Task task;
+    bool have_task = false;
+    {
+      std::unique_lock<std::mutex> lock(work_mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+      if (queued_ > 0) {
+        // Claim optimistically; the queues are checked below. A lost
+        // race (another thief emptied them) just re-enters the wait.
+        lock.unlock();
+        have_task = try_pop(id, task);
+        lock.lock();
+        if (have_task) --queued_;
+      }
+      if (!have_task && stop_) return;
+    }
+    if (!have_task) continue;
+    task();
+    {
+      std::lock_guard<std::mutex> lock(idle_mutex_);
+      --pending_;
+      if (pending_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace vds::runtime

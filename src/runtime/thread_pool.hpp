@@ -1,0 +1,73 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vds::runtime {
+
+/// Work-stealing thread pool for campaign fan-out.
+///
+/// Each worker owns a deque: it pops its own work LIFO (cache-warm)
+/// and steals FIFO from victims when empty, so large task batches
+/// balance themselves without a central queue bottleneck. Tasks may
+/// submit further tasks. `wait_idle()` blocks until every submitted
+/// task has *finished* (not merely been claimed), which makes the
+/// pool reusable across campaign phases.
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// `threads == 0` uses the hardware concurrency (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Safe to call from worker threads.
+  void submit(Task task);
+
+  /// Blocks until all submitted tasks have completed.
+  void wait_idle();
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  [[nodiscard]] static unsigned hardware_threads() noexcept;
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<Task> queue;
+  };
+
+  void worker_loop(unsigned id);
+  bool try_pop(unsigned id, Task& task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Tasks sitting unclaimed in some queue (wakes workers).
+  std::mutex work_mutex_;
+  std::condition_variable work_cv_;
+  std::size_t queued_ = 0;
+
+  // Tasks submitted but not yet finished (wakes wait_idle()).
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  std::size_t pending_ = 0;
+
+  std::size_t next_queue_ = 0;  // round-robin placement, under work_mutex_
+  bool stop_ = false;           // under work_mutex_
+};
+
+}  // namespace vds::runtime

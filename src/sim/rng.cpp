@@ -20,6 +20,7 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept {
 }  // namespace
 
 void Rng::reseed(std::uint64_t seed) {
+  seed_ = seed;
   std::uint64_t sm = seed;
   for (auto& word : s_) word = splitmix64(sm);
   // xoshiro must not start from the all-zero state.
@@ -102,6 +103,18 @@ std::uint64_t Rng::geometric(double p) noexcept {
 Rng Rng::split(std::uint64_t tag) noexcept {
   Rng child;
   child.reseed(next() ^ (tag * 0x9e3779b97f4a7c15ull) ^ 0xd1b54a32d192ed03ull);
+  return child;
+}
+
+Rng Rng::substream(std::uint64_t stream_id) const noexcept {
+  // The child's seed is derived from the stream_id-th state of a
+  // SplitMix64 sequence anchored at the base seed. Two scramble
+  // rounds so that adjacent stream ids land far apart.
+  std::uint64_t state = seed_ + stream_id * 0x9e3779b97f4a7c15ull;
+  std::uint64_t derived = splitmix64(state);
+  derived ^= splitmix64(state);
+  Rng child;
+  child.reseed(derived);
   return child;
 }
 

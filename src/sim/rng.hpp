@@ -56,7 +56,20 @@ class Rng {
   /// with distinct tags are statistically independent.
   [[nodiscard]] Rng split(std::uint64_t tag) noexcept;
 
+  /// Derives the `stream_id`-th deterministic substream. Unlike
+  /// `split()`, the result is a pure function of (seed, stream_id):
+  /// it does not consume or depend on this generator's position, so
+  /// work distributed over substreams is bitwise reproducible no
+  /// matter which thread — or in which order — each stream is drawn.
+  /// Distinct stream ids yield statistically independent streams
+  /// (SplitMix64 sequence anchored at the seed).
+  [[nodiscard]] Rng substream(std::uint64_t stream_id) const noexcept;
+
+  /// The seed this generator was last (re)seeded with.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
  private:
+  std::uint64_t seed_ = 0;
   std::array<std::uint64_t, 4> s_{};
   bool have_spare_normal_ = false;
   double spare_normal_ = 0.0;

@@ -1,0 +1,206 @@
+#include "runtime/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+
+namespace vds::runtime {
+namespace {
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("vds_journal_test_" +
+              std::to_string(::testing::UnitTest::GetInstance()
+                                 ->random_seed()) +
+              "_" + ::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name() +
+              ".journal"))
+                .string();
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+JournalRecord sample_record(std::uint64_t index) {
+  JournalRecord record;
+  record.index = index;
+  record.outcome = 1;
+  record.detection_latency = 0.1 * static_cast<double>(index) + 0.3;
+  record.recovery_time = 1.0 / 3.0;
+  record.total_time = 1e3 + 1e-9;
+  record.rounds_committed = 60;
+  return record;
+}
+
+TEST_F(JournalTest, MissingFileLoadsEmpty) {
+  EXPECT_TRUE(Journal::load(path_, 1).empty());
+}
+
+TEST_F(JournalTest, RoundTripIsBitwiseExact) {
+  const std::uint64_t fp = 0xabcdef12345678ull;
+  {
+    Journal journal(path_, fp);
+    journal.append(sample_record(0));
+    journal.append(sample_record(7));
+    JournalRecord awkward;
+    awkward.index = 2;
+    awkward.outcome = 4;
+    awkward.detection_latency = -1.0;
+    awkward.recovery_time = 5e-324;  // denormal min
+    awkward.total_time = 1.7976931348623157e308;
+    awkward.rounds_committed = 0;
+    journal.append(awkward);
+  }
+  const auto records = Journal::load(path_, fp);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], sample_record(0));
+  EXPECT_EQ(records[1], sample_record(7));
+  EXPECT_EQ(records[2].recovery_time, 5e-324);
+  EXPECT_EQ(records[2].total_time, 1.7976931348623157e308);
+}
+
+TEST_F(JournalTest, AppendAcrossReopens) {
+  const std::uint64_t fp = 9;
+  {
+    Journal journal(path_, fp);
+    journal.append(sample_record(0));
+  }
+  {
+    Journal journal(path_, fp);  // reopen appends, no duplicate header
+    journal.append(sample_record(1));
+  }
+  const auto records = Journal::load(path_, fp);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].index, 0u);
+  EXPECT_EQ(records[1].index, 1u);
+}
+
+TEST_F(JournalTest, RejectsWrongFingerprint) {
+  {
+    Journal journal(path_, 1);
+    journal.append(sample_record(0));
+  }
+  EXPECT_THROW(Journal::load(path_, 2), std::runtime_error);
+}
+
+TEST_F(JournalTest, RejectsForeignFile) {
+  {
+    std::ofstream out(path_);
+    out << "not a journal\n";
+  }
+  EXPECT_THROW(Journal::load(path_, 1), std::runtime_error);
+}
+
+TEST_F(JournalTest, TornFinalLineIsIgnored) {
+  {
+    Journal journal(path_, 3);
+    journal.append(sample_record(0));
+    journal.append(sample_record(1));
+  }
+  {
+    // Simulate a kill mid-write: a record missing its newline.
+    std::ofstream out(path_, std::ios::app);
+    out << "cell 2 1 0x1p+0 0x1p+0 0x1";
+  }
+  const auto records = Journal::load(path_, 3);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].index, 1u);
+}
+
+TEST(JsonWriter, NestedStructure) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("name", "vds");
+  json.field("count", std::uint64_t{3});
+  json.field("ratio", 0.5);
+  json.field("ok", true);
+  json.key("list").begin_array();
+  json.value(std::uint64_t{1});
+  json.value(std::uint64_t{2});
+  json.end_array();
+  json.key("nested").begin_object();
+  json.field("inner", std::int64_t{-4});
+  json.end_object();
+  json.end_object();
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"name\": \"vds\""), std::string::npos);
+  EXPECT_NE(text.find("\"count\": 3"), std::string::npos);
+  EXPECT_NE(text.find("\"ratio\": 0.5"), std::string::npos);
+  EXPECT_NE(text.find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(text.find("\"inner\": -4"), std::string::npos);
+  // Commas separate members, none dangle before a closing brace.
+  EXPECT_EQ(text.find(",\n}"), std::string::npos);
+  EXPECT_EQ(text.find(",\n]"), std::string::npos);
+  EXPECT_EQ(text.find("{,"), std::string::npos);
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("text", "a\"b\\c\nd\te");
+  json.end_object();
+  EXPECT_NE(out.str().find("a\\\"b\\\\c\\nd\\te"), std::string::npos);
+}
+
+TEST(JsonWriter, DoublesRoundTrip) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("x", 0.1);
+  json.end_object();
+  const std::string text = out.str();
+  const auto pos = text.find("\"x\": ");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_EQ(std::stod(text.substr(pos + 5)), 0.1);
+}
+
+TEST(JsonWriter, RunReportSchemaFields) {
+  core::RunReport report;
+  report.completed = true;
+  report.rounds_committed = 60;
+  report.detection_latency.add(1.5);
+  std::ostringstream out;
+  JsonWriter json(out);
+  write_json(json, report);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"completed\": true"), std::string::npos);
+  EXPECT_NE(text.find("\"rounds_committed\": 60"), std::string::npos);
+  EXPECT_NE(text.find("\"detection_latency\""), std::string::npos);
+}
+
+TEST(JsonWriter, CampaignSummarySchemaFields) {
+  core::CampaignSummary summary;
+  summary.by_outcome[1] = 4;
+  summary.injections = 4;
+  std::ostringstream out;
+  JsonWriter json(out);
+  write_json(json, summary);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"injections\": 4"), std::string::npos);
+  EXPECT_NE(text.find("\"recovered\": 4"), std::string::npos);
+  EXPECT_NE(text.find("\"safety\": 1"), std::string::npos);
+}
+
+TEST(Fnv1a, StableAndSensitive) {
+  EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+  EXPECT_NE(fnv1a("abc", 1), fnv1a("abc", 2));
+}
+
+}  // namespace
+}  // namespace vds::runtime

@@ -1,0 +1,265 @@
+#include "runtime/mc_campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/smt_engine.hpp"
+#include "runtime/journal.hpp"
+
+namespace vds::runtime {
+namespace {
+
+core::VdsOptions engine_options() {
+  core::VdsOptions options;
+  options.t = 1.0;
+  options.c = 0.1;
+  options.t_cmp = 0.1;
+  options.alpha = 0.65;
+  options.s = 20;
+  options.job_rounds = 40;
+  options.scheme = core::RecoveryScheme::kRollForwardDet;
+  options.permanent_affects_others_prob = 0.0;
+  return options;
+}
+
+McConfig small_config() {
+  McConfig config;
+  config.rounds = {1, 4, 8};
+  config.replicas = 8;  // 4 kinds x 3 rounds x 8 = 96 cells
+  config.round_time = 2.0 * 0.65 + 0.1;
+  config.seed = 7;
+  return config;
+}
+
+void expect_bitwise_equal(const McSummary& a, const McSummary& b) {
+  EXPECT_EQ(a.outcomes, b.outcomes);
+  EXPECT_EQ(a.detection_latency.count(), b.detection_latency.count());
+  // Exact floating-point equality is the point: the decomposition must
+  // not perturb a single bit of any moment.
+  EXPECT_EQ(a.detection_latency.mean(), b.detection_latency.mean());
+  EXPECT_EQ(a.detection_latency.variance(), b.detection_latency.variance());
+  EXPECT_EQ(a.detection_latency.min(), b.detection_latency.min());
+  EXPECT_EQ(a.detection_latency.max(), b.detection_latency.max());
+  EXPECT_EQ(a.recovery_time.mean(), b.recovery_time.mean());
+  EXPECT_EQ(a.recovery_time.variance(), b.recovery_time.variance());
+  EXPECT_EQ(a.total_time.mean(), b.total_time.mean());
+  EXPECT_EQ(a.total_time.variance(), b.total_time.variance());
+  EXPECT_EQ(a.rounds_committed.sum(), b.rounds_committed.sum());
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(McCampaign, GridShapeAndCounts) {
+  McConfig config = small_config();
+  config.threads = 2;
+  const McSummary summary =
+      run_mc_campaign(config, make_smt_runner(engine_options()));
+  EXPECT_EQ(summary.outcomes.injections, 96u);
+  EXPECT_EQ(summary.cells_executed, 96u);
+  EXPECT_EQ(summary.cells_resumed, 0u);
+  EXPECT_EQ(summary.total_time.count(), 96u);
+}
+
+TEST(McCampaign, MergedSummaryIdenticalAcrossThreadCounts) {
+  const McRunner runner = make_smt_runner(engine_options());
+  McConfig config = small_config();
+  config.threads = 1;
+  const McSummary serial = run_mc_campaign(config, runner);
+  config.threads = 8;
+  const McSummary parallel = run_mc_campaign(config, runner);
+  expect_bitwise_equal(serial, parallel);
+}
+
+TEST(McCampaign, SingleFaultSafetyMatchesSequentialCampaign) {
+  // The det scheme keeps every single injected fault safe (the E17
+  // result); the Monte Carlo estimate must agree exactly.
+  McConfig config = small_config();
+  config.threads = 4;
+  const McSummary summary =
+      run_mc_campaign(config, make_smt_runner(engine_options()));
+  EXPECT_DOUBLE_EQ(summary.outcomes.safety(), 1.0);
+  EXPECT_EQ(summary.outcomes.count(core::InjectionOutcome::kSilent), 0u);
+}
+
+TEST(McCampaign, JitterSamplesDistinctFaultPositions) {
+  McConfig config = small_config();
+  config.kinds = {fault::FaultKind::kTransient};
+  config.replicas = 32;
+  config.threads = 2;
+  const McSummary summary =
+      run_mc_campaign(config, make_smt_runner(engine_options()));
+  // Distinct fault offsets within the round window yield distinct
+  // detection latencies -- the variance the closed form averages over.
+  EXPECT_GT(summary.detection_latency.count(), 0u);
+  EXPECT_GT(summary.detection_latency.variance(), 0.0);
+}
+
+TEST(McCampaign, FixedOffsetReproducesPointEstimate) {
+  McConfig config = small_config();
+  config.kinds = {fault::FaultKind::kTransient};
+  config.jitter_offset = false;
+  config.fixed_offset = 0.3;
+  config.replicas = 4;
+  config.threads = 2;
+  const McSummary summary =
+      run_mc_campaign(config, make_smt_runner(engine_options()));
+  // All replicas of a cell see the same fault instant; latency varies
+  // only across rounds.
+  EXPECT_EQ(summary.outcomes.injections, 12u);
+  EXPECT_GT(summary.detection_latency.count(), 0u);
+}
+
+TEST(McCampaign, EmptyGridThrows) {
+  McConfig config = small_config();
+  config.rounds.clear();
+  EXPECT_THROW(
+      (void)run_mc_campaign(config, make_smt_runner(engine_options())),
+      std::runtime_error);
+}
+
+TEST(McCampaign, FingerprintCoversGridAndSeed) {
+  const McConfig base = small_config();
+  McConfig other = base;
+  other.seed = base.seed + 1;
+  EXPECT_NE(base.fingerprint(), other.fingerprint());
+  other = base;
+  other.replicas = base.replicas + 1;
+  EXPECT_NE(base.fingerprint(), other.fingerprint());
+  other = base;
+  other.rounds.push_back(12);
+  EXPECT_NE(base.fingerprint(), other.fingerprint());
+  other = base;
+  other.runner_fingerprint = 99;
+  EXPECT_NE(base.fingerprint(), other.fingerprint());
+  EXPECT_EQ(base.fingerprint(), small_config().fingerprint());
+}
+
+class McJournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             (std::string("vds_mc_test_") +
+              ::testing::UnitTest::GetInstance()
+                  ->current_test_info()
+                  ->name() +
+              ".journal"))
+                .string();
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(McJournalTest, ResumeSkipsJournaledCellsAndMatchesUninterrupted) {
+  const McRunner runner = make_smt_runner(engine_options());
+
+  // Uninterrupted reference run (journaled).
+  McConfig config = small_config();
+  config.threads = 2;
+  config.journal_path = path_;
+  const McSummary reference = run_mc_campaign(config, runner);
+  EXPECT_EQ(reference.cells_executed, 96u);
+
+  // Simulate a kill mid-campaign: keep the header and the first 40
+  // complete records, tear the last line.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path_);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_GT(lines.size(), 41u);
+  {
+    std::ofstream out(path_, std::ios::trunc);
+    for (std::size_t k = 0; k < 41; ++k) out << lines[k] << "\n";
+    out << "cell 90 1 0x1";  // torn write at the kill instant
+  }
+
+  // Relaunch with --resume semantics.
+  config.resume = true;
+  const McSummary resumed = run_mc_campaign(config, runner);
+  EXPECT_EQ(resumed.cells_resumed, 40u);
+  EXPECT_EQ(resumed.cells_executed, 56u);
+  expect_bitwise_equal(reference, resumed);
+}
+
+TEST_F(McJournalTest, ResumedCellsAreNotReExecuted) {
+  std::atomic<std::uint64_t> runs{0};
+  const McRunner base_runner = make_smt_runner(engine_options());
+  const McRunner counting_runner =
+      [&](const McCell& cell, fault::FaultTimeline& timeline,
+          sim::Rng& rng) {
+        runs.fetch_add(1);
+        return base_runner(cell, timeline, rng);
+      };
+
+  McConfig config = small_config();
+  config.threads = 2;
+  config.journal_path = path_;
+  (void)run_mc_campaign(config, counting_runner);
+  EXPECT_EQ(runs.load(), 96u);
+
+  config.resume = true;
+  const McSummary resumed = run_mc_campaign(config, counting_runner);
+  // Every cell came from the journal; the runner never fired again.
+  EXPECT_EQ(runs.load(), 96u);
+  EXPECT_EQ(resumed.cells_resumed, 96u);
+  EXPECT_EQ(resumed.cells_executed, 0u);
+}
+
+TEST_F(McJournalTest, ResumeRejectsMismatchedConfiguration) {
+  McConfig config = small_config();
+  config.threads = 1;
+  config.journal_path = path_;
+  (void)run_mc_campaign(config, make_smt_runner(engine_options()));
+
+  config.resume = true;
+  config.seed = 12345;  // different campaign
+  EXPECT_THROW(
+      (void)run_mc_campaign(config, make_smt_runner(engine_options())),
+      std::runtime_error);
+}
+
+TEST_F(McJournalTest, FreshRunOverwritesStaleJournal) {
+  McConfig config = small_config();
+  config.threads = 1;
+  config.journal_path = path_;
+  (void)run_mc_campaign(config, make_smt_runner(engine_options()));
+
+  // Without --resume a different campaign may reuse the path.
+  config.seed = 99;
+  config.resume = false;
+  const McSummary fresh =
+      run_mc_campaign(config, make_smt_runner(engine_options()));
+  EXPECT_EQ(fresh.cells_executed, 96u);
+  // And the journal now belongs to the new fingerprint.
+  EXPECT_EQ(Journal::load(path_, config.fingerprint()).size(), 96u);
+}
+
+TEST(McCampaign, SnapshotEmitsSchemaAndDigest) {
+  McConfig config = small_config();
+  config.threads = 2;
+  const McSummary summary =
+      run_mc_campaign(config, make_smt_runner(engine_options()));
+  std::ostringstream out;
+  write_snapshot(out, config, summary);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"schema\": \"vds.mc_summary.v1\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"injections\": 96"), std::string::npos);
+  EXPECT_NE(text.find("\"digest\""), std::string::npos);
+  char digest_hex[20];
+  std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
+                static_cast<unsigned long long>(summary.digest()));
+  EXPECT_NE(text.find(digest_hex), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vds::runtime

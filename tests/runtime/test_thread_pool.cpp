@@ -1,0 +1,124 @@
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+
+namespace vds::runtime {
+namespace {
+
+TEST(ThreadPool, ExecutesEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int k = 0; k < 1000; ++k) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, SingleWorkerStillDrains) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int k = 0; k < 100; ++k) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), ThreadPool::hardware_threads());
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, WaitIdleSeesCompletedSideEffects) {
+  ThreadPool pool(4);
+  std::vector<int> values(500, 0);
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    pool.submit([&values, k] { values[k] = static_cast<int>(k) + 1; });
+  }
+  pool.wait_idle();
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    EXPECT_EQ(values[k], static_cast<int>(k) + 1);
+  }
+}
+
+TEST(ThreadPool, WorkIsStolenAcrossWorkers) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::thread::id> seen;
+  for (int k = 0; k < 400; ++k) {
+    pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      std::lock_guard<std::mutex> lock(mutex);
+      seen.insert(std::this_thread::get_id());
+    });
+  }
+  pool.wait_idle();
+  // All tasks were submitted round-robin across four queues; with
+  // stealing and this much work at least two workers must have run.
+  EXPECT_GE(seen.size(), 2u);
+}
+
+TEST(ThreadPool, TasksMaySubmitTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int k = 0; k < 10; ++k) {
+    pool.submit([&] {
+      counter.fetch_add(1);
+      for (int j = 0; j < 10; ++j) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 10 + 100);
+}
+
+TEST(ThreadPool, ReusableAcrossPhases) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int phase = 0; phase < 5; ++phase) {
+    for (int k = 0; k < 50; ++k) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), (phase + 1) * 50);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int k = 0; k < 200; ++k) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        counter.fetch_add(1);
+      });
+    }
+    // No wait_idle: the destructor must drain before joining.
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, StressManyTinyTasks) {
+  ThreadPool pool(8);
+  std::atomic<std::uint64_t> sum{0};
+  constexpr int kTasks = 20000;
+  for (int k = 0; k < kTasks; ++k) {
+    pool.submit([&sum, k] { sum.fetch_add(static_cast<std::uint64_t>(k)); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(),
+            static_cast<std::uint64_t>(kTasks) * (kTasks - 1) / 2);
+}
+
+}  // namespace
+}  // namespace vds::runtime

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <vector>
 
+#include "sim/rng.hpp"
+
 namespace vds::sim {
 namespace {
 
@@ -61,6 +63,50 @@ TEST(Accumulator, MergeEqualsSequential) {
   EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
   EXPECT_DOUBLE_EQ(left.min(), all.min());
   EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Accumulator, MergeIsAssociativeUpToRounding) {
+  // Chan's merge is mathematically associative; in floating point the
+  // two groupings agree to rounding error. The campaign runtime relies
+  // on this (plus a *fixed* merge order for bitwise determinism).
+  Accumulator a, b, c;
+  Rng rng(91);
+  for (int k = 0; k < 17; ++k) a.add(rng.normal(5.0, 2.0));
+  for (int k = 0; k < 113; ++k) b.add(rng.normal(-1.0, 0.3));
+  for (int k = 0; k < 5; ++k) c.add(rng.normal(0.0, 10.0));
+
+  Accumulator left_first = a;   // (a + b) + c
+  left_first.merge(b);
+  left_first.merge(c);
+  Accumulator right_first = b;  // a + (b + c)
+  right_first.merge(c);
+  Accumulator a2 = a;
+  a2.merge(right_first);
+
+  EXPECT_EQ(left_first.count(), a2.count());
+  EXPECT_NEAR(left_first.mean(), a2.mean(), 1e-12);
+  EXPECT_NEAR(left_first.variance(), a2.variance(),
+              1e-9 * left_first.variance());
+  EXPECT_DOUBLE_EQ(left_first.min(), a2.min());
+  EXPECT_DOUBLE_EQ(left_first.max(), a2.max());
+  EXPECT_NEAR(left_first.sum(), a2.sum(), 1e-9);
+}
+
+TEST(Accumulator, MergeInFixedOrderIsBitwiseDeterministic) {
+  // The same shards merged in the same order give the same bits --
+  // the property the Monte Carlo runtime's canonical-order reduction
+  // depends on for thread-count-independent results.
+  std::vector<Accumulator> shards(8);
+  Rng rng(92);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    for (int k = 0; k < 25; ++k) shards[s].add(rng.uniform(-5.0, 5.0));
+  }
+  Accumulator first, second;
+  for (const Accumulator& shard : shards) first.merge(shard);
+  for (const Accumulator& shard : shards) second.merge(shard);
+  EXPECT_EQ(first.mean(), second.mean());
+  EXPECT_EQ(first.variance(), second.variance());
+  EXPECT_EQ(first.sum(), second.sum());
 }
 
 TEST(Accumulator, MergeWithEmptyIsIdentity) {

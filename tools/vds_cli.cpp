@@ -22,6 +22,7 @@
 #include "model/gain.hpp"
 #include "model/limits.hpp"
 #include "model/reliability.hpp"
+#include "runtime/journal.hpp"
 
 namespace {
 
@@ -53,6 +54,8 @@ fault process:
 output:
   --model                        print closed-form predictions
   --trace N                      dump the first N protocol events
+  --json                         machine-readable report on stdout
+                                 (schema vds.run_report.v1)
   --help                         this text
 )";
 
@@ -74,6 +77,7 @@ struct CliOptions {
   double skew = 1.0;
   std::uint64_t seed = 1;
   bool model = false;
+  bool json = false;
   std::size_t trace = 0;
 };
 
@@ -124,6 +128,8 @@ bool parse_args(int argc, char** argv, CliOptions& cli) {
       cli.seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--model") {
       cli.model = true;
+    } else if (arg == "--json") {
+      cli.json = true;
     } else if (arg == "--trace") {
       cli.trace = static_cast<std::size_t>(std::atoi(next()));
     } else {
@@ -193,8 +199,10 @@ int main(int argc, char** argv) {
   vds::sim::Rng fault_rng(cli.seed);
   auto timeline =
       vds::fault::generate_timeline(fault_config, fault_rng, horizon);
-  std::printf("faults scheduled: %zu over horizon %.0f\n",
-              timeline.size(), horizon);
+  if (!cli.json) {
+    std::printf("faults scheduled: %zu over horizon %.0f\n",
+                timeline.size(), horizon);
+  }
 
   vds::sim::Trace trace(/*enabled=*/cli.trace > 0, /*cap=*/cli.trace);
 
@@ -239,6 +247,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown engine '%s'\n%s", cli.engine.c_str(),
                  kUsage);
     return 2;
+  }
+
+  if (cli.json) {
+    // Same report schema as vds_mc snapshots / the runtime journal.
+    vds::runtime::JsonWriter json(std::cout);
+    json.begin_object();
+    json.field("schema", "vds.run_report.v1");
+    json.field("engine", cli.engine);
+    json.field("scheme", cli.scheme);
+    json.field("predictor", cli.predictor);
+    json.field("seed", cli.seed);
+    json.field("faults_scheduled",
+               static_cast<std::uint64_t>(timeline.size()));
+    json.key("report");
+    vds::runtime::write_json(json, report);
+    json.end_object();
+    return report.completed ? 0 : 1;
   }
 
   std::printf("%s\n", report.to_string().c_str());

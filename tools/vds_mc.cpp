@@ -1,0 +1,331 @@
+// vds_mc -- parallel Monte Carlo fault-injection campaign driver.
+//
+//   vds_mc --threads 8 --replicas 1000 --grid 1,5,10,15,20
+//          --kinds transient --scheme det
+//          --journal campaign.journal --json-out summary.json
+//
+// Fans (fault kind x detection round x replica) cells across a
+// work-stealing pool. Every cell draws its fault from a deterministic
+// RNG substream, so the merged summary is bitwise identical for every
+// thread count. Progress is journaled; kill the run and relaunch with
+// --resume to finish without re-executing completed cells.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/smt_engine.hpp"
+#include "fault/predictor.hpp"
+#include "runtime/journal.hpp"
+#include "runtime/mc_campaign.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: vds_mc [options]
+
+campaign grid:
+  --replicas N                   Monte Carlo replicas per grid cell [100]
+  --grid r1,r2,...               detection rounds to inject at [1,5,10,15,20]
+  --kinds k1,k2,...              transient,crash,permanent,processor_crash
+                                 (comma-separated)            [all four]
+  --fixed-offset X               disable fault-position jitter, use
+                                 fractional offset X within the round
+
+engine under test:
+  --scheme rollback|retry|det|prob|predict   recovery scheme [det]
+  --predictor random|oracle|static1|static2|last|two_bit|history|tournament|perceptron|crash
+                                 faulty-version predictor     [random]
+  --alpha X                      SMT slowdown factor          [0.65]
+  --beta X                       c = t_cmp = beta * t         [0.1]
+  --s N                          checkpoint interval          [20]
+  --job-rounds N                 job length in rounds         [60]
+
+execution:
+  --threads N                    worker threads (0 = hardware) [0]
+  --seed N                       campaign RNG seed            [1]
+  --journal PATH                 append-only progress journal
+  --resume                       skip cells already in the journal
+  --json-out PATH                write JSON snapshot ('-' = stdout)
+  --quiet                        suppress the text summary
+  --help                         this text
+)";
+
+struct CliOptions {
+  std::uint64_t replicas = 100;
+  std::vector<std::uint64_t> grid = {1, 5, 10, 15, 20};
+  std::vector<std::string> kinds;  // empty = all four
+  bool jitter = true;
+  double fixed_offset = 0.3;
+  std::string scheme = "det";
+  std::string predictor = "random";
+  double alpha = 0.65;
+  double beta = 0.1;
+  int s = 20;
+  std::uint64_t job_rounds = 60;
+  unsigned threads = 0;
+  std::uint64_t seed = 1;
+  std::string journal;
+  bool resume = false;
+  std::string json_out;
+  bool quiet = false;
+};
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+bool parse_args(int argc, char** argv, CliOptions& cli) {
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    const auto next = [&]() -> const char* {
+      if (k + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++k];
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return false;
+    } else if (arg == "--replicas") {
+      cli.replicas = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--grid") {
+      cli.grid.clear();
+      for (const std::string& part : split_csv(next())) {
+        char* end = nullptr;
+        const std::uint64_t round = std::strtoull(part.c_str(), &end, 10);
+        if (part.empty() || end != part.c_str() + part.size() ||
+            round == 0) {
+          std::fprintf(stderr,
+                       "--grid expects positive round numbers, got '%s'\n",
+                       part.c_str());
+          std::exit(2);
+        }
+        cli.grid.push_back(round);
+      }
+    } else if (arg == "--kinds") {
+      cli.kinds = split_csv(next());
+    } else if (arg == "--fixed-offset") {
+      cli.jitter = false;
+      cli.fixed_offset = std::atof(next());
+    } else if (arg == "--scheme") {
+      cli.scheme = next();
+    } else if (arg == "--predictor") {
+      cli.predictor = next();
+    } else if (arg == "--alpha") {
+      cli.alpha = std::atof(next());
+    } else if (arg == "--beta") {
+      cli.beta = std::atof(next());
+    } else if (arg == "--s") {
+      cli.s = std::atoi(next());
+    } else if (arg == "--job-rounds") {
+      cli.job_rounds = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--threads") {
+      cli.threads = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--seed") {
+      cli.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--journal") {
+      cli.journal = next();
+    } else if (arg == "--resume") {
+      cli.resume = true;
+    } else if (arg == "--json-out") {
+      cli.json_out = next();
+    } else if (arg == "--quiet") {
+      cli.quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n%s", arg.c_str(), kUsage);
+      std::exit(2);
+    }
+  }
+  return true;
+}
+
+vds::fault::FaultKind parse_kind(const std::string& name) {
+  using vds::fault::FaultKind;
+  if (name == "transient") return FaultKind::kTransient;
+  if (name == "crash") return FaultKind::kCrash;
+  if (name == "permanent") return FaultKind::kPermanent;
+  if (name == "processor_crash") return FaultKind::kProcessorCrash;
+  std::fprintf(stderr, "unknown fault kind '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+vds::core::RecoveryScheme parse_scheme(const std::string& name) {
+  using vds::core::RecoveryScheme;
+  if (name == "rollback") return RecoveryScheme::kRollback;
+  if (name == "retry") return RecoveryScheme::kStopAndRetry;
+  if (name == "det") return RecoveryScheme::kRollForwardDet;
+  if (name == "prob") return RecoveryScheme::kRollForwardProb;
+  if (name == "predict") return RecoveryScheme::kRollForwardPredict;
+  std::fprintf(stderr, "unknown scheme '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+std::unique_ptr<vds::fault::Predictor> make_predictor(
+    const std::string& name, vds::sim::Rng rng) {
+  using namespace vds::fault;
+  if (name == "random") return std::make_unique<RandomPredictor>(rng);
+  if (name == "oracle") return std::make_unique<OraclePredictor>();
+  if (name == "static1") {
+    return std::make_unique<StaticPredictor>(VersionGuess::kVersion1);
+  }
+  if (name == "static2") {
+    return std::make_unique<StaticPredictor>(VersionGuess::kVersion2);
+  }
+  if (name == "last") return std::make_unique<LastFaultyPredictor>();
+  if (name == "two_bit") return std::make_unique<TwoBitPredictor>(16);
+  if (name == "history") return std::make_unique<HistoryPredictor>(6, 4);
+  if (name == "tournament") {
+    return std::make_unique<TournamentPredictor>(6, 4);
+  }
+  if (name == "perceptron") return std::make_unique<PerceptronPredictor>();
+  if (name == "crash") {
+    return std::make_unique<CrashEvidencePredictor>(
+        std::make_unique<TwoBitPredictor>(16));
+  }
+  std::fprintf(stderr, "unknown predictor '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!parse_args(argc, argv, cli)) return 0;
+
+  vds::core::VdsOptions options;
+  options.t = 1.0;
+  options.c = cli.beta;
+  options.t_cmp = cli.beta;
+  options.alpha = cli.alpha;
+  options.s = cli.s;
+  options.job_rounds = cli.job_rounds;
+  options.scheme = parse_scheme(cli.scheme);
+
+  vds::runtime::McConfig config;
+  if (!cli.kinds.empty()) {
+    config.kinds.clear();
+    for (const std::string& name : cli.kinds) {
+      config.kinds.push_back(parse_kind(name));
+    }
+  }
+  config.rounds = cli.grid;
+  config.replicas = cli.replicas;
+  config.round_time = 2.0 * cli.alpha + cli.beta;
+  config.jitter_offset = cli.jitter;
+  config.fixed_offset = cli.fixed_offset;
+  config.seed = cli.seed;
+  config.threads = cli.threads;
+  config.journal_path = cli.journal;
+  config.resume = cli.resume;
+  // Fold the engine parameters into the journal fingerprint so a
+  // journal can only be resumed against the same engine.
+  {
+    std::uint64_t h = vds::runtime::fnv1a(cli.scheme);
+    h = vds::runtime::fnv1a(cli.predictor, h);
+    h = vds::runtime::fnv1a(&cli.alpha, sizeof cli.alpha, h);
+    h = vds::runtime::fnv1a(&cli.beta, sizeof cli.beta, h);
+    h = vds::runtime::fnv1a(&cli.s, sizeof cli.s, h);
+    h = vds::runtime::fnv1a(&cli.job_rounds, sizeof cli.job_rounds, h);
+    config.runner_fingerprint = h;
+  }
+
+  const std::string predictor_name = cli.predictor;
+  const vds::runtime::McRunner runner =
+      [&options, &predictor_name](const vds::runtime::McCell&,
+                                  vds::fault::FaultTimeline& timeline,
+                                  vds::sim::Rng& rng) {
+        vds::core::SmtVds vds(options, rng.split(1));
+        vds.set_predictor(make_predictor(predictor_name, rng.split(2)));
+        return vds.run(timeline);
+      };
+
+  const unsigned workers =
+      cli.threads == 0 ? vds::runtime::ThreadPool::hardware_threads()
+                       : cli.threads;
+  if (!cli.quiet) {
+    std::printf("campaign: %zu cells (%zu kinds x %zu rounds x %llu "
+                "replicas), %u worker thread%s\n",
+                config.cells(), config.kinds.size(), config.rounds.size(),
+                static_cast<unsigned long long>(config.replicas), workers,
+                workers == 1 ? "" : "s");
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  vds::runtime::McSummary summary;
+  try {
+    summary = vds::runtime::run_mc_campaign(config, runner);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+
+  if (!cli.quiet) {
+    std::printf("done in %.2fs: %llu executed, %llu resumed from "
+                "journal\n",
+                elapsed,
+                static_cast<unsigned long long>(summary.cells_executed),
+                static_cast<unsigned long long>(summary.cells_resumed));
+    std::printf("outcomes:\n");
+    for (std::size_t k = 0; k < summary.outcomes.by_outcome.size(); ++k) {
+      if (summary.outcomes.by_outcome[k] == 0) continue;
+      std::printf(
+          "  %-14s %10llu\n",
+          std::string(vds::core::to_string(
+                          static_cast<vds::core::InjectionOutcome>(k)))
+              .c_str(),
+          static_cast<unsigned long long>(summary.outcomes.by_outcome[k]));
+    }
+    std::printf("safety: %.4f\n", summary.outcomes.safety());
+    if (!summary.detection_latency.empty()) {
+      std::printf("detection latency: mean %.4f +- %.4f (n=%zu)\n",
+                  summary.detection_latency.mean(),
+                  summary.detection_latency.sem(),
+                  summary.detection_latency.count());
+    }
+    if (!summary.recovery_time.empty()) {
+      std::printf("recovery time:     mean %.4f +- %.4f (n=%zu)\n",
+                  summary.recovery_time.mean(), summary.recovery_time.sem(),
+                  summary.recovery_time.count());
+    }
+    std::printf("mean run time:     %.4f\n", summary.total_time.mean());
+    std::printf("digest:            %016llx\n",
+                static_cast<unsigned long long>(summary.digest()));
+  }
+
+  if (!cli.json_out.empty()) {
+    if (cli.json_out == "-") {
+      vds::runtime::write_snapshot(std::cout, config, summary);
+    } else {
+      std::ofstream out(cli.json_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot write '%s'\n", cli.json_out.c_str());
+        return 2;
+      }
+      vds::runtime::write_snapshot(out, config, summary);
+    }
+  }
+  return 0;
+}
