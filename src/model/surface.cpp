@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <iomanip>
 #include <stdexcept>
+#include <vector>
+
+#include "runtime/parallel.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace vds::model {
 
@@ -11,27 +15,54 @@ double Axis::at(std::size_t i) const noexcept {
   return lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
 }
 
-GainSurface::GainSurface(Axis alpha, Axis beta, double p, int s)
+GainSurface::GainSurface(Axis alpha, Axis beta, double p, int s,
+                         runtime::ThreadPool* pool)
     : alpha_(alpha), beta_(beta), p_(p), s_(s) {
   if (alpha_.n == 0 || beta_.n == 0) {
     throw std::invalid_argument("GainSurface: empty axis");
   }
   values_.resize(alpha_.n * beta_.n);
-  bool first = true;
-  for (std::size_t ai = 0; ai < alpha_.n; ++ai) {
+
+  // Each cell is a pure function of its grid point, so rows can fill
+  // in any order; min/max reduce per alpha-row and fold in row order,
+  // keeping the result independent of the work decomposition.
+  const auto fill_row = [this](std::size_t ai, double& row_min,
+                               double& row_max) {
     for (std::size_t bi = 0; bi < beta_.n; ++bi) {
       const Params params =
           Params::with_beta(alpha_.at(ai), beta_.at(bi), s_, p_);
       const double g = mean_gain_corr(params);
       values_[ai * beta_.n + bi] = g;
-      if (first) {
-        min_ = max_ = g;
-        first = false;
+      if (bi == 0) {
+        row_min = row_max = g;
       } else {
-        min_ = std::min(min_, g);
-        max_ = std::max(max_, g);
+        row_min = std::min(row_min, g);
+        row_max = std::max(row_max, g);
       }
     }
+  };
+
+  std::vector<double> row_min(alpha_.n);
+  std::vector<double> row_max(alpha_.n);
+  if (pool != nullptr && pool->size() > 1 && alpha_.n > 1) {
+    runtime::parallel_blocks(
+        *pool, alpha_.n, 1,
+        [&fill_row, &row_min, &row_max](std::size_t lo, std::size_t hi) {
+          for (std::size_t ai = lo; ai < hi; ++ai) {
+            fill_row(ai, row_min[ai], row_max[ai]);
+          }
+        });
+  } else {
+    for (std::size_t ai = 0; ai < alpha_.n; ++ai) {
+      fill_row(ai, row_min[ai], row_max[ai]);
+    }
+  }
+
+  min_ = row_min[0];
+  max_ = row_max[0];
+  for (std::size_t ai = 1; ai < alpha_.n; ++ai) {
+    min_ = std::min(min_, row_min[ai]);
+    max_ = std::max(max_, row_max[ai]);
   }
 }
 

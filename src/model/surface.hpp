@@ -7,6 +7,10 @@
 #include "model/gain.hpp"
 #include "model/params.hpp"
 
+namespace vds::runtime {
+class ThreadPool;
+}  // namespace vds::runtime
+
 namespace vds::model {
 
 /// A uniformly spaced axis [lo, hi] with n >= 1 samples (n == 1 pins lo).
@@ -24,7 +28,12 @@ struct Axis {
 /// (10)-(14) with a finite checkpoint interval s (paper uses s = 20).
 class GainSurface {
  public:
-  GainSurface(Axis alpha, Axis beta, double p, int s);
+  /// Evaluates the grid. With a pool of more than one worker the
+  /// alpha-rows fill in parallel; every cell is a pure function of
+  /// its grid point and min/max fold in canonical row order, so the
+  /// surface (and its CSV) is bit-identical for any pool size.
+  GainSurface(Axis alpha, Axis beta, double p, int s,
+              runtime::ThreadPool* pool = nullptr);
 
   [[nodiscard]] double at(std::size_t ai, std::size_t bi) const;
   [[nodiscard]] double alpha_at(std::size_t ai) const noexcept {

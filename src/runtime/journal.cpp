@@ -1,6 +1,8 @@
 #include "runtime/journal.hpp"
 
+#include <cerrno>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <ostream>
@@ -105,6 +107,12 @@ void JsonWriter::write_string(std::string_view text) {
 
 JsonWriter& JsonWriter::value(double number) {
   separate();
+  if (!std::isfinite(number)) {
+    // JSON has no inf/nan literals; "%.17g" would emit them and
+    // corrupt the document.
+    os_ << "null";
+    return *this;
+  }
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.17g", number);
   os_ << buf;
@@ -259,8 +267,21 @@ Journal::Journal(const std::string& path, std::uint64_t fingerprint)
   }
   std::fseek(file_, 0, SEEK_END);
   if (std::ftell(file_) == 0) {
-    std::fprintf(file_, kHeaderFormat, fingerprint);
-    std::fflush(file_);
+    if (std::fprintf(file_, kHeaderFormat, fingerprint) < 0 ||
+        std::fflush(file_) != 0) {
+      const int error = errno;
+      std::fclose(file_);
+      file_ = nullptr;
+      throw std::runtime_error("journal '" + path + "': cannot write header: " +
+                               std::strerror(error));
+    }
+  }
+}
+
+Journal::Journal(std::FILE* stream, std::string name)
+    : path_(std::move(name)), file_(stream) {
+  if (file_ == nullptr) {
+    throw std::runtime_error("journal '" + path_ + "': null stream");
   }
 }
 
@@ -270,11 +291,25 @@ Journal::~Journal() {
 
 void Journal::append(const JournalRecord& record) {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::fprintf(file_, "cell %" PRIu64 " %d %a %a %a %" PRIu64 "\n",
-               record.index, record.outcome, record.detection_latency,
-               record.recovery_time, record.total_time,
-               record.rounds_committed);
-  std::fflush(file_);
+  if (failed_.load()) {
+    // The file already holds (at best) a torn record; appending more
+    // would journal cells the resume path can never trust.
+    throw std::runtime_error("journal '" + path_ +
+                             "': earlier write failed; record dropped");
+  }
+  const int written =
+      std::fprintf(file_, "cell %" PRIu64 " %d %a %a %a %" PRIu64 "\n",
+                   record.index, record.outcome, record.detection_latency,
+                   record.recovery_time, record.total_time,
+                   record.rounds_committed);
+  const int flushed = std::fflush(file_);
+  if (written < 0 || flushed != 0) {
+    const int error = errno;
+    failed_.store(true);
+    throw std::runtime_error("journal '" + path_ + "': write failed (" +
+                             std::strerror(error) +
+                             "); resume data is incomplete");
+  }
 }
 
 }  // namespace vds::runtime

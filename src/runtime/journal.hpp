@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <iosfwd>
 #include <mutex>
 #include <string>
@@ -94,15 +96,31 @@ class Journal {
                                          std::uint64_t fingerprint);
 
   /// Opens `path` for appending, writing the fingerprint header first
-  /// if the file is new/empty. Throws std::runtime_error on I/O error.
+  /// if the file is new/empty. Throws std::runtime_error on I/O error
+  /// (including a header write that fails, e.g. on a full disk).
   Journal(const std::string& path, std::uint64_t fingerprint);
+
+  /// Takes ownership of an already-open stream (closed on
+  /// destruction). No header is written — the caller prepared the
+  /// stream. `name` labels error messages. Exists for tests that need
+  /// a failing stream (e.g. /dev/full).
+  Journal(std::FILE* stream, std::string name);
+
   ~Journal();
 
   Journal(const Journal&) = delete;
   Journal& operator=(const Journal&) = delete;
 
-  /// Appends one completed cell and flushes. Thread-safe.
+  /// Appends one completed cell and flushes. Thread-safe. Throws
+  /// std::runtime_error when the write or flush fails (disk full, …)
+  /// — silently dropping a record would let the campaign report
+  /// success while the resume data is incomplete. After a failure the
+  /// journal is poisoned: `failed()` turns true and every further
+  /// append throws without writing.
   void append(const JournalRecord& record);
+
+  /// True once any append (or the one before it) failed.
+  [[nodiscard]] bool failed() const noexcept { return failed_.load(); }
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
@@ -110,6 +128,7 @@ class Journal {
   std::string path_;
   std::mutex mutex_;
   std::FILE* file_ = nullptr;
+  std::atomic<bool> failed_{false};
 };
 
 /// FNV-1a, the journal/config fingerprint hash.

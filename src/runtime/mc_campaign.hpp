@@ -121,7 +121,10 @@ using McRunner = std::function<core::RunReport(
 /// merges them in canonical order — the returned summary is bitwise
 /// identical for every thread count, and (with a journal) across
 /// kill/resume boundaries. Throws std::runtime_error if a journal is
-/// present but was written by a different configuration.
+/// present but was written by a different configuration, or if a
+/// journal append fails mid-campaign (the worker's exception is
+/// captured by the pool and rethrown here — a truncated journal must
+/// not masquerade as a resumable one).
 [[nodiscard]] McSummary run_mc_campaign(const McConfig& config,
                                         const McRunner& runner);
 

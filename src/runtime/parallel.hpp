@@ -1,0 +1,50 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace vds::runtime {
+
+/// Partitions [0, count) into contiguous blocks of `block` indices and
+/// runs `fn(lo, hi)` for each block on the pool. The partition is a
+/// pure function of (count, block) — never of the pool size — so a
+/// caller that reduces per-block results in block order gets the same
+/// answer for every thread count (the `mc_campaign` shard discipline).
+/// Returns once every block has finished; rethrows the first block
+/// exception.
+template <typename Fn>
+void parallel_blocks(ThreadPool& pool, std::size_t count, std::size_t block,
+                     Fn&& fn) {
+  if (block == 0) block = 1;
+  for (std::size_t lo = 0; lo < count; lo += block) {
+    const std::size_t hi = std::min(count, lo + block);
+    pool.submit([&fn, lo, hi] { fn(lo, hi); });
+  }
+  pool.wait_idle();
+}
+
+/// Renders `count` independent rows with `row(i) -> std::string` on
+/// the pool and concatenates them in canonical index order. The
+/// result is byte-identical for any pool size: scheduling decides
+/// only *when* a row is formatted, never where its bytes land.
+template <typename RowFn>
+[[nodiscard]] std::string render_rows(ThreadPool& pool, std::size_t count,
+                                      RowFn&& row) {
+  std::vector<std::string> rows(count);
+  parallel_blocks(pool, count, 1, [&rows, &row](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) rows[i] = row(i);
+  });
+  std::size_t bytes = 0;
+  for (const std::string& r : rows) bytes += r.size();
+  std::string out;
+  out.reserve(bytes);
+  for (std::string& r : rows) out += r;
+  return out;
+}
+
+}  // namespace vds::runtime

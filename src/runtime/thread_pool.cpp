@@ -22,36 +22,48 @@ ThreadPool::ThreadPool(unsigned threads) {
 }
 
 ThreadPool::~ThreadPool() {
-  wait_idle();
+  drain();  // a captured exception nobody waited for is swallowed
   {
-    std::lock_guard<std::mutex> lock(work_mutex_);
-    stop_ = true;
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_.store(true);
   }
-  work_cv_.notify_all();
+  sleep_cv_.notify_all();
   for (std::thread& thread : threads_) thread.join();
 }
 
 void ThreadPool::submit(Task task) {
-  {
-    std::lock_guard<std::mutex> lock(idle_mutex_);
-    ++pending_;
-  }
-  std::size_t victim;
-  {
-    std::lock_guard<std::mutex> lock(work_mutex_);
-    victim = next_queue_++ % workers_.size();
-    ++queued_;
-  }
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t victim =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
   {
     std::lock_guard<std::mutex> lock(workers_[victim]->mutex);
     workers_[victim]->queue.push_back(std::move(task));
+    unclaimed_.fetch_add(1);
   }
-  work_cv_.notify_one();
+  // Wake one sleeper, if any. Registering as a sleeper and the final
+  // predicate check happen under sleep_mutex_, and both sides use
+  // seq_cst accesses to unclaimed_/sleepers_, so either the sleeper
+  // sees the new task and skips the wait, or we see the sleeper here
+  // and the notify cannot be lost.
+  if (sleepers_.load() > 0) {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    sleep_cv_.notify_one();
+  }
+}
+
+void ThreadPool::drain() noexcept {
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  idle_cv_.wait(lock, [this] { return pending_.load() == 0; });
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(idle_mutex_);
-  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  drain();
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 bool ThreadPool::try_pop(unsigned id, Task& task) {
@@ -62,6 +74,7 @@ bool ThreadPool::try_pop(unsigned id, Task& task) {
     if (!own.queue.empty()) {
       task = std::move(own.queue.back());
       own.queue.pop_back();
+      unclaimed_.fetch_sub(1);
       return true;
     }
   }
@@ -73,6 +86,7 @@ bool ThreadPool::try_pop(unsigned id, Task& task) {
     if (!victim.queue.empty()) {
       task = std::move(victim.queue.front());
       victim.queue.pop_front();
+      unclaimed_.fetch_sub(1);
       return true;
     }
   }
@@ -82,26 +96,27 @@ bool ThreadPool::try_pop(unsigned id, Task& task) {
 void ThreadPool::worker_loop(unsigned id) {
   for (;;) {
     Task task;
-    bool have_task = false;
-    {
-      std::unique_lock<std::mutex> lock(work_mutex_);
-      work_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
-      if (queued_ > 0) {
-        // Claim optimistically; the queues are checked below. A lost
-        // race (another thief emptied them) just re-enters the wait.
-        lock.unlock();
-        have_task = try_pop(id, task);
-        lock.lock();
-        if (have_task) --queued_;
-      }
-      if (!have_task && stop_) return;
+    if (!try_pop(id, task)) {
+      std::unique_lock<std::mutex> lock(sleep_mutex_);
+      sleepers_.fetch_add(1);
+      sleep_cv_.wait(lock, [this] {
+        return stop_.load() || unclaimed_.load() > 0;
+      });
+      sleepers_.fetch_sub(1);
+      lock.unlock();
+      if (stop_.load() && unclaimed_.load() == 0) return;
+      continue;  // re-scan the deques
     }
-    if (!have_task) continue;
-    task();
-    {
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    task = nullptr;  // destroy captures before reporting completion
+    if (pending_.fetch_sub(1) == 1) {
       std::lock_guard<std::mutex> lock(idle_mutex_);
-      --pending_;
-      if (pending_ == 0) idle_cv_.notify_all();
+      idle_cv_.notify_all();
     }
   }
 }

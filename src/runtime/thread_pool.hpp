@@ -1,8 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -11,7 +13,7 @@
 
 namespace vds::runtime {
 
-/// Work-stealing thread pool for campaign fan-out.
+/// Work-stealing thread pool for campaign and sweep fan-out.
 ///
 /// Each worker owns a deque: it pops its own work LIFO (cache-warm)
 /// and steals FIFO from victims when empty, so large task batches
@@ -19,6 +21,18 @@ namespace vds::runtime {
 /// submit further tasks. `wait_idle()` blocks until every submitted
 /// task has *finished* (not merely been claimed), which makes the
 /// pool reusable across campaign phases.
+///
+/// Hot-path contention: `submit()` takes only the target worker's
+/// deque mutex — placement is an atomic round-robin counter and the
+/// unclaimed-task count is an atomic incremented with the push and
+/// decremented *at pop time*, so a sleeping worker's wake predicate
+/// ("some deque holds an unclaimed task") is exact and steal-race
+/// losers go back to sleep instead of spinning.
+///
+/// Exceptions: a task that throws does not kill the worker. The first
+/// exception is captured and rethrown by the next `wait_idle()` call;
+/// later exceptions from the same batch are dropped. The destructor
+/// drains and swallows any captured exception.
 class ThreadPool {
  public:
   using Task = std::function<void()>;
@@ -32,10 +46,13 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Safe to call from worker threads.
+  /// Enqueues a task. Safe to call from worker threads and from
+  /// multiple external threads concurrently.
   void submit(Task task);
 
-  /// Blocks until all submitted tasks have completed.
+  /// Blocks until all submitted tasks have completed. If any task
+  /// threw since the last call, rethrows the first captured
+  /// exception (the remaining tasks still ran to completion).
   void wait_idle();
 
   [[nodiscard]] unsigned size() const noexcept {
@@ -52,22 +69,32 @@ class ThreadPool {
 
   void worker_loop(unsigned id);
   bool try_pop(unsigned id, Task& task);
+  void drain() noexcept;
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
-  // Tasks sitting unclaimed in some queue (wakes workers).
-  std::mutex work_mutex_;
-  std::condition_variable work_cv_;
-  std::size_t queued_ = 0;
-
+  // Tasks sitting unclaimed in some deque. Updated under the owning
+  // deque's mutex (push: +1, pop: -1) so it never underflows; read
+  // lock-free by the sleep predicate.
+  std::atomic<std::size_t> unclaimed_{0};
   // Tasks submitted but not yet finished (wakes wait_idle()).
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> next_queue_{0};  // round-robin placement
+  std::atomic<bool> stop_{false};
+
+  // Sleep/wake rendezvous. Workers register in sleepers_ under
+  // sleep_mutex_ before waiting; submit() only touches the mutex when
+  // sleepers_ > 0, so an all-busy pool never serializes on it.
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<unsigned> sleepers_{0};
+
   std::mutex idle_mutex_;
   std::condition_variable idle_cv_;
-  std::size_t pending_ = 0;
 
-  std::size_t next_queue_ = 0;  // round-robin placement, under work_mutex_
-  bool stop_ = false;           // under work_mutex_
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;  // guarded by error_mutex_
 };
 
 }  // namespace vds::runtime

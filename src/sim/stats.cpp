@@ -65,11 +65,17 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 
 void Histogram::add(double x) noexcept {
   ++total_;
-  if (x < lo_) {
+  if (std::isnan(x)) {
+    // NaN compares false against lo_/hi_ and the float-to-size_t cast
+    // below would be UB; count it in its own bucket instead.
+    ++nan_;
+    return;
+  }
+  if (x < lo_) {  // -inf lands here
     ++under_;
     return;
   }
-  if (x >= hi_) {
+  if (x >= hi_) {  // +inf lands here
     ++over_;
     return;
   }
@@ -91,8 +97,9 @@ double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
 
 double Histogram::quantile(double q) const {
   q = std::clamp(q, 0.0, 1.0);
-  if (total_ == 0) return lo_;
-  const double target = q * static_cast<double>(total_);
+  const std::uint64_t ranked = total_ - nan_;  // NaN has no rank
+  if (ranked == 0) return lo_;
+  const double target = q * static_cast<double>(ranked);
   double cum = static_cast<double>(under_);
   if (target <= cum) return lo_;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
@@ -119,6 +126,7 @@ std::string Histogram::to_string(std::size_t bar_width) const {
   }
   if (under_ != 0) os << "underflow " << under_ << '\n';
   if (over_ != 0) os << "overflow " << over_ << '\n';
+  if (nan_ != 0) os << "nan " << nan_ << '\n';
   return os.str();
 }
 

@@ -53,6 +53,8 @@ class Histogram {
   [[nodiscard]] std::uint64_t bin_count(std::size_t i) const;
   [[nodiscard]] std::uint64_t underflow() const noexcept { return under_; }
   [[nodiscard]] std::uint64_t overflow() const noexcept { return over_; }
+  /// NaN samples; -inf/+inf count as underflow/overflow.
+  [[nodiscard]] std::uint64_t nan_count() const noexcept { return nan_; }
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
   [[nodiscard]] double bin_lo(std::size_t i) const;
   [[nodiscard]] double bin_hi(std::size_t i) const;
@@ -71,6 +73,7 @@ class Histogram {
   std::vector<std::uint64_t> counts_;
   std::uint64_t under_ = 0;
   std::uint64_t over_ = 0;
+  std::uint64_t nan_ = 0;
   std::uint64_t total_ = 0;
 };
 

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "runtime/thread_pool.hpp"
+
 namespace vds::model {
 namespace {
 
@@ -106,6 +108,45 @@ TEST(GainSurface, CsvOutputShape) {
   // Header + 6 data rows.
   EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 7);
   EXPECT_NE(out.find("alpha,beta,gain"), std::string::npos);
+}
+
+TEST(GainSurface, ParallelFillMatchesSerialBitwise) {
+  // The vds_sweep fig4/fig5 path: same grid, any pool size, same
+  // bits. Serial construction is the reference.
+  const Axis alpha{0.5, 1.0, 23};
+  const Axis beta{0.0, 1.0, 17};
+  const GainSurface serial(alpha, beta, 0.5, 20);
+  for (const unsigned threads : {1u, 4u, 8u}) {
+    vds::runtime::ThreadPool pool(threads);
+    const GainSurface parallel(alpha, beta, 0.5, 20, &pool);
+    for (std::size_t ai = 0; ai < alpha.n; ++ai) {
+      for (std::size_t bi = 0; bi < beta.n; ++bi) {
+        EXPECT_EQ(parallel.at(ai, bi), serial.at(ai, bi))
+            << "threads=" << threads << " ai=" << ai << " bi=" << bi;
+      }
+    }
+    EXPECT_EQ(parallel.min_gain(), serial.min_gain());
+    EXPECT_EQ(parallel.max_gain(), serial.max_gain());
+  }
+}
+
+TEST(GainSurface, ParallelCsvIsByteIdenticalAcrossThreadCounts) {
+  // What `vds_sweep --dataset fig4 --threads N` emits must not depend
+  // on N in a single byte.
+  const Axis alpha{0.5, 1.0, 11};
+  const Axis beta{0.0, 1.0, 11};
+  std::string reference;
+  for (const unsigned threads : {1u, 4u, 8u}) {
+    vds::runtime::ThreadPool pool(threads);
+    const GainSurface surface(alpha, beta, 0.5, 20, &pool);
+    std::ostringstream os;
+    surface.write_csv(os);
+    if (reference.empty()) {
+      reference = os.str();
+    } else {
+      EXPECT_EQ(os.str(), reference) << "threads=" << threads;
+    }
+  }
 }
 
 TEST(Sweep, EvaluatesFunctionOverAxis) {

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -103,6 +105,29 @@ TEST_F(JournalTest, RejectsForeignFile) {
   EXPECT_THROW(Journal::load(path_, 1), std::runtime_error);
 }
 
+TEST_F(JournalTest, AppendToFailingStreamThrowsAndPoisons) {
+  // /dev/full accepts the open but fails every flush with ENOSPC --
+  // the "disk filled mid-campaign" case. A dropped record must not
+  // look like success, and later appends must not write past the
+  // failure point.
+  std::FILE* stream = std::fopen("/dev/full", "w");
+  if (stream == nullptr) GTEST_SKIP() << "/dev/full not available";
+  Journal journal(stream, "/dev/full");
+  EXPECT_FALSE(journal.failed());
+  EXPECT_THROW(journal.append(sample_record(0)), std::runtime_error);
+  EXPECT_TRUE(journal.failed());
+  EXPECT_THROW(journal.append(sample_record(1)), std::runtime_error);
+}
+
+TEST_F(JournalTest, HeaderWriteFailureThrowsFromConstructor) {
+  if (std::FILE* probe = std::fopen("/dev/full", "a")) {
+    std::fclose(probe);
+  } else {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  EXPECT_THROW(Journal("/dev/full", 1), std::runtime_error);
+}
+
 TEST_F(JournalTest, TornFinalLineIsIgnored) {
   {
     Journal journal(path_, 3);
@@ -155,6 +180,50 @@ TEST(JsonWriter, EscapesStrings) {
   json.field("text", "a\"b\\c\nd\te");
   json.end_object();
   EXPECT_NE(out.str().find("a\\\"b\\\\c\\nd\\te"), std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteDoublesEmitNull) {
+  // JSON has no inf/nan literals; %.17g would print them verbatim and
+  // corrupt the document for every downstream parser.
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("a", std::numeric_limits<double>::infinity());
+  json.field("b", -std::numeric_limits<double>::infinity());
+  json.field("c", std::numeric_limits<double>::quiet_NaN());
+  json.field("d", 2.5);
+  json.end_object();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"a\": null"), std::string::npos);
+  EXPECT_NE(text.find("\"b\": null"), std::string::npos);
+  EXPECT_NE(text.find("\"c\": null"), std::string::npos);
+  EXPECT_NE(text.find("\"d\": 2.5"), std::string::npos);
+  // The invalid literals must not appear anywhere in the document.
+  EXPECT_EQ(text.find("inf"), std::string::npos);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteStatsStillParse) {
+  // A report whose detection-latency accumulator is empty divides
+  // 0/0 in downstream consumers; emulate the worst case by writing
+  // non-finite stats and checking the document stays machine-readable
+  // (balanced quotes/braces, values only null or numeric).
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("stats").begin_array();
+  json.value(std::numeric_limits<double>::quiet_NaN());
+  json.value(1.0);
+  json.value(std::numeric_limits<double>::infinity());
+  json.end_array();
+  json.end_object();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("null,"), std::string::npos);
+  EXPECT_NE(text.find("1,"), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
+            std::count(text.begin(), text.end(), '}'));
+  EXPECT_EQ(std::count(text.begin(), text.end(), '['),
+            std::count(text.begin(), text.end(), ']'));
 }
 
 TEST(JsonWriter, DoublesRoundTrip) {

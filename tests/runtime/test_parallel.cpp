@@ -1,0 +1,88 @@
+#include "runtime/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace vds::runtime {
+namespace {
+
+TEST(ParallelBlocks, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_blocks(pool, hits.size(), 64,
+                  [&hits](std::size_t lo, std::size_t hi) {
+                    for (std::size_t i = lo; i < hi; ++i) {
+                      hits[i].fetch_add(1);
+                    }
+                  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelBlocks, HandlesRaggedTailAndZeroBlock) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  parallel_blocks(pool, 10, 3, [&count](std::size_t lo, std::size_t hi) {
+    count.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(count.load(), 10);
+  parallel_blocks(pool, 5, 0, [&count](std::size_t lo, std::size_t hi) {
+    count.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(count.load(), 15);
+}
+
+TEST(ParallelBlocks, PropagatesBlockException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_blocks(pool, 100, 10,
+                      [](std::size_t lo, std::size_t) {
+                        if (lo == 50) throw std::runtime_error("block 50");
+                      }),
+      std::runtime_error);
+}
+
+TEST(RenderRows, ConcatenatesInCanonicalOrder) {
+  ThreadPool pool(8);
+  const std::string text = render_rows(pool, 100, [](std::size_t i) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "row %zu\n", i);
+    return std::string(buf);
+  });
+  std::string expected;
+  for (std::size_t i = 0; i < 100; ++i) {
+    expected += "row " + std::to_string(i) + "\n";
+  }
+  EXPECT_EQ(text, expected);
+}
+
+TEST(RenderRows, ByteIdenticalAcrossPoolSizes) {
+  // The vds_sweep determinism contract at the helper level.
+  const auto row = [](std::size_t i) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%zu,%.6f\n", i,
+                  static_cast<double>(i) * 0.125);
+    return std::string(buf);
+  };
+  std::string reference;
+  for (const unsigned threads : {1u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    const std::string text = render_rows(pool, 257, row);
+    if (reference.empty()) {
+      reference = text;
+    } else {
+      EXPECT_EQ(text, reference) << "threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vds::runtime

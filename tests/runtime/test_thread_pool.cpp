@@ -6,7 +6,10 @@
 #include <chrono>
 #include <mutex>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <vector>
 
 namespace vds::runtime {
 namespace {
@@ -118,6 +121,133 @@ TEST(ThreadPool, StressManyTinyTasks) {
   pool.wait_idle();
   EXPECT_EQ(sum.load(),
             static_cast<std::uint64_t>(kTasks) * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPool, StressConcurrentExternalSubmitters) {
+  // Many producer threads race submit() against the workers; the
+  // fine-grained tasks force constant stealing. Counts must be exact.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 2000;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&pool, &counter] {
+      for (int k = 0; k < kPerProducer; ++k) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), kProducers * kPerProducer);
+}
+
+TEST(ThreadPool, StressWorkersSubmitWhileStealing) {
+  // Tasks fan out two generations of children from inside workers, so
+  // submit() runs concurrently with active stealing and wait_idle()
+  // must count grandchildren spawned after it started blocking.
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  for (int k = 0; k < 100; ++k) {
+    pool.submit([&pool, &counter] {
+      counter.fetch_add(1);
+      for (int j = 0; j < 10; ++j) {
+        pool.submit([&pool, &counter] {
+          counter.fetch_add(1);
+          pool.submit([&counter] { counter.fetch_add(1); });
+        });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100 + 1000 + 1000);
+}
+
+TEST(ThreadPool, StressRepeatedPhasesDoNotLoseWakeups) {
+  // Tiny batches drive workers to sleep between phases; a lost wakeup
+  // hangs wait_idle (caught by the ctest timeout in CI).
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int phase = 0; phase < 200; ++phase) {
+    for (int k = 0; k < 8; ++k) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+  }
+  EXPECT_EQ(counter.load(), 200 * 8);
+}
+
+TEST(ThreadPool, ThrowingTaskIsRethrownByWaitIdle) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int k = 0; k < 50; ++k) {
+    pool.submit([&counter, k] {
+      if (k == 17) throw std::runtime_error("task 17 failed");
+      counter.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // Every non-throwing task still ran: one failure does not abandon
+  // or terminate the batch.
+  EXPECT_EQ(counter.load(), 49);
+}
+
+TEST(ThreadPool, FirstOfSeveralExceptionsWins) {
+  ThreadPool pool(2);
+  for (int k = 0; k < 10; ++k) {
+    pool.submit([] { throw std::runtime_error("boom"); });
+  }
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle did not rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "boom");
+  }
+}
+
+TEST(ThreadPool, PoolIsReusableAfterException) {
+  ThreadPool pool(4);
+  pool.submit([] { throw std::runtime_error("first batch"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+
+  std::atomic<int> counter{0};
+  for (int k = 0; k < 100; ++k) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();  // the captured exception was consumed above
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ThrowingTaskDoesNotWedgeDestructor) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int k = 0; k < 20; ++k) {
+      pool.submit([&counter] {
+        counter.fetch_add(1);
+        throw std::runtime_error("unobserved");
+      });
+    }
+    // No wait_idle: the destructor must drain (counting the throwing
+    // tasks as finished) and swallow the captured exception.
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, WaitIdleFromMultipleThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int k = 0; k < 5000; ++k) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  std::vector<std::thread> waiters;
+  for (int t = 0; t < 4; ++t) {
+    waiters.emplace_back([&pool] { pool.wait_idle(); });
+  }
+  for (std::thread& waiter : waiters) waiter.join();
+  EXPECT_EQ(counter.load(), 5000);
 }
 
 }  // namespace

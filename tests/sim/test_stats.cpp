@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "sim/rng.hpp"
@@ -192,6 +193,45 @@ TEST(Histogram, ToStringMentionsEveryBin) {
   const std::string s = h.to_string();
   EXPECT_NE(s.find("[0, 1)"), std::string::npos);
   EXPECT_NE(s.find("[1, 2)"), std::string::npos);
+}
+
+TEST(Histogram, NanIsCountedNotBinned) {
+  // NaN compares false against every bound, so the unguarded cast to
+  // size_t was UB (caught by UBSan once this test existed). It must
+  // land in its own bucket, not in a value bin.
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(-std::numeric_limits<double>::quiet_NaN());
+  h.add(5.0);
+  EXPECT_EQ(h.nan_count(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  std::uint64_t binned = 0;
+  for (std::size_t i = 0; i < h.bins(); ++i) binned += h.bin_count(i);
+  EXPECT_EQ(binned, 1u);
+  EXPECT_NE(h.to_string().find("nan 2"), std::string::npos);
+}
+
+TEST(Histogram, InfinitiesLandInOverflowBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.nan_count(), 0u);
+}
+
+TEST(Histogram, QuantileIgnoresNanMass) {
+  Histogram h(0.0, 10.0, 10);
+  for (int k = 0; k < 10; ++k) h.add(static_cast<double>(k) + 0.5);
+  const double median_before = h.quantile(0.5);
+  for (int k = 0; k < 100; ++k) {
+    h.add(std::numeric_limits<double>::quiet_NaN());
+  }
+  // NaN samples have no rank; the quantile of the real data is
+  // unchanged no matter how many arrive.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), median_before);
 }
 
 }  // namespace

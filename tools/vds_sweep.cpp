@@ -2,7 +2,12 @@
 // this repository's extensions. Each dataset goes to stdout; select one
 // with --dataset. Intended for piping into gnuplot/pandas:
 //
-//   vds_sweep --dataset fig4 > fig4.csv
+//   vds_sweep --dataset fig4 --threads 8 > fig4.csv
+//
+// Grid points fan out across a work-stealing pool; every point is a
+// pure function of its coordinates and rows are concatenated in
+// canonical index order, so the CSV is byte-identical for any
+// --threads value.
 
 #include <cstdio>
 #include <cstdlib>
@@ -10,18 +15,22 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/conventional.hpp"
 #include "core/smt_engine.hpp"
 #include "model/limits.hpp"
 #include "model/reliability.hpp"
 #include "model/surface.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/thread_pool.hpp"
 #include "smt/metrics.hpp"
 #include "smt/workload.hpp"
 
 namespace {
 
-constexpr const char* kUsage = R"(usage: vds_sweep --dataset NAME [--samples N]
+constexpr const char* kUsage = R"(usage: vds_sweep --dataset NAME [--samples N] [--threads N]
 
 datasets:
   fig4        G_corr(alpha, beta) surface at p = 0.5, s = 20 (Figure 4)
@@ -30,83 +39,103 @@ datasets:
   schemes     engine speedup vs conventional per scheme and fault rate
   alpha       measured alpha of the SMT core across workloads/widths
   reliability closed-form reliability estimates over the fault rate
+
+options:
+  --samples N   grid samples per axis for fig4/fig5 [11]
+  --threads N   worker threads, 0 = hardware concurrency [0];
+                output is byte-identical for every value
 )";
 
-void emit_fig(double p, std::size_t samples) {
+void emit_fig(double p, std::size_t samples, vds::runtime::ThreadPool& pool) {
   const vds::model::GainSurface surface(
       vds::model::Axis{0.5, 1.0, samples},
-      vds::model::Axis{0.0, 1.0, samples}, p, 20);
+      vds::model::Axis{0.0, 1.0, samples}, p, 20, &pool);
   surface.write_csv(std::cout);
 }
 
-void emit_gmax() {
+void emit_gmax(vds::runtime::ThreadPool& pool) {
   std::printf("p,alpha,beta,g_max,mean_gain_corr_s20\n");
-  for (int pi = 0; pi <= 10; ++pi) {
-    const double p = 0.1 * pi;
-    for (int ai = 0; ai <= 10; ++ai) {
-      const double alpha = 0.5 + 0.05 * ai;
-      const auto params = vds::model::Params::with_beta(alpha, 0.1, 20, p);
-      std::printf("%.2f,%.2f,0.10,%.6f,%.6f\n", p, alpha,
-                  vds::model::g_max(params),
-                  vds::model::mean_gain_corr(params));
-    }
-  }
+  // 11 p-values x 11 alphas, row index = pi * 11 + ai.
+  const std::string body = vds::runtime::render_rows(
+      pool, 11 * 11, [](std::size_t i) {
+        const double p = 0.1 * static_cast<double>(i / 11);
+        const double alpha = 0.5 + 0.05 * static_cast<double>(i % 11);
+        const auto params = vds::model::Params::with_beta(alpha, 0.1, 20, p);
+        char buf[128];
+        std::snprintf(buf, sizeof buf, "%.2f,%.2f,0.10,%.6f,%.6f\n", p,
+                      alpha, vds::model::g_max(params),
+                      vds::model::mean_gain_corr(params));
+        return std::string(buf);
+      });
+  std::fputs(body.c_str(), stdout);
 }
 
-void emit_schemes() {
+void emit_schemes(vds::runtime::ThreadPool& pool) {
   std::printf("scheme,rate,conv_time,smt_time,speedup,detections,"
               "rollbacks,rf_rounds\n");
-  const vds::core::RecoveryScheme schemes[] = {
+  constexpr vds::core::RecoveryScheme kSchemes[] = {
       vds::core::RecoveryScheme::kRollback,
       vds::core::RecoveryScheme::kStopAndRetry,
       vds::core::RecoveryScheme::kRollForwardDet,
       vds::core::RecoveryScheme::kRollForwardProb,
       vds::core::RecoveryScheme::kRollForwardPredict,
   };
-  for (const auto scheme : schemes) {
-    for (const double rate : {0.002, 0.01, 0.02, 0.05}) {
-      vds::core::VdsOptions options;
-      options.c = 0.1;
-      options.t_cmp = 0.1;
-      options.alpha = 0.65;
-      options.s = 20;
-      options.job_rounds = 10000;
-      options.scheme = scheme;
+  constexpr double kRates[] = {0.002, 0.01, 0.02, 0.05};
+  // Each (scheme, rate) point runs two full engine simulations from
+  // fixed seeds -- the expensive rows this sweep parallelizes.
+  const std::string body = vds::runtime::render_rows(
+      pool, 5 * 4, [&](std::size_t i) {
+        const auto scheme = kSchemes[i / 4];
+        const double rate = kRates[i % 4];
+        vds::core::VdsOptions options;
+        options.c = 0.1;
+        options.t_cmp = 0.1;
+        options.alpha = 0.65;
+        options.s = 20;
+        options.job_rounds = 10000;
+        options.scheme = scheme;
 
-      vds::fault::FaultConfig config;
-      config.rate = rate;
-      config.victim1_bias = 0.8;
+        vds::fault::FaultConfig config;
+        config.rate = rate;
+        config.victim1_bias = 0.8;
 
-      vds::sim::Rng rng_a(7);
-      auto timeline_a = vds::fault::generate_timeline(config, rng_a,
-                                                      400000.0);
-      vds::core::SmtVds smt(options, vds::sim::Rng(8));
-      smt.set_predictor(
-          std::make_unique<vds::fault::TwoBitPredictor>(16));
-      const auto smt_report = smt.run(timeline_a);
+        vds::sim::Rng rng_a(7);
+        auto timeline_a = vds::fault::generate_timeline(config, rng_a,
+                                                        400000.0);
+        vds::core::SmtVds smt(options, vds::sim::Rng(8));
+        smt.set_predictor(
+            std::make_unique<vds::fault::TwoBitPredictor>(16));
+        const auto smt_report = smt.run(timeline_a);
 
-      vds::core::VdsOptions conv_options = options;
-      conv_options.scheme = vds::core::RecoveryScheme::kStopAndRetry;
-      vds::sim::Rng rng_b(7);
-      auto timeline_b = vds::fault::generate_timeline(config, rng_b,
-                                                      400000.0);
-      vds::core::ConventionalVds conv(conv_options, vds::sim::Rng(8));
-      const auto conv_report = conv.run(timeline_b);
+        vds::core::VdsOptions conv_options = options;
+        conv_options.scheme = vds::core::RecoveryScheme::kStopAndRetry;
+        vds::sim::Rng rng_b(7);
+        auto timeline_b = vds::fault::generate_timeline(config, rng_b,
+                                                        400000.0);
+        vds::core::ConventionalVds conv(conv_options, vds::sim::Rng(8));
+        const auto conv_report = conv.run(timeline_b);
 
-      std::printf("%s,%.3f,%.2f,%.2f,%.4f,%llu,%llu,%llu\n",
-                  vds::core::to_string(scheme).data(), rate,
-                  conv_report.total_time, smt_report.total_time,
-                  conv_report.total_time / smt_report.total_time,
-                  static_cast<unsigned long long>(smt_report.detections),
-                  static_cast<unsigned long long>(smt_report.rollbacks),
-                  static_cast<unsigned long long>(
-                      smt_report.roll_forward_rounds_gained));
-    }
-  }
+        const auto name = vds::core::to_string(scheme);
+        char buf[192];
+        std::snprintf(buf, sizeof buf,
+                      "%.*s,%.3f,%.2f,%.2f,%.4f,%llu,%llu,%llu\n",
+                      static_cast<int>(name.size()), name.data(), rate,
+                      conv_report.total_time, smt_report.total_time,
+                      conv_report.total_time / smt_report.total_time,
+                      static_cast<unsigned long long>(smt_report.detections),
+                      static_cast<unsigned long long>(smt_report.rollbacks),
+                      static_cast<unsigned long long>(
+                          smt_report.roll_forward_rounds_gained));
+        return std::string(buf);
+      });
+  std::fputs(body.c_str(), stdout);
 }
 
-void emit_alpha() {
+void emit_alpha(vds::runtime::ThreadPool& pool) {
   std::printf("workload,issue_width,alpha,ipc_alone,ipc_together\n");
+  // Trace generation stays serial: the workloads share one RNG and
+  // must consume it in the sequential order. The core simulations
+  // (the expensive part) then fan out, reading the traces const.
   vds::sim::Rng rng(42);
   const std::pair<const char*, vds::smt::WorkloadConfig> workloads[] = {
       {"compute", vds::smt::compute_bound_workload(20000)},
@@ -115,43 +144,65 @@ void emit_alpha() {
       {"serial", vds::smt::serial_chain_workload(20000)},
       {"balanced", vds::smt::balanced_workload(20000)},
   };
+  struct TracePair {
+    const char* name;
+    vds::smt::InstrTrace a;
+    vds::smt::InstrTrace b;
+  };
+  std::vector<TracePair> traces;
   for (const auto& [name, workload] : workloads) {
-    const auto trace_a = vds::smt::generate_trace(workload, rng);
-    const auto trace_b = vds::smt::generate_trace(workload, rng);
-    for (const std::uint32_t width : {2u, 4u, 8u}) {
-      vds::smt::CoreConfig config;
-      config.issue_width = width;
-      config.max_issue_per_thread = width;
-      const auto m = vds::smt::measure_alpha(
-          config, vds::smt::FetchPolicy::kIcount, trace_a, trace_b);
-      std::printf("%s,%u,%.4f,%.4f,%.4f\n", name, width, m.alpha,
-                  m.ipc_a_alone, m.ipc_together);
-    }
+    TracePair pair;
+    pair.name = name;
+    pair.a = vds::smt::generate_trace(workload, rng);
+    pair.b = vds::smt::generate_trace(workload, rng);
+    traces.push_back(std::move(pair));
   }
+  static constexpr std::uint32_t kWidths[] = {2u, 4u, 8u};
+  const std::string body = vds::runtime::render_rows(
+      pool, traces.size() * 3, [&traces](std::size_t i) {
+        const TracePair& pair = traces[i / 3];
+        const std::uint32_t width = kWidths[i % 3];
+        vds::smt::CoreConfig config;
+        config.issue_width = width;
+        config.max_issue_per_thread = width;
+        const auto m = vds::smt::measure_alpha(
+            config, vds::smt::FetchPolicy::kIcount, pair.a, pair.b);
+        char buf[128];
+        std::snprintf(buf, sizeof buf, "%s,%u,%.4f,%.4f,%.4f\n", pair.name,
+                      width, m.alpha, m.ipc_a_alone, m.ipc_together);
+        return std::string(buf);
+      });
+  std::fputs(body.c_str(), stdout);
 }
 
-void emit_reliability() {
+void emit_reliability(vds::runtime::ThreadPool& pool) {
   std::printf("scheme,rate,p,expected_detections,p_recovery_failure,"
               "expected_rollbacks,p_job_silent,expected_total_time\n");
-  const std::pair<const char*, vds::model::Scheme> schemes[] = {
+  constexpr std::pair<const char*, vds::model::Scheme> kSchemes[] = {
       {"det", vds::model::Scheme::kDeterministic},
       {"prob", vds::model::Scheme::kProbabilistic},
       {"predict", vds::model::Scheme::kPrediction},
   };
-  for (const auto& [name, scheme] : schemes) {
-    for (const double rate : {0.001, 0.005, 0.01, 0.02, 0.05}) {
-      for (const double p : {0.5, 0.9}) {
+  constexpr double kRates[] = {0.001, 0.005, 0.01, 0.02, 0.05};
+  constexpr double kPs[] = {0.5, 0.9};
+  // Row index = (scheme * 5 + rate) * 2 + p.
+  const std::string body = vds::runtime::render_rows(
+      pool, 3 * 5 * 2, [&](std::size_t i) {
+        const auto& [name, scheme] = kSchemes[i / 10];
+        const double rate = kRates[(i % 10) / 2];
+        const double p = kPs[i % 2];
         const auto params =
             vds::model::Params::with_beta(0.65, 0.1, 20, p);
         const auto est = vds::model::estimate_reliability(params, scheme,
                                                           rate, 10000);
-        std::printf("%s,%.3f,%.1f,%.3f,%.6f,%.3f,%.6f,%.1f\n", name, rate,
-                    p, est.expected_detections, est.p_recovery_failure,
-                    est.expected_rollbacks, est.p_job_silent,
-                    est.expected_total_time);
-      }
-    }
-  }
+        char buf[192];
+        std::snprintf(buf, sizeof buf, "%s,%.3f,%.1f,%.3f,%.6f,%.3f,%.6f,%.1f\n",
+                      name, rate, p, est.expected_detections,
+                      est.p_recovery_failure, est.expected_rollbacks,
+                      est.p_job_silent, est.expected_total_time);
+        return std::string(buf);
+      });
+  std::fputs(body.c_str(), stdout);
 }
 
 }  // namespace
@@ -159,12 +210,15 @@ void emit_reliability() {
 int main(int argc, char** argv) {
   std::string dataset;
   std::size_t samples = 11;
+  unsigned threads = 0;
   for (int k = 1; k < argc; ++k) {
     const std::string arg = argv[k];
     if (arg == "--dataset" && k + 1 < argc) {
       dataset = argv[++k];
     } else if (arg == "--samples" && k + 1 < argc) {
       samples = static_cast<std::size_t>(std::atoi(argv[++k]));
+    } else if (arg == "--threads" && k + 1 < argc) {
+      threads = static_cast<unsigned>(std::atoi(argv[++k]));
     } else if (arg == "--help" || arg == "-h") {
       std::fputs(kUsage, stdout);
       return 0;
@@ -174,18 +228,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  vds::runtime::ThreadPool pool(threads);
   if (dataset == "fig4") {
-    emit_fig(0.5, samples);
+    emit_fig(0.5, samples, pool);
   } else if (dataset == "fig5") {
-    emit_fig(1.0, samples);
+    emit_fig(1.0, samples, pool);
   } else if (dataset == "gmax") {
-    emit_gmax();
+    emit_gmax(pool);
   } else if (dataset == "schemes") {
-    emit_schemes();
+    emit_schemes(pool);
   } else if (dataset == "alpha") {
-    emit_alpha();
+    emit_alpha(pool);
   } else if (dataset == "reliability") {
-    emit_reliability();
+    emit_reliability(pool);
   } else {
     std::fprintf(stderr, "missing or unknown --dataset\n%s", kUsage);
     return 2;
