@@ -1,6 +1,7 @@
 #include "baseline/duplex.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace vds::baseline {
@@ -13,11 +14,22 @@ void DuplexConfig::validate() const {
   const auto fail = [](const char* what) {
     throw std::invalid_argument(std::string("DuplexConfig: ") + what);
   };
-  if (!(t > 0.0)) fail("t must be > 0");
-  if (t_cmp < 0.0) fail("t_cmp >= 0");
+  if (!(t > 0.0) || !std::isfinite(t)) fail("t must be finite and > 0");
+  if (!(t_cmp >= 0.0) || !std::isfinite(t_cmp)) {
+    fail("t_cmp must be finite and >= 0");
+  }
   if (s < 1) fail("s >= 1");
   if (job_rounds == 0) fail("job_rounds >= 1");
+  if (!(checkpoint_write_latency >= 0.0) ||
+      !std::isfinite(checkpoint_write_latency) ||
+      !(checkpoint_read_latency >= 0.0) ||
+      !std::isfinite(checkpoint_read_latency)) {
+    fail("checkpoint latencies must be finite and >= 0");
+  }
   if (max_consecutive_failures < 1) fail("max_consecutive_failures >= 1");
+  if (!(max_time > 0.0) || !std::isfinite(max_time)) {
+    fail("max_time must be finite and > 0");
+  }
   if (processors < 2) fail("processors >= 2");
 }
 
@@ -26,8 +38,8 @@ PhysicalDuplex::PhysicalDuplex(DuplexConfig config, vds::sim::Rng rng)
   config_.validate();
 }
 
-vds::core::RunReport PhysicalDuplex::run(
-    vds::fault::FaultTimeline& timeline) {
+vds::core::RunReport PhysicalDuplex::run(vds::fault::FaultTimeline& timeline,
+                                         vds::sim::Trace* /*trace*/) {
   vds::core::RunReport rep;
   const double round_time = config_.t + config_.t_cmp;
 

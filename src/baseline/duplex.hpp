@@ -2,9 +2,11 @@
 
 #include <cstdint>
 
+#include "core/engine.hpp"
 #include "core/report.hpp"
 #include "fault/injector.hpp"
 #include "sim/rng.hpp"
+#include "sim/trace.hpp"
 
 namespace vds::baseline {
 
@@ -31,12 +33,18 @@ struct DuplexConfig {
 /// Physical-duplex reference implementation. Stop-and-retry recovery:
 /// on mismatch at round i, one processor replays version 3 for i rounds
 /// (i * t) while the other idles, then a 2-out-of-3 vote.
-class PhysicalDuplex {
+class PhysicalDuplex final : public vds::core::Engine {
  public:
   PhysicalDuplex(DuplexConfig config, vds::sim::Rng rng);
 
-  [[nodiscard]] vds::core::RunReport run(
-      vds::fault::FaultTimeline& timeline);
+  [[nodiscard]] std::string_view kind() const noexcept override {
+    return "duplex";
+  }
+
+  /// `trace` is accepted for Engine uniformity and ignored (round
+  /// accounting is aggregate; there are no per-version slot events).
+  vds::core::RunReport run(vds::fault::FaultTimeline& timeline,
+                           vds::sim::Trace* trace = nullptr) override;
 
   [[nodiscard]] const DuplexConfig& config() const noexcept {
     return config_;

@@ -1,6 +1,7 @@
 #include "baseline/srt.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace vds::baseline {
@@ -12,14 +13,22 @@ void SrtConfig::validate() const {
   const auto fail = [](const char* what) {
     throw std::invalid_argument(std::string("SrtConfig: ") + what);
   };
-  if (!(t > 0.0)) fail("t must be > 0");
+  if (!(t > 0.0) || !std::isfinite(t)) fail("t must be finite and > 0");
   if (!(alpha >= 0.5) || alpha > 1.0) fail("alpha in [0.5, 1]");
-  if (compare_overhead < 0.0) fail("compare_overhead >= 0");
+  if (!(compare_overhead >= 0.0) || !std::isfinite(compare_overhead)) {
+    fail("compare_overhead must be finite and >= 0");
+  }
   if (chunks_per_round < 1) fail("chunks_per_round >= 1");
   if (s < 1) fail("s >= 1");
   if (job_rounds == 0) fail("job_rounds >= 1");
-  if (checkpoint_write_latency < 0.0 || checkpoint_read_latency < 0.0) {
-    fail("checkpoint latencies >= 0");
+  if (!(checkpoint_write_latency >= 0.0) ||
+      !std::isfinite(checkpoint_write_latency) ||
+      !(checkpoint_read_latency >= 0.0) ||
+      !std::isfinite(checkpoint_read_latency)) {
+    fail("checkpoint latencies must be finite and >= 0");
+  }
+  if (!(max_time > 0.0) || !std::isfinite(max_time)) {
+    fail("max_time must be finite and > 0");
   }
 }
 
@@ -28,7 +37,8 @@ LockstepSrt::LockstepSrt(SrtConfig config, vds::sim::Rng rng)
   config_.validate();
 }
 
-vds::core::RunReport LockstepSrt::run(vds::fault::FaultTimeline& timeline) {
+vds::core::RunReport LockstepSrt::run(vds::fault::FaultTimeline& timeline,
+                                      vds::sim::Trace* /*trace*/) {
   vds::core::RunReport rep;
   // Both copies progress in lockstep at the SMT pair rate, stretched by
   // the always-on comparison hardware.

@@ -2,9 +2,11 @@
 
 #include <cstdint>
 
+#include "core/engine.hpp"
 #include "core/report.hpp"
 #include "fault/injector.hpp"
 #include "sim/rng.hpp"
+#include "sim/trace.hpp"
 
 namespace vds::baseline {
 
@@ -37,12 +39,18 @@ struct SrtConfig {
 /// Lockstep SRT reference implementation against the common fault
 /// timeline. Reuses core::RunReport for comparable accounting: every
 /// detection is followed by a rollback (no vote, no roll-forward).
-class LockstepSrt {
+class LockstepSrt final : public vds::core::Engine {
  public:
   LockstepSrt(SrtConfig config, vds::sim::Rng rng);
 
-  [[nodiscard]] vds::core::RunReport run(
-      vds::fault::FaultTimeline& timeline);
+  [[nodiscard]] std::string_view kind() const noexcept override {
+    return "srt";
+  }
+
+  /// `trace` is accepted for Engine uniformity and ignored: lockstep
+  /// comparison happens per chunk in hardware, below protocol events.
+  vds::core::RunReport run(vds::fault::FaultTimeline& timeline,
+                           vds::sim::Trace* trace = nullptr) override;
 
   [[nodiscard]] const SrtConfig& config() const noexcept { return config_; }
 

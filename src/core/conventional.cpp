@@ -1,390 +1,9 @@
 #include "core/conventional.hpp"
 
-#include <algorithm>
-#include <string>
-
-#include "fault/detector.hpp"
+#include "core/platform_cores.hpp"
+#include "core/recovery_policy.hpp"
 
 namespace vds::core {
-namespace {
-
-using vds::checkpoint::VersionState;
-using vds::fault::Fault;
-using vds::fault::FaultKind;
-using vds::sim::TraceKind;
-
-/// One of the two processes carrying a version.
-struct Slot {
-  VersionState state;
-  int version_id = 0;
-  bool crashed = false;
-};
-
-/// Procedural interpreter of the conventional-VDS protocol. Simulated
-/// time advances phase by phase; each phase drains the fault timeline
-/// over its window and applies the faults to whatever occupies the
-/// processor during that window.
-class Runner {
- public:
-  Runner(const VdsOptions& options, vds::sim::Rng& rng,
-         vds::fault::FaultTimeline& timeline, vds::sim::Trace* trace)
-      : opt_(options), rng_(rng), timeline_(timeline), trace_(trace),
-        vset_(options),
-        store_({options.checkpoint_write_latency,
-                options.checkpoint_read_latency},
-               /*keep_last=*/2) {
-    a_.state = vset_.initial_state();
-    b_.state = a_.state;
-    a_.version_id = 1;
-    b_.version_id = 2;
-    store_.save(0, a_.state, 0.0);  // initial checkpoint (setup, free)
-  }
-
-  RunReport run() {
-    bool aborted = false;
-    while (base_ + i_ < opt_.job_rounds) {
-      if (clock_ > opt_.max_time || rep_.failed_safe) {
-        aborted = true;
-        break;
-      }
-      step_round();
-    }
-    rep_.total_time = clock_;
-    rep_.rounds_committed = std::min(base_ + i_, opt_.job_rounds);
-    rep_.completed = !aborted && !rep_.failed_safe &&
-                     rep_.rounds_committed >= opt_.job_rounds;
-    if (rep_.completed) {
-      const auto& golden = vset_.golden_at(rep_.rounds_committed);
-      rep_.silent_corruption = a_.state.digest() != golden.digest() ||
-                               b_.state.digest() != golden.digest();
-      record(TraceKind::kJobDone, "VDS", "");
-    }
-    return rep_;
-  }
-
- private:
-  // --- tracing ---------------------------------------------------------
-  void record(TraceKind kind, std::string actor, std::string detail) {
-    if (trace_ != nullptr) {
-      trace_->record(clock_, std::move(actor), kind, std::move(detail));
-    }
-  }
-
-  // --- fault plumbing --------------------------------------------------
-
-  /// Applies one fault. `occupant` is the slot computing during the
-  /// fault window (nullptr when the processor is switching/comparing,
-  /// in which case a memory-resident victim is picked at random);
-  /// `retry` points at the retry state when version 3 occupies the CPU.
-  void apply_fault(const Fault& fault, Slot* occupant,
-                   VersionState* retry_state, bool* retry_crashed) {
-    ++rep_.faults_seen;
-    record(TraceKind::kFaultInjected, "fault", fault.describe());
-    switch (fault.kind) {
-      case FaultKind::kTransient: {
-        ++rep_.transient_faults;
-        if (retry_state != nullptr) {
-          // Enforce the paper's fault-model assumption (§2.1) that no
-          // two versions are corrupted identically: nudge a flip that
-          // would coincide with the pending fault's flip. A coinciding
-          // flip would make the corrupted retry equal the corrupted
-          // version state and invert the majority vote.
-          std::uint8_t bit = fault.bit;
-          if (pending_since_ >= 0.0 &&
-              fault.word % opt_.state_words ==
-                  pending_word_ % opt_.state_words &&
-              bit % 64 == pending_bit_ % 64) {
-            bit = static_cast<std::uint8_t>((bit + 1) % 64);
-          }
-          retry_state->flip_bit(fault.word, bit);
-          note_pending(fault, /*slot_hit=*/-1);
-          return;
-        }
-        Slot& victim = occupant != nullptr
-                           ? *occupant
-                           : (rng_.bernoulli(0.5) ? a_ : b_);
-        victim.state.flip_bit(fault.word, fault.bit);
-        note_pending(fault, &victim == &a_ ? 0 : 1);
-        return;
-      }
-      case FaultKind::kCrash: {
-        ++rep_.crash_faults;
-        if (retry_crashed != nullptr) {
-          *retry_crashed = true;
-          note_pending(fault, -1);
-          return;
-        }
-        Slot& victim = occupant != nullptr
-                           ? *occupant
-                           : (rng_.bernoulli(0.5) ? a_ : b_);
-        victim.crashed = true;
-        note_pending(fault, &victim == &a_ ? 0 : 1);
-        pending_crash_ = true;
-        return;
-      }
-      case FaultKind::kPermanent: {
-        ++rep_.permanent_faults;
-        const bool exposed =
-            rng_.bernoulli(opt_.permanent_detectable_prob);
-        // The version computing now certainly exercises the broken
-        // unit; the others may or may not, depending on diversity.
-        const int victim_version =
-            occupant != nullptr ? occupant->version_id
-            : retry_state != nullptr
-                ? spare_id_
-                : (rng_.bernoulli(0.5) ? a_.version_id : b_.version_id);
-        std::uint8_t mask = 0;
-        for (int version = 1; version <= 3; ++version) {
-          const bool affected =
-              version == victim_version ||
-              rng_.bernoulli(opt_.permanent_affects_others_prob);
-          if (affected) {
-            mask |= static_cast<std::uint8_t>(1u << (version - 1));
-          }
-        }
-        vset_.set_permanent(fault.location, exposed, mask);
-        if (exposed && ((mask >> (a_.version_id - 1)) & 1u ||
-                        (mask >> (b_.version_id - 1)) & 1u)) {
-          note_pending(fault, -1);
-        }
-        return;
-      }
-      case FaultKind::kProcessorCrash: {
-        ++rep_.processor_crashes;
-        processor_crash_ = true;
-        return;
-      }
-    }
-  }
-
-  void drain(double from, double to, Slot* occupant,
-             VersionState* retry_state = nullptr,
-             bool* retry_crashed = nullptr) {
-    for (const Fault& fault : timeline_.drain_window(from, to)) {
-      apply_fault(fault, occupant, retry_state, retry_crashed);
-    }
-  }
-
-  void note_pending(const Fault& fault, int slot_hit) {
-    if (pending_since_ < 0.0) {
-      pending_since_ = fault.when;
-      pending_location_ = fault.location;
-      pending_slot_ = slot_hit;
-      pending_word_ = fault.word;
-      pending_bit_ = fault.bit;
-    }
-  }
-
-  void clear_pending() {
-    pending_since_ = -1.0;
-    pending_crash_ = false;
-    pending_slot_ = -1;
-  }
-
-  // --- protocol phases -------------------------------------------------
-
-  void step_round() {
-    const std::uint64_t round = base_ + i_ + 1;
-
-    // Version in slot A computes its round.
-    record(TraceKind::kRoundStart, "V" + std::to_string(a_.version_id),
-           "round " + std::to_string(round));
-    vset_.advance(a_.state, round, a_.version_id);
-    drain(clock_, clock_ + opt_.t, &a_);
-    clock_ += opt_.t;
-    record(TraceKind::kRoundEnd, "V" + std::to_string(a_.version_id), "");
-    if (handle_processor_crash()) return;
-
-    // Context switch.
-    record(TraceKind::kContextSwitch, "os", "");
-    drain(clock_, clock_ + opt_.c, nullptr);
-    clock_ += opt_.c;
-    if (handle_processor_crash()) return;
-
-    // Version in slot B computes its round.
-    record(TraceKind::kRoundStart, "V" + std::to_string(b_.version_id),
-           "round " + std::to_string(round));
-    vset_.advance(b_.state, round, b_.version_id);
-    drain(clock_, clock_ + opt_.t, &b_);
-    clock_ += opt_.t;
-    record(TraceKind::kRoundEnd, "V" + std::to_string(b_.version_id), "");
-    if (handle_processor_crash()) return;
-
-    record(TraceKind::kContextSwitch, "os", "");
-    drain(clock_, clock_ + opt_.c, nullptr);
-    clock_ += opt_.c;
-    if (handle_processor_crash()) return;
-
-    // State comparison.
-    drain(clock_, clock_ + opt_.t_cmp, nullptr);
-    clock_ += opt_.t_cmp;
-    ++rep_.comparisons;
-    if (handle_processor_crash()) return;
-
-    const bool mismatch =
-        a_.crashed || b_.crashed ||
-        vds::fault::compare_states(a_.state, b_.state) ==
-            vds::fault::CompareOutcome::kMismatch;
-    record(mismatch ? TraceKind::kCompareMismatch : TraceKind::kCompare,
-           "VDS", "round " + std::to_string(round));
-
-    if (!mismatch) {
-      ++i_;
-      clear_pending();
-      maybe_checkpoint();
-      return;
-    }
-
-    ++rep_.detections;
-    record(TraceKind::kFaultDetected, "VDS",
-           "at round " + std::to_string(i_ + 1));
-    if (pending_since_ >= 0.0) {
-      rep_.detection_latency.add(clock_ - pending_since_);
-    }
-    const double recovery_start = clock_;
-    if (opt_.scheme == RecoveryScheme::kRollback) {
-      rollback();
-    } else {
-      stop_and_retry();
-    }
-    rep_.recovery_time.add(clock_ - recovery_start);
-  }
-
-  void maybe_checkpoint() {
-    if (i_ < static_cast<std::uint64_t>(opt_.s) &&
-        base_ + i_ < opt_.job_rounds) {
-      return;
-    }
-    drain(clock_, clock_ + opt_.checkpoint_write_latency, nullptr);
-    clock_ += store_.save(base_ + i_, a_.state, clock_);
-    ++rep_.checkpoints;
-    record(TraceKind::kCheckpoint, "VDS",
-           "round " + std::to_string(base_ + i_));
-    base_ += i_;
-    i_ = 0;
-    consecutive_failures_ = 0;
-  }
-
-  /// Stop-and-retry with 2-out-of-3 vote (paper eq (2) timing).
-  void stop_and_retry() {
-    const std::uint64_t ic = i_ + 1;  // mismatch found at round ic
-    record(TraceKind::kRetryStart, "V" + std::to_string(spare_id_),
-           "replay " + std::to_string(ic) + " rounds");
-
-    // Version 3 loads the checkpoint...
-    drain(clock_, clock_ + opt_.checkpoint_read_latency, nullptr);
-    clock_ += opt_.checkpoint_read_latency;
-    VersionState retry = store_.latest()->state;
-    bool retry_crashed = false;
-
-    // ...and replays the interval, round by round, itself exposed to
-    // new faults while it runs.
-    for (std::uint64_t r = 1; r <= ic; ++r) {
-      vset_.advance(retry, base_ + r, spare_id_);
-      drain(clock_, clock_ + opt_.t, nullptr, &retry, &retry_crashed);
-      clock_ += opt_.t;
-      if (processor_crash_) break;
-    }
-    if (handle_processor_crash()) return;
-    record(TraceKind::kRetryEnd, "V" + std::to_string(spare_id_), "");
-
-    // Majority vote: two comparisons.
-    drain(clock_, clock_ + 2.0 * opt_.t_cmp, nullptr);
-    clock_ += 2.0 * opt_.t_cmp;
-    rep_.comparisons += 2;
-    if (handle_processor_crash()) return;
-
-    const bool s_matches_a =
-        !retry_crashed && !a_.crashed &&
-        retry.digest() == a_.state.digest();
-    const bool s_matches_b =
-        !retry_crashed && !b_.crashed &&
-        retry.digest() == b_.state.digest();
-
-    if (s_matches_a == s_matches_b) {
-      // Either all three agree (cannot happen after a mismatch) or all
-      // three differ: no majority -> rollback (paper §3.1).
-      record(TraceKind::kMajorityVote, "VDS", "no majority");
-      rollback();
-      return;
-    }
-
-    Slot& faulty = s_matches_a ? b_ : a_;
-    record(TraceKind::kMajorityVote, "VDS",
-           "V" + std::to_string(faulty.version_id) + " faulty");
-
-    // The fault-free retry state replaces the faulty version; version 3
-    // takes over that slot and the previous occupant becomes the spare.
-    faulty.state = retry;
-    faulty.crashed = false;
-    std::swap(faulty.version_id, spare_id_);
-    record(TraceKind::kStateCopy, "VDS",
-           "V" + std::to_string(faulty.version_id) + " joins duplex");
-
-    i_ = ic;
-    consecutive_failures_ = 0;
-    ++rep_.recoveries_ok;
-    clear_pending();
-    maybe_checkpoint();
-  }
-
-  void rollback() {
-    drain(clock_, clock_ + opt_.checkpoint_read_latency, nullptr);
-    clock_ += opt_.checkpoint_read_latency;
-    const auto checkpoint = store_.latest();
-    a_.state = checkpoint->state;
-    b_.state = checkpoint->state;
-    a_.crashed = b_.crashed = false;
-    i_ = 0;
-    ++rep_.rollbacks;
-    ++consecutive_failures_;
-    clear_pending();
-    record(TraceKind::kRollback, "VDS",
-           "to round " + std::to_string(base_));
-    if (consecutive_failures_ >= opt_.max_consecutive_failures) {
-      rep_.failed_safe = true;
-      record(TraceKind::kFailSafeShutdown, "VDS",
-             "after " + std::to_string(consecutive_failures_) +
-                 " consecutive failures");
-    }
-  }
-
-  [[nodiscard]] bool handle_processor_crash() {
-    if (!processor_crash_) return false;
-    processor_crash_ = false;
-    record(TraceKind::kInfo, "VDS", "processor crash: rollback");
-    rollback();
-    return true;
-  }
-
-  // --- members ---------------------------------------------------------
-  const VdsOptions& opt_;
-  vds::sim::Rng& rng_;
-  vds::fault::FaultTimeline& timeline_;
-  vds::sim::Trace* trace_;
-  VersionSet vset_;
-  vds::checkpoint::CheckpointStore store_;
-  RunReport rep_;
-
-  Slot a_;
-  Slot b_;
-  int spare_id_ = 3;
-
-  std::uint64_t base_ = 0;  ///< rounds committed at the last checkpoint
-  std::uint64_t i_ = 0;     ///< compared rounds since the checkpoint
-  double clock_ = 0.0;
-  int consecutive_failures_ = 0;
-  bool processor_crash_ = false;
-
-  double pending_since_ = -1.0;  ///< first undetected fault's time
-  std::uint32_t pending_location_ = 0;
-  int pending_slot_ = -1;
-  bool pending_crash_ = false;
-  std::uint32_t pending_word_ = 0;
-  std::uint8_t pending_bit_ = 0;
-};
-
-}  // namespace
 
 ConventionalVds::ConventionalVds(VdsOptions options, vds::sim::Rng rng)
     : options_(options), rng_(rng) {
@@ -393,8 +12,10 @@ ConventionalVds::ConventionalVds(VdsOptions options, vds::sim::Rng rng)
 
 RunReport ConventionalVds::run(vds::fault::FaultTimeline& timeline,
                                vds::sim::Trace* trace) {
-  Runner runner(options_, rng_, timeline, trace);
-  return runner.run();
+  const auto policy =
+      make_recovery_policy(options_, Platform::kConventional);
+  ConventionalCore core(options_, rng_, timeline, trace, *policy);
+  return core.run();
 }
 
 }  // namespace vds::core

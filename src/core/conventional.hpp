@@ -1,5 +1,6 @@
 #pragma once
 
+#include "core/engine.hpp"
 #include "core/options.hpp"
 #include "core/report.hpp"
 #include "core/version_set.hpp"
@@ -19,13 +20,17 @@ namespace vds::core {
 ///
 /// This engine is the paper's own baseline; the SMT engine (SmtVds) is
 /// compared against it.
-class ConventionalVds {
+class ConventionalVds final : public Engine {
  public:
   explicit ConventionalVds(VdsOptions options, vds::sim::Rng rng);
 
+  [[nodiscard]] std::string_view kind() const noexcept override {
+    return "conv";
+  }
+
   /// Executes the job against a fault timeline. `trace` may be null.
   RunReport run(vds::fault::FaultTimeline& timeline,
-                vds::sim::Trace* trace = nullptr);
+                vds::sim::Trace* trace = nullptr) override;
 
   [[nodiscard]] const VdsOptions& options() const noexcept {
     return options_;

@@ -17,12 +17,36 @@ std::string_view to_string(RecoveryScheme scheme) noexcept {
   return "unknown";
 }
 
+std::string_view short_name(RecoveryScheme scheme) noexcept {
+  switch (scheme) {
+    case RecoveryScheme::kRollback: return "rollback";
+    case RecoveryScheme::kStopAndRetry: return "retry";
+    case RecoveryScheme::kRollForwardDet: return "det";
+    case RecoveryScheme::kRollForwardProb: return "prob";
+    case RecoveryScheme::kRollForwardPredict: return "predict";
+  }
+  return "unknown";
+}
+
+std::optional<RecoveryScheme> parse_recovery_scheme(
+    std::string_view name) noexcept {
+  for (const RecoveryScheme scheme : kAllRecoverySchemes) {
+    if (name == to_string(scheme) || name == short_name(scheme)) {
+      return scheme;
+    }
+  }
+  return std::nullopt;
+}
+
 void VdsOptions::validate() const {
   const auto fail = [](const std::string& what) {
     throw std::invalid_argument("VdsOptions: " + what);
   };
-  if (!(t > 0.0) || !std::isfinite(t)) fail("t must be > 0");
-  if (c < 0.0 || t_cmp < 0.0) fail("c and t_cmp must be >= 0");
+  if (!(t > 0.0) || !std::isfinite(t)) fail("t must be finite and > 0");
+  if (!(c >= 0.0) || !std::isfinite(c) || !(t_cmp >= 0.0) ||
+      !std::isfinite(t_cmp)) {
+    fail("c and t_cmp must be finite and >= 0");
+  }
   if (!(alpha >= 0.5) || alpha > 1.0) fail("alpha must be in [0.5, 1]");
   if (s < 1) fail("s must be >= 1");
   if (job_rounds == 0) fail("job_rounds must be >= 1");
@@ -30,8 +54,11 @@ void VdsOptions::validate() const {
   if (max_consecutive_failures < 1) {
     fail("max_consecutive_failures must be >= 1");
   }
-  if (checkpoint_write_latency < 0.0 || checkpoint_read_latency < 0.0) {
-    fail("checkpoint latencies must be >= 0");
+  if (!(checkpoint_write_latency >= 0.0) ||
+      !std::isfinite(checkpoint_write_latency) ||
+      !(checkpoint_read_latency >= 0.0) ||
+      !std::isfinite(checkpoint_read_latency)) {
+    fail("checkpoint latencies must be finite and >= 0");
   }
   if (hardware_threads != 2 && hardware_threads != 3 &&
       hardware_threads != 5) {
@@ -50,7 +77,9 @@ void VdsOptions::validate() const {
       permanent_affects_others_prob > 1.0) {
     fail("permanent_affects_others_prob in [0, 1]");
   }
-  if (!(max_time > 0.0)) fail("max_time must be > 0");
+  if (!(max_time > 0.0) || !std::isfinite(max_time)) {
+    fail("max_time must be finite and > 0");
+  }
 }
 
 model::Params VdsOptions::to_model_params(double p) const {

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <optional>
 #include <string_view>
 
 #include "model/params.hpp"
@@ -21,7 +23,25 @@ enum class RecoveryScheme : std::uint8_t {
                        ///< rounds, no detection during roll-forward
 };
 
+/// Every scheme, for exhaustive iteration (tests, sweeps, CLI matrices).
+inline constexpr std::array<RecoveryScheme, 5> kAllRecoverySchemes = {
+    RecoveryScheme::kRollback,           RecoveryScheme::kStopAndRetry,
+    RecoveryScheme::kRollForwardDet,     RecoveryScheme::kRollForwardProb,
+    RecoveryScheme::kRollForwardPredict,
+};
+
+/// Canonical name ("rollback", "stop_and_retry", "roll_forward_det", ...).
 [[nodiscard]] std::string_view to_string(RecoveryScheme scheme) noexcept;
+
+/// Compact CLI-stable alias ("rollback", "retry", "det", "prob",
+/// "predict") — the spelling used by every tool flag and JSON field.
+[[nodiscard]] std::string_view short_name(RecoveryScheme scheme) noexcept;
+
+/// Parses either the canonical `to_string` name or the `short_name`
+/// alias; std::nullopt for anything else. Round-trips exhaustively:
+/// `parse_recovery_scheme(to_string(s)) == s` for every scheme.
+[[nodiscard]] std::optional<RecoveryScheme> parse_recovery_scheme(
+    std::string_view name) noexcept;
 
 /// Configuration of a VDS execution (either engine).
 struct VdsOptions {

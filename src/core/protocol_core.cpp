@@ -1,0 +1,167 @@
+#include "core/protocol_core.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "fault/detector.hpp"
+
+namespace vds::core {
+
+using vds::checkpoint::VersionState;
+using vds::fault::Fault;
+using vds::sim::TraceKind;
+
+ProtocolCore::ProtocolCore(const VdsOptions& options, vds::sim::Rng& rng,
+                           vds::fault::FaultTimeline& timeline,
+                           vds::sim::Trace* trace, RecoveryPolicy& policy)
+    : opt_(options), rng_(rng), timeline_(timeline), trace_(trace),
+      vset_(options),
+      store_({options.checkpoint_write_latency,
+              options.checkpoint_read_latency},
+             /*keep_last=*/2),
+      policy_(policy) {
+  a_.state = vset_.initial_state();
+  b_.state = a_.state;
+  a_.version_id = 1;
+  b_.version_id = 2;
+  store_.save(0, a_.state, 0.0);  // initial checkpoint (setup, free)
+}
+
+RunReport ProtocolCore::run() {
+  bool aborted = false;
+  while (base_ + i_ < opt_.job_rounds) {
+    if (clock_ > opt_.max_time || rep_.failed_safe) {
+      aborted = true;
+      break;
+    }
+    step_round();
+  }
+  rep_.total_time = clock_;
+  rep_.rounds_committed = std::min(base_ + i_, opt_.job_rounds);
+  rep_.completed = !aborted && !rep_.failed_safe &&
+                   rep_.rounds_committed >= opt_.job_rounds;
+  if (rep_.completed) {
+    const auto& golden = vset_.golden_at(rep_.rounds_committed);
+    rep_.silent_corruption = a_.state.digest() != golden.digest() ||
+                             b_.state.digest() != golden.digest();
+    record(TraceKind::kJobDone, "VDS", "");
+  }
+  return rep_;
+}
+
+void ProtocolCore::record(TraceKind kind, std::string actor,
+                          std::string detail) {
+  if (trace_ != nullptr) {
+    trace_->record(clock_, std::move(actor), kind, std::move(detail));
+  }
+}
+
+void ProtocolCore::drain_background(double from, double to) {
+  for (const Fault& fault : timeline_.drain_window(from, to)) {
+    apply_background_fault(fault);
+  }
+}
+
+void ProtocolCore::note_pending(const Fault& fault, int slot_hit) {
+  if (pending_since_ < 0.0) {
+    pending_since_ = fault.when;
+    pending_location_ = fault.location;
+    pending_slot_ = slot_hit;
+    pending_crash_ = fault.kind == vds::fault::FaultKind::kCrash;
+    pending_word_ = fault.word;
+    pending_bit_ = fault.bit;
+  }
+}
+
+void ProtocolCore::clear_pending() {
+  pending_since_ = -1.0;
+  pending_slot_ = -1;
+  pending_crash_ = false;
+}
+
+void ProtocolCore::flip_distinct(VersionState& state, std::uint32_t word,
+                                 std::uint8_t bit) const {
+  const std::size_t words = opt_.state_words;
+  if (pending_since_ >= 0.0 && word % words == pending_word_ % words &&
+      bit % 64 == pending_bit_ % 64) {
+    bit = static_cast<std::uint8_t>((bit + 1) % 64);
+  }
+  state.flip_bit(word, bit);
+}
+
+void ProtocolCore::maybe_checkpoint() {
+  if (i_ < static_cast<std::uint64_t>(opt_.s) &&
+      base_ + i_ < opt_.job_rounds) {
+    return;
+  }
+  drain_background(clock_, clock_ + opt_.checkpoint_write_latency);
+  clock_ += store_.save(base_ + i_, a_.state, clock_);
+  ++rep_.checkpoints;
+  record(TraceKind::kCheckpoint, "VDS",
+         "round " + std::to_string(base_ + i_));
+  base_ += i_;
+  i_ = 0;
+  consecutive_failures_ = 0;
+}
+
+void ProtocolCore::rollback() {
+  drain_background(clock_, clock_ + opt_.checkpoint_read_latency);
+  clock_ += opt_.checkpoint_read_latency;
+  const auto checkpoint = store_.latest();
+  a_.state = checkpoint->state;
+  b_.state = checkpoint->state;
+  a_.crashed = b_.crashed = false;
+  i_ = 0;
+  ++rep_.rollbacks;
+  ++consecutive_failures_;
+  clear_pending();
+  record(TraceKind::kRollback, "VDS",
+         "to round " + std::to_string(base_));
+  if (consecutive_failures_ >= opt_.max_consecutive_failures) {
+    rep_.failed_safe = true;
+    record(TraceKind::kFailSafeShutdown, "VDS",
+           "after " + std::to_string(consecutive_failures_) +
+               " consecutive failures");
+  }
+}
+
+bool ProtocolCore::handle_processor_crash() {
+  if (!processor_crash_) return false;
+  processor_crash_ = false;
+  record(TraceKind::kInfo, "VDS", "processor crash: rollback");
+  rollback();
+  return true;
+}
+
+void ProtocolCore::compare_and_dispatch(std::uint64_t round) {
+  drain_background(clock_, clock_ + opt_.t_cmp);
+  clock_ += opt_.t_cmp;
+  ++rep_.comparisons;
+  if (handle_processor_crash()) return;
+
+  const bool mismatch =
+      a_.crashed || b_.crashed ||
+      vds::fault::compare_states(a_.state, b_.state) ==
+          vds::fault::CompareOutcome::kMismatch;
+  record(mismatch ? TraceKind::kCompareMismatch : TraceKind::kCompare,
+         "VDS", "round " + std::to_string(round));
+
+  if (!mismatch) {
+    ++i_;
+    clear_pending();
+    maybe_checkpoint();
+    return;
+  }
+
+  ++rep_.detections;
+  record(TraceKind::kFaultDetected, "VDS",
+         "at round " + std::to_string(i_ + 1));
+  if (pending_since_ >= 0.0) {
+    rep_.detection_latency.add(clock_ - pending_since_);
+  }
+  const double recovery_start = clock_;
+  policy_.recover(*this);
+  rep_.recovery_time.add(clock_ - recovery_start);
+}
+
+}  // namespace vds::core

@@ -1,639 +1,9 @@
 #include "core/smt_engine.hpp"
 
-#include <algorithm>
-#include <string>
-#include <vector>
-
-#include "checkpoint/store.hpp"
-#include "fault/detector.hpp"
+#include "core/platform_cores.hpp"
+#include "core/recovery_policy.hpp"
 
 namespace vds::core {
-namespace {
-
-using vds::checkpoint::VersionState;
-using vds::fault::Fault;
-using vds::fault::FaultEvidence;
-using vds::fault::FaultKind;
-using vds::fault::VersionGuess;
-using vds::sim::TraceKind;
-
-struct Slot {
-  VersionState state;
-  int version_id = 0;
-  bool crashed = false;
-};
-
-/// Procedural interpreter of the SMT-VDS protocol (Figures 1(b), 2, 3).
-class Runner {
- public:
-  Runner(const VdsOptions& options, vds::sim::Rng& rng,
-         vds::fault::Predictor& predictor,
-         vds::fault::FaultTimeline& timeline, vds::sim::Trace* trace)
-      : opt_(options), rng_(rng), predictor_(predictor),
-        timeline_(timeline), trace_(trace), vset_(options),
-        store_({options.checkpoint_write_latency,
-                options.checkpoint_read_latency},
-               /*keep_last=*/2) {
-    a_.state = vset_.initial_state();
-    b_.state = a_.state;
-    a_.version_id = 1;
-    b_.version_id = 2;
-    store_.save(0, a_.state, 0.0);
-  }
-
-  RunReport run() {
-    bool aborted = false;
-    while (base_ + i_ < opt_.job_rounds) {
-      if (clock_ > opt_.max_time || rep_.failed_safe) {
-        aborted = true;
-        break;
-      }
-      step_round();
-    }
-    rep_.total_time = clock_;
-    rep_.rounds_committed = std::min(base_ + i_, opt_.job_rounds);
-    rep_.completed = !aborted && !rep_.failed_safe &&
-                     rep_.rounds_committed >= opt_.job_rounds;
-    if (rep_.completed) {
-      const auto& golden = vset_.golden_at(rep_.rounds_committed);
-      rep_.silent_corruption = a_.state.digest() != golden.digest() ||
-                               b_.state.digest() != golden.digest();
-      record(TraceKind::kJobDone, "VDS", "");
-    }
-    return rep_;
-  }
-
- private:
-  void record(TraceKind kind, std::string actor, std::string detail) {
-    if (trace_ != nullptr) {
-      trace_->record(clock_, std::move(actor), kind, std::move(detail));
-    }
-  }
-
-  // --- fault plumbing --------------------------------------------------
-
-  /// Applies faults drained over a *normal round* window, where both
-  /// duplex versions occupy the processor simultaneously: the fault's
-  /// victim attribute decides which hardware thread it strikes.
-  void apply_normal(const Fault& fault) {
-    ++rep_.faults_seen;
-    record(TraceKind::kFaultInjected, "fault", fault.describe());
-    switch (fault.kind) {
-      case FaultKind::kTransient: {
-        ++rep_.transient_faults;
-        Slot& victim = resolve_victim(fault);
-        victim.state.flip_bit(fault.word, fault.bit);
-        note_pending(fault, &victim == &a_ ? 0 : 1);
-        return;
-      }
-      case FaultKind::kCrash: {
-        ++rep_.crash_faults;
-        Slot& victim = resolve_victim(fault);
-        victim.crashed = true;
-        note_pending(fault, &victim == &a_ ? 0 : 1);
-        return;
-      }
-      case FaultKind::kPermanent: {
-        activate_permanent(fault, resolve_victim(fault).version_id);
-        return;
-      }
-      case FaultKind::kProcessorCrash: {
-        ++rep_.processor_crashes;
-        processor_crash_ = true;
-        return;
-      }
-    }
-  }
-
-  Slot& resolve_victim(const Fault& fault) {
-    switch (fault.victim) {
-      case vds::fault::Victim::kVersion1: return a_;
-      case vds::fault::Victim::kVersion2: return b_;
-      case vds::fault::Victim::kAnyActive:
-        return rng_.bernoulli(0.5) ? a_ : b_;
-    }
-    return a_;
-  }
-
-  void activate_permanent(const Fault& fault, int victim_version) {
-    ++rep_.permanent_faults;
-    const bool exposed = rng_.bernoulli(opt_.permanent_detectable_prob);
-    std::uint8_t mask = 0;
-    for (int version = 1; version <= 3; ++version) {
-      const bool affected =
-          version == victim_version ||
-          rng_.bernoulli(opt_.permanent_affects_others_prob);
-      if (affected) mask |= static_cast<std::uint8_t>(1u << (version - 1));
-    }
-    vset_.set_permanent(fault.location, exposed, mask);
-    if (exposed && ((mask >> (a_.version_id - 1)) & 1u ||
-                    (mask >> (b_.version_id - 1)) & 1u)) {
-      note_pending(fault, -1);
-    }
-  }
-
-  void note_pending(const Fault& fault, int slot_hit) {
-    if (pending_since_ < 0.0) {
-      pending_since_ = fault.when;
-      pending_location_ = fault.location;
-      pending_slot_ = slot_hit;
-      pending_crash_ = fault.kind == FaultKind::kCrash;
-      pending_word_ = fault.word;
-      pending_bit_ = fault.bit;
-    }
-  }
-
-  /// Applies a transient flip while enforcing the paper's fault-model
-  /// assumption (§2.1) that no fault corrupts two versions in the same
-  /// way: a recovery-window fault whose flip would coincide with the
-  /// pending fault's flip (same state word and bit) is nudged to the
-  /// neighbouring bit. Without this, coinciding flips make a corrupted
-  /// retry state *equal* a corrupted version state and invert the vote.
-  void flip_distinct(VersionState& state, std::uint32_t word,
-                     std::uint8_t bit) const {
-    const std::size_t words = opt_.state_words;
-    if (pending_since_ >= 0.0 &&
-        word % words == pending_word_ % words &&
-        bit % 64 == pending_bit_ % 64) {
-      bit = static_cast<std::uint8_t>((bit + 1) % 64);
-    }
-    state.flip_bit(word, bit);
-  }
-
-  void clear_pending() {
-    pending_since_ = -1.0;
-    pending_slot_ = -1;
-    pending_crash_ = false;
-  }
-
-  // --- protocol --------------------------------------------------------
-
-  void step_round() {
-    const std::uint64_t round = base_ + i_ + 1;
-    const double round_time = 2.0 * opt_.alpha * opt_.t;
-
-    // Both versions compute their round in parallel hardware threads.
-    record(TraceKind::kRoundStart, "HT",
-           "round " + std::to_string(round) + " V" +
-               std::to_string(a_.version_id) + "||V" +
-               std::to_string(b_.version_id));
-    vset_.advance(a_.state, round, a_.version_id);
-    vset_.advance(b_.state, round, b_.version_id);
-    for (const Fault& fault : timeline_.drain_window(
-             clock_, clock_ + round_time)) {
-      apply_normal(fault);
-    }
-    clock_ += round_time;
-    record(TraceKind::kRoundEnd, "HT", "");
-    if (handle_processor_crash()) return;
-
-    // State comparison.
-    for (const Fault& fault :
-         timeline_.drain_window(clock_, clock_ + opt_.t_cmp)) {
-      apply_normal(fault);
-    }
-    clock_ += opt_.t_cmp;
-    ++rep_.comparisons;
-    if (handle_processor_crash()) return;
-
-    const bool mismatch =
-        a_.crashed || b_.crashed ||
-        vds::fault::compare_states(a_.state, b_.state) ==
-            vds::fault::CompareOutcome::kMismatch;
-    record(mismatch ? TraceKind::kCompareMismatch : TraceKind::kCompare,
-           "VDS", "round " + std::to_string(round));
-
-    if (!mismatch) {
-      ++i_;
-      clear_pending();
-      maybe_checkpoint();
-      return;
-    }
-
-    ++rep_.detections;
-    record(TraceKind::kFaultDetected, "VDS",
-           "at round " + std::to_string(i_ + 1));
-    if (pending_since_ >= 0.0) {
-      rep_.detection_latency.add(clock_ - pending_since_);
-    }
-    const double recovery_start = clock_;
-    if (opt_.scheme == RecoveryScheme::kRollback) {
-      rollback();
-    } else {
-      recover();
-    }
-    rep_.recovery_time.add(clock_ - recovery_start);
-  }
-
-  void maybe_checkpoint() {
-    if (i_ < static_cast<std::uint64_t>(opt_.s) &&
-        base_ + i_ < opt_.job_rounds) {
-      return;
-    }
-    for (const Fault& fault : timeline_.drain_window(
-             clock_, clock_ + opt_.checkpoint_write_latency)) {
-      apply_normal(fault);
-    }
-    clock_ += store_.save(base_ + i_, a_.state, clock_);
-    ++rep_.checkpoints;
-    record(TraceKind::kCheckpoint, "VDS",
-           "round " + std::to_string(base_ + i_));
-    base_ += i_;
-    i_ = 0;
-    consecutive_failures_ = 0;
-  }
-
-  /// Intended roll-forward length for the active scheme at detection
-  /// round ic, before the checkpoint-interval cap.
-  [[nodiscard]] std::uint64_t intended_roll_forward(
-      RecoveryScheme scheme, std::uint64_t ic) const noexcept {
-    switch (scheme) {
-      case RecoveryScheme::kRollForwardDet:
-        return opt_.hardware_threads >= 5 ? ic : ic / 4;
-      case RecoveryScheme::kRollForwardProb:
-        return opt_.hardware_threads >= 3 ? ic : ic / 2;
-      case RecoveryScheme::kRollForwardPredict:
-        return ic;
-      default:
-        return 0;
-    }
-  }
-
-  /// Duration of the retry/roll-forward window. With k = 2 hardware
-  /// threads this is eq (5)'s 2*i*alpha*t; the Section-5 variants keep
-  /// k threads busy at the k-thread slowdown factor.
-  [[nodiscard]] double recovery_window(RecoveryScheme scheme,
-                                       std::uint64_t ic) const noexcept {
-    if (scheme == RecoveryScheme::kStopAndRetry) {
-      // Thread 2 idles; a single active thread runs at conventional
-      // speed (paper footnote 1).
-      return static_cast<double>(ic) * opt_.t;
-    }
-    int k = 2;
-    double alpha_k = opt_.alpha;
-    if (scheme == RecoveryScheme::kRollForwardProb &&
-        opt_.hardware_threads >= 3) {
-      k = 3;
-      alpha_k = opt_.alpha3;
-    } else if (scheme == RecoveryScheme::kRollForwardDet &&
-               opt_.hardware_threads >= 5) {
-      k = 5;
-      alpha_k = opt_.alpha5;
-    }
-    return static_cast<double>(k) * static_cast<double>(ic) * alpha_k *
-           opt_.t;
-  }
-
-  /// Unified SMT recovery: v3 retry in thread 1 + scheme-dependent
-  /// roll-forward in thread 2 (Figures 2 and 3).
-  void recover() {
-    const std::uint64_t ic = i_ + 1;
-
-    // Adaptive scheme selection (our extension of the paper's Section-5
-    // outlook): trust the predictor's measured accuracy to decide
-    // between guaranteed (deterministic) and larger-expected
-    // (probabilistic) roll-forward.
-    RecoveryScheme scheme = opt_.scheme;
-    if (opt_.adaptive_scheme) {
-      const bool trusted =
-          rep_.predictions >=
-          static_cast<std::uint64_t>(opt_.adaptive_warmup);
-      const RecoveryScheme chosen =
-          trusted && rep_.predictor_accuracy() >= opt_.adaptive_p_threshold
-              ? RecoveryScheme::kRollForwardProb
-              : RecoveryScheme::kRollForwardDet;
-      if (last_adaptive_choice_ != chosen) {
-        if (rep_.adaptive_det_recoveries + rep_.adaptive_prob_recoveries >
-            0) {
-          ++rep_.scheme_switches;
-        }
-        last_adaptive_choice_ = chosen;
-      }
-      scheme = chosen;
-      if (chosen == RecoveryScheme::kRollForwardProb) {
-        ++rep_.adaptive_prob_recoveries;
-      } else {
-        ++rep_.adaptive_det_recoveries;
-      }
-    }
-
-    const std::uint64_t cap =
-        static_cast<std::uint64_t>(opt_.s) >= ic
-            ? static_cast<std::uint64_t>(opt_.s) - ic
-            : 0;
-    const std::uint64_t rf =
-        std::min(intended_roll_forward(scheme, ic), cap);
-    const bool scheme_prob = scheme == RecoveryScheme::kRollForwardProb;
-    const bool scheme_det = scheme == RecoveryScheme::kRollForwardDet;
-    const bool scheme_predict =
-        scheme == RecoveryScheme::kRollForwardPredict;
-    // In adaptive-deterministic recoveries the predictor is still
-    // consulted (and fed back) so its accuracy estimate keeps learning.
-    const bool consult_predictor =
-        scheme_prob || scheme_predict || opt_.adaptive_scheme;
-
-    // --- prediction (who is faulty?) -----------------------------------
-    int guessed_faulty_slot = -1;  // 0 = slot A, 1 = slot B
-    if (consult_predictor) {
-      FaultEvidence evidence;
-      evidence.round = base_ + ic;
-      evidence.location = pending_location_;
-      evidence.digest_v1 = a_.state.digest();
-      evidence.digest_v2 = b_.state.digest();
-      if (a_.crashed) evidence.crashed = VersionGuess::kVersion1;
-      if (b_.crashed) evidence.crashed = VersionGuess::kVersion2;
-      // An oracle predictor is told the ground truth out-of-band.
-      if (auto* oracle =
-              dynamic_cast<vds::fault::OraclePredictor*>(&predictor_)) {
-        oracle->plant_truth(pending_slot_ == 1 ? VersionGuess::kVersion2
-                                               : VersionGuess::kVersion1);
-      }
-      const VersionGuess guess = predictor_.predict(evidence);
-      guessed_faulty_slot = guess == VersionGuess::kVersion1 ? 0 : 1;
-      evidence_ = evidence;
-      record(TraceKind::kPrediction, "VDS",
-             std::string("guess faulty = slot ") +
-                 (guessed_faulty_slot == 0 ? "A" : "B"));
-    }
-
-    // --- load checkpoint ------------------------------------------------
-    for (const Fault& fault : timeline_.drain_window(
-             clock_, clock_ + opt_.checkpoint_read_latency)) {
-      apply_normal(fault);
-    }
-    clock_ += opt_.checkpoint_read_latency;
-    record(TraceKind::kRetryStart, "T1",
-           "V" + std::to_string(spare_id_) + " replays " +
-               std::to_string(ic) + " rounds");
-    if (rf > 0) {
-      record(TraceKind::kRollForwardStart, "T2",
-             std::string(to_string(scheme)) + " rf=" +
-                 std::to_string(rf));
-    }
-
-    // --- drain the whole recovery window and bucket the faults ---------
-    const double window = recovery_window(scheme, ic);
-    std::vector<Fault> window_faults =
-        timeline_.drain_window(clock_, clock_ + window);
-    clock_ += window;
-
-    bool retry_hit = false;
-    bool retry_crashed = false;
-    std::uint32_t retry_word = 0;
-    std::uint8_t retry_bit = 0;
-    // Roll-forward corruption per segment (probabilistic/predict use
-    // segment 0/1; deterministic uses 0..3).
-    bool segment_hit[4] = {false, false, false, false};
-    std::uint32_t flip_word[4] = {0, 0, 0, 0};
-    std::uint8_t flip_bit[4] = {0, 0, 0, 0};
-
-    for (const Fault& fault : window_faults) {
-      ++rep_.faults_seen;
-      record(TraceKind::kFaultInjected, "fault", fault.describe());
-      switch (fault.kind) {
-        case FaultKind::kTransient:
-        case FaultKind::kCrash: {
-          if (fault.kind == FaultKind::kTransient) {
-            ++rep_.transient_faults;
-          } else {
-            ++rep_.crash_faults;
-          }
-          // Thread 1 (the retry) and thread 2 (roll-forward) are both
-          // occupied; the victim thread is effectively random.
-          if (rng_.bernoulli(0.5) || rf == 0) {
-            retry_hit = true;
-            retry_word = fault.word;
-            retry_bit = fault.bit;
-            if (fault.kind == FaultKind::kCrash) retry_crashed = true;
-          } else {
-            const auto seg = static_cast<std::size_t>(
-                rng_.uniform_index(scheme_det ? 4 : (scheme_prob ? 2 : 1)));
-            segment_hit[seg] = true;
-            flip_word[seg] = fault.word;
-            flip_bit[seg] = fault.bit;
-          }
-          break;
-        }
-        case FaultKind::kPermanent:
-          activate_permanent(fault, spare_id_);
-          break;
-        case FaultKind::kProcessorCrash:
-          ++rep_.processor_crashes;
-          processor_crash_ = true;
-          break;
-      }
-      if (processor_crash_) break;
-    }
-    if (handle_processor_crash()) return;
-
-    // --- thread 1: version 3 replays the interval -----------------------
-    VersionState retry = store_.latest()->state;
-    for (std::uint64_t r = 1; r <= ic; ++r) {
-      vset_.advance(retry, base_ + r, spare_id_);
-    }
-    if (retry_hit && !retry_crashed) {
-      flip_distinct(retry, retry_word, retry_bit);
-    }
-    record(TraceKind::kRetryEnd, "T1", "");
-
-    // --- thread 2: roll-forward ----------------------------------------
-    // Candidate states at round ic: P = slot A, Q = slot B.
-    VersionState roll_a;  // "T": advanced by version in slot A
-    VersionState roll_b;  // "U": advanced by version in slot B
-    VersionState roll_qa;
-    VersionState roll_qb;
-    int chosen_source_slot = -1;  // probabilistic/predict: P(0) or Q(1)
-
-    if (rf > 0 && (scheme_prob || scheme_predict)) {
-      // Start from the state of the *predicted fault-free* version.
-      chosen_source_slot = guessed_faulty_slot == 0 ? 1 : 0;
-      const VersionState& source =
-          chosen_source_slot == 0 ? a_.state : b_.state;
-      roll_a = source;
-      roll_b = source;
-      for (std::uint64_t r = 1; r <= rf; ++r) {
-        vset_.advance(roll_a, base_ + ic + r, a_.version_id);
-        if (scheme_prob) {
-          vset_.advance(roll_b, base_ + ic + r, b_.version_id);
-        }
-      }
-      if (segment_hit[0]) flip_distinct(roll_a, flip_word[0], flip_bit[0]);
-      if (scheme_prob && segment_hit[1]) {
-        flip_distinct(roll_b, flip_word[1], flip_bit[1]);
-      }
-    } else if (rf > 0 && scheme_det) {
-      roll_a = a_.state;   // from P, advanced by version A
-      roll_b = a_.state;   // from P, advanced by version B
-      roll_qa = b_.state;  // from Q, advanced by version A
-      roll_qb = b_.state;  // from Q, advanced by version B
-      for (std::uint64_t r = 1; r <= rf; ++r) {
-        vset_.advance(roll_a, base_ + ic + r, a_.version_id);
-        vset_.advance(roll_b, base_ + ic + r, b_.version_id);
-        vset_.advance(roll_qa, base_ + ic + r, a_.version_id);
-        vset_.advance(roll_qb, base_ + ic + r, b_.version_id);
-      }
-      if (segment_hit[0]) flip_distinct(roll_a, flip_word[0], flip_bit[0]);
-      if (segment_hit[1]) flip_distinct(roll_b, flip_word[1], flip_bit[1]);
-      if (segment_hit[2]) flip_distinct(roll_qa, flip_word[2], flip_bit[2]);
-      if (segment_hit[3]) flip_distinct(roll_qb, flip_word[3], flip_bit[3]);
-    }
-
-    // --- majority vote ---------------------------------------------------
-    for (const Fault& fault : timeline_.drain_window(
-             clock_, clock_ + 2.0 * opt_.t_cmp)) {
-      apply_normal(fault);
-    }
-    clock_ += 2.0 * opt_.t_cmp;
-    rep_.comparisons += 2;
-    if (handle_processor_crash()) return;
-
-    const bool s_matches_a = !retry_crashed && !a_.crashed &&
-                             retry.digest() == a_.state.digest();
-    const bool s_matches_b = !retry_crashed && !b_.crashed &&
-                             retry.digest() == b_.state.digest();
-
-    if (s_matches_a == s_matches_b) {
-      record(TraceKind::kMajorityVote, "VDS", "no majority");
-      if (scheme_prob || scheme_predict) {
-        // The vote failed; the predictor gets no usable feedback.
-      }
-      rollback();
-      return;
-    }
-
-    const int faulty_slot = s_matches_a ? 1 : 0;
-    Slot& faulty = faulty_slot == 0 ? a_ : b_;
-    record(TraceKind::kMajorityVote, "VDS",
-           "V" + std::to_string(faulty.version_id) + " faulty");
-
-    // Predictor bookkeeping.
-    if (consult_predictor) {
-      ++rep_.predictions;
-      const bool hit = guessed_faulty_slot == faulty_slot;
-      if (hit) ++rep_.prediction_hits;
-      predictor_.feedback(evidence_, faulty_slot == 0
-                                         ? VersionGuess::kVersion1
-                                         : VersionGuess::kVersion2);
-    }
-
-    // Version 3 replaces the faulty version.
-    faulty.state = retry;
-    faulty.crashed = false;
-    std::swap(faulty.version_id, spare_id_);
-    record(TraceKind::kStateCopy, "VDS",
-           "V" + std::to_string(faulty.version_id) + " joins duplex");
-
-    // --- apply the roll-forward if it survived ---------------------------
-    std::uint64_t progress = 0;
-    if (rf > 0) {
-      if (scheme_prob) {
-        const bool chose_good = chosen_source_slot != faulty_slot;
-        const bool clean = roll_a.digest() == roll_b.digest();
-        if (chose_good && clean) {
-          a_.state = roll_a;
-          b_.state = roll_a;
-          progress = rf;
-        }
-      } else if (scheme_det) {
-        const VersionState& t_state = faulty_slot == 0 ? roll_qa : roll_a;
-        const VersionState& u_state = faulty_slot == 0 ? roll_qb : roll_b;
-        if (t_state.digest() == u_state.digest()) {
-          a_.state = t_state;
-          b_.state = t_state;
-          progress = rf;
-        }
-      } else if (scheme_predict) {
-        const bool chose_good = chosen_source_slot != faulty_slot;
-        if (chose_good) {
-          // No comparison protects this path: a fault that struck the
-          // roll-forward is committed silently (the §4 hazard).
-          a_.state = roll_a;
-          b_.state = roll_a;
-          progress = rf;
-        }
-      }
-    }
-
-    if (progress > 0) {
-      ++rep_.roll_forwards_kept;
-      rep_.roll_forward_rounds_gained += progress;
-      record(TraceKind::kRollForwardEnd, "T2",
-             "kept " + std::to_string(progress) + " rounds");
-    } else if (rf > 0) {
-      ++rep_.roll_forwards_discarded;
-      record(TraceKind::kRollForwardDiscarded, "T2", "");
-    }
-
-    i_ = ic + progress;
-    consecutive_failures_ = 0;
-    ++rep_.recoveries_ok;
-    clear_pending();
-    maybe_checkpoint();
-  }
-
-  void rollback() {
-    for (const Fault& fault : timeline_.drain_window(
-             clock_, clock_ + opt_.checkpoint_read_latency)) {
-      apply_normal(fault);
-    }
-    clock_ += opt_.checkpoint_read_latency;
-    const auto checkpoint = store_.latest();
-    a_.state = checkpoint->state;
-    b_.state = checkpoint->state;
-    a_.crashed = b_.crashed = false;
-    i_ = 0;
-    ++rep_.rollbacks;
-    ++consecutive_failures_;
-    clear_pending();
-    record(TraceKind::kRollback, "VDS",
-           "to round " + std::to_string(base_));
-    if (consecutive_failures_ >= opt_.max_consecutive_failures) {
-      rep_.failed_safe = true;
-      record(TraceKind::kFailSafeShutdown, "VDS",
-             "after " + std::to_string(consecutive_failures_) +
-                 " consecutive failures");
-    }
-  }
-
-  [[nodiscard]] bool handle_processor_crash() {
-    if (!processor_crash_) return false;
-    processor_crash_ = false;
-    record(TraceKind::kInfo, "VDS", "processor crash: rollback");
-    rollback();
-    return true;
-  }
-
-  // --- members ---------------------------------------------------------
-  const VdsOptions& opt_;
-  vds::sim::Rng& rng_;
-  vds::fault::Predictor& predictor_;
-  vds::fault::FaultTimeline& timeline_;
-  vds::sim::Trace* trace_;
-  VersionSet vset_;
-  vds::checkpoint::CheckpointStore store_;
-  RunReport rep_;
-
-  Slot a_;
-  Slot b_;
-  int spare_id_ = 3;
-
-  std::uint64_t base_ = 0;
-  std::uint64_t i_ = 0;
-  double clock_ = 0.0;
-  int consecutive_failures_ = 0;
-  bool processor_crash_ = false;
-
-  double pending_since_ = -1.0;
-  std::uint32_t pending_location_ = 0;
-  int pending_slot_ = -1;
-  bool pending_crash_ = false;
-  std::uint32_t pending_word_ = 0;
-  std::uint8_t pending_bit_ = 0;
-  FaultEvidence evidence_;
-  RecoveryScheme last_adaptive_choice_ = RecoveryScheme::kRollForwardDet;
-};
-
-}  // namespace
 
 SmtVds::SmtVds(VdsOptions options, vds::sim::Rng rng)
     : options_(options), rng_(rng) {
@@ -649,8 +19,9 @@ void SmtVds::set_predictor(
 
 RunReport SmtVds::run(vds::fault::FaultTimeline& timeline,
                       vds::sim::Trace* trace) {
-  Runner runner(options_, rng_, *predictor_, timeline, trace);
-  return runner.run();
+  const auto policy = make_recovery_policy(options_, Platform::kSmt);
+  SmtCore core(options_, rng_, *predictor_, timeline, trace, *policy);
+  return core.run();
 }
 
 }  // namespace vds::core

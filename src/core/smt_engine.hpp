@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "core/engine.hpp"
 #include "core/options.hpp"
 #include "core/report.hpp"
 #include "core/version_set.hpp"
@@ -30,7 +31,7 @@ namespace vds::core {
 /// With options.hardware_threads == 3 (probabilistic) or 5
 /// (deterministic), the §5 outlook variants run: full min(i, s-i)
 /// progress while keeping detection during roll-forward.
-class SmtVds {
+class SmtVds final : public Engine {
  public:
   SmtVds(VdsOptions options, vds::sim::Rng rng);
 
@@ -42,9 +43,13 @@ class SmtVds {
     return predictor_.get();
   }
 
+  [[nodiscard]] std::string_view kind() const noexcept override {
+    return "smt";
+  }
+
   /// Executes the job against a fault timeline. `trace` may be null.
   RunReport run(vds::fault::FaultTimeline& timeline,
-                vds::sim::Trace* trace = nullptr);
+                vds::sim::Trace* trace = nullptr) override;
 
   [[nodiscard]] const VdsOptions& options() const noexcept {
     return options_;

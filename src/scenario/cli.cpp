@@ -1,0 +1,211 @@
+#include "scenario/cli.hpp"
+
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace vds::scenario {
+namespace {
+
+[[noreturn]] void bad_value(std::string_view flag, std::string_view text,
+                            const char* wanted) {
+  throw CliError(std::string(flag) + ": expected " + wanted + ", got '" +
+                 std::string(text) + "'");
+}
+
+}  // namespace
+
+double parse_double(std::string_view flag, std::string_view text) {
+  const std::string token(text);
+  if (token.empty()) bad_value(flag, text, "a number");
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) {
+    bad_value(flag, text, "a number");
+  }
+  if (!std::isfinite(parsed)) {
+    bad_value(flag, text, "a finite number");
+  }
+  return parsed;
+}
+
+std::uint64_t parse_u64(std::string_view flag, std::string_view text) {
+  const std::string token(text);
+  // strtoull silently accepts "-1" by wrapping around; reject signs.
+  if (token.empty() || token[0] == '-' || token[0] == '+') {
+    bad_value(flag, text, "a non-negative integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size()) {
+    bad_value(flag, text, "a non-negative integer");
+  }
+  if (errno == ERANGE) {
+    bad_value(flag, text, "an integer in u64 range");
+  }
+  return parsed;
+}
+
+int parse_int(std::string_view flag, std::string_view text) {
+  const std::string token(text);
+  if (token.empty()) bad_value(flag, text, "an integer");
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size()) {
+    bad_value(flag, text, "an integer");
+  }
+  if (errno == ERANGE || parsed < INT_MIN || parsed > INT_MAX) {
+    bad_value(flag, text, "an integer in int range");
+  }
+  return static_cast<int>(parsed);
+}
+
+unsigned parse_unsigned(std::string_view flag, std::string_view text) {
+  const std::uint64_t parsed = parse_u64(flag, text);
+  if (parsed > UINT_MAX) {
+    bad_value(flag, text, "an integer in unsigned range");
+  }
+  return static_cast<unsigned>(parsed);
+}
+
+std::string_view ArgCursor::value(std::string_view flag) {
+  if (done()) {
+    throw CliError("missing value for " + std::string(flag));
+  }
+  return next();
+}
+
+bool apply_scenario_flag(Scenario& scenario, std::string_view arg,
+                         ArgCursor& args) {
+  if (arg == "--scenario") {
+    const std::string path(args.value(arg));
+    try {
+      scenario = Scenario::from_json(read_file(path));
+    } catch (const std::exception& error) {
+      throw CliError(path + ": " + error.what());
+    }
+    return true;
+  }
+  if (arg == "--engine") {
+    const std::string_view name = args.value(arg);
+    try {
+      scenario.engine = parse_engine_kind(name);
+    } catch (const std::invalid_argument& error) {
+      throw CliError(error.what());
+    }
+    return true;
+  }
+  if (arg == "--scheme") {
+    const std::string_view name = args.value(arg);
+    const auto parsed = core::parse_recovery_scheme(name);
+    if (!parsed) {
+      throw CliError("unknown scheme '" + std::string(name) +
+                     "' (expected rollback, retry, det, prob or predict)");
+    }
+    scenario.scheme = *parsed;
+    return true;
+  }
+  if (arg == "--predictor") {
+    scenario.predictor = std::string(args.value(arg));
+    return true;
+  }
+  if (arg == "--adaptive") {
+    scenario.adaptive = true;
+    return true;
+  }
+  if (arg == "--alpha") {
+    scenario.alpha = args.value_double(arg);
+    return true;
+  }
+  if (arg == "--beta") {
+    scenario.beta = args.value_double(arg);
+    return true;
+  }
+  if (arg == "--s") {
+    scenario.s = args.value_int(arg);
+    return true;
+  }
+  if (arg == "--rounds") {
+    scenario.rounds = args.value_u64(arg);
+    return true;
+  }
+  if (arg == "--threads") {
+    scenario.threads = args.value_int(arg);
+    return true;
+  }
+  if (arg == "--seed") {
+    scenario.seed = args.value_u64(arg);
+    return true;
+  }
+  if (arg == "--rate") {
+    scenario.rate = args.value_double(arg);
+    return true;
+  }
+  if (arg == "--crash-weight") {
+    scenario.crash_weight = args.value_double(arg);
+    return true;
+  }
+  if (arg == "--permanent-weight") {
+    scenario.permanent_weight = args.value_double(arg);
+    return true;
+  }
+  if (arg == "--bias") {
+    scenario.bias = args.value_double(arg);
+    return true;
+  }
+  if (arg == "--locations") {
+    const std::uint64_t wide = args.value_u64(arg);
+    if (wide > 0xFFFFFFFFull) {
+      throw CliError("--locations: value out of u32 range");
+    }
+    scenario.locations = static_cast<std::uint32_t>(wide);
+    return true;
+  }
+  if (arg == "--skew") {
+    scenario.skew = args.value_double(arg);
+    return true;
+  }
+  return false;
+}
+
+std::string_view scenario_usage() noexcept {
+  return R"(scenario (shared across vds_cli / vds_mc / vds_sweep):
+  --scenario FILE                load a vds.scenario.v1 JSON file
+                                 (later flags override its fields)
+  --engine smt|conv|srt|duplex   protocol engine            [smt]
+  --scheme rollback|retry|det|prob|predict   recovery scheme [det]
+  --predictor random|oracle|static1|static2|last|two_bit|history|tournament|perceptron|crash
+                                 faulty-version predictor   [random]
+  --adaptive                     adaptive det/prob selection
+  --alpha X                      SMT slowdown factor        [0.65]
+  --beta X                       c = t_cmp = beta * t       [0.1]
+  --s N                          checkpoint interval        [20]
+  --rounds N                     job length in rounds       [10000]
+  --threads 2|3|5                hardware threads           [2]
+  --seed N                       RNG seed                   [1]
+  --rate X                       Poisson fault rate         [0.01]
+  --crash-weight X               crash fault fraction       [0]
+  --permanent-weight X           permanent fault fraction   [0]
+  --bias X                       P(fault hits version 1)    [0.5]
+  --locations N                  abstract fault locations   [16]
+  --skew X                       location uniformity (0,1]  [1.0]
+)";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw CliError("cannot read '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace vds::scenario

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "scenario/scenario.hpp"
+
+namespace vds::scenario {
+
+/// A user error on the command line (unknown flag, malformed or
+/// out-of-range value, missing file). Tools catch this at top level,
+/// print the message to stderr and exit non-zero.
+class CliError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// --- strict numeric parsing -------------------------------------------
+// Each parser consumes the ENTIRE token and range-checks the result;
+// "bogus", "1.5x", "" or an out-of-range value throw CliError naming
+// the flag. (The atof/atoi they replace silently produced 0.)
+
+[[nodiscard]] double parse_double(std::string_view flag,
+                                  std::string_view text);
+[[nodiscard]] std::uint64_t parse_u64(std::string_view flag,
+                                      std::string_view text);
+[[nodiscard]] int parse_int(std::string_view flag, std::string_view text);
+[[nodiscard]] unsigned parse_unsigned(std::string_view flag,
+                                      std::string_view text);
+
+/// Cursor over argv. `next()` yields the current token; the `value*`
+/// helpers fetch a flag's argument (throwing CliError when argv is
+/// exhausted) and parse it strictly.
+class ArgCursor {
+ public:
+  ArgCursor(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  [[nodiscard]] bool done() const noexcept { return k_ >= argc_; }
+
+  /// The next raw token; precondition: !done().
+  [[nodiscard]] std::string_view next() { return argv_[k_++]; }
+
+  /// The value following `flag`; throws CliError when missing.
+  [[nodiscard]] std::string_view value(std::string_view flag);
+
+  [[nodiscard]] double value_double(std::string_view flag) {
+    return parse_double(flag, value(flag));
+  }
+  [[nodiscard]] std::uint64_t value_u64(std::string_view flag) {
+    return parse_u64(flag, value(flag));
+  }
+  [[nodiscard]] int value_int(std::string_view flag) {
+    return parse_int(flag, value(flag));
+  }
+  [[nodiscard]] unsigned value_unsigned(std::string_view flag) {
+    return parse_unsigned(flag, value(flag));
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+  int k_ = 1;
+};
+
+/// Routes one scenario flag (engine selection, recovery, job, fault
+/// process, `--scenario FILE` loading) into `scenario`. Returns false
+/// when `arg` is not a scenario flag — the tool then tries its own
+/// flags or reports an unknown option. Throws CliError on a malformed
+/// value. This is THE shared argument parser: vds_cli, vds_mc and
+/// vds_sweep all resolve engine configuration through it.
+[[nodiscard]] bool apply_scenario_flag(Scenario& scenario,
+                                       std::string_view arg,
+                                       ArgCursor& args);
+
+/// Usage text for the flags apply_scenario_flag understands, for
+/// embedding in each tool's --help output.
+[[nodiscard]] std::string_view scenario_usage() noexcept;
+
+/// Reads an entire file (CliError on failure) — for `--scenario FILE`.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+}  // namespace vds::scenario

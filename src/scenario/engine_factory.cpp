@@ -1,0 +1,81 @@
+#include "scenario/engine_factory.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "baseline/duplex.hpp"
+#include "baseline/srt.hpp"
+#include "core/conventional.hpp"
+#include "core/smt_engine.hpp"
+
+namespace vds::scenario {
+
+std::unique_ptr<vds::fault::Predictor> make_predictor(
+    std::string_view name, vds::sim::Rng rng) {
+  using namespace vds::fault;
+  if (name == "random") return std::make_unique<RandomPredictor>(rng);
+  if (name == "oracle") return std::make_unique<OraclePredictor>();
+  if (name == "static1") {
+    return std::make_unique<StaticPredictor>(VersionGuess::kVersion1);
+  }
+  if (name == "static2") {
+    return std::make_unique<StaticPredictor>(VersionGuess::kVersion2);
+  }
+  if (name == "last") return std::make_unique<LastFaultyPredictor>();
+  if (name == "two_bit") return std::make_unique<TwoBitPredictor>(16);
+  if (name == "history") return std::make_unique<HistoryPredictor>(6, 4);
+  if (name == "tournament") {
+    return std::make_unique<TournamentPredictor>(6, 4);
+  }
+  if (name == "perceptron") return std::make_unique<PerceptronPredictor>();
+  if (name == "crash") {
+    return std::make_unique<CrashEvidencePredictor>(
+        std::make_unique<TwoBitPredictor>(16));
+  }
+  throw std::invalid_argument("unknown predictor '" + std::string(name) +
+                              "'");
+}
+
+bool known_predictor(std::string_view name) noexcept {
+  for (const std::string_view known :
+       {"random", "oracle", "static1", "static2", "last", "two_bit",
+        "history", "tournament", "perceptron", "crash"}) {
+    if (name == known) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<vds::core::Engine> make_engine(
+    const Scenario& scenario, vds::sim::Rng engine_rng,
+    vds::sim::Rng predictor_rng) {
+  scenario.validate();
+  switch (scenario.engine) {
+    case EngineKind::kSmt: {
+      auto engine = std::make_unique<vds::core::SmtVds>(
+          scenario.vds_options(), engine_rng);
+      engine->set_predictor(
+          make_predictor(scenario.predictor, predictor_rng));
+      return engine;
+    }
+    case EngineKind::kConv:
+      return std::make_unique<vds::core::ConventionalVds>(
+          scenario.vds_options(), engine_rng);
+    case EngineKind::kSrt:
+      return std::make_unique<vds::baseline::LockstepSrt>(
+          scenario.srt_config(), engine_rng);
+    case EngineKind::kDuplex:
+      return std::make_unique<vds::baseline::PhysicalDuplex>(
+          scenario.duplex_config(), engine_rng);
+  }
+  throw std::invalid_argument("Scenario: unhandled engine kind");
+}
+
+vds::fault::FaultTimeline make_timeline(const Scenario& scenario,
+                                        vds::sim::Rng& rng,
+                                        double horizon) {
+  if (horizon <= 0.0) horizon = scenario.horizon();
+  return vds::fault::generate_timeline(scenario.fault_config(), rng,
+                                       horizon);
+}
+
+}  // namespace vds::scenario

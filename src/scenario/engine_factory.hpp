@@ -1,0 +1,37 @@
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "core/engine.hpp"
+#include "fault/injector.hpp"
+#include "fault/predictor.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/rng.hpp"
+
+namespace vds::scenario {
+
+/// The faulty-version predictor registry (previously duplicated in
+/// vds_cli and vds_mc). Known names: random, oracle, static1, static2,
+/// last, two_bit, history, tournament, perceptron, crash. Throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] std::unique_ptr<vds::fault::Predictor> make_predictor(
+    std::string_view name, vds::sim::Rng rng);
+
+[[nodiscard]] bool known_predictor(std::string_view name) noexcept;
+
+/// Constructs the scenario's engine, validated and fully wired:
+/// SmtVds gets the scenario's predictor seeded from `predictor_rng`;
+/// the other engines ignore `predictor_rng`. The two RNGs are separate
+/// parameters (not drawn internally) so callers control draw order —
+/// e.g. vds_mc's `rng.split(1)` / `rng.split(2)` sequence.
+[[nodiscard]] std::unique_ptr<vds::core::Engine> make_engine(
+    const Scenario& scenario, vds::sim::Rng engine_rng,
+    vds::sim::Rng predictor_rng);
+
+/// Generates the scenario's fault timeline over `horizon` (0 = the
+/// scenario's own horizon()).
+[[nodiscard]] vds::fault::FaultTimeline make_timeline(
+    const Scenario& scenario, vds::sim::Rng& rng, double horizon = 0.0);
+
+}  // namespace vds::scenario

@@ -1,0 +1,306 @@
+#include "scenario/json_reader.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace vds::scenario {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : src_(source) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    if (pos_ != src_.size()) {
+      throw JsonError("trailing characters after JSON document", pos_);
+    }
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonError(what, pos_);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= src_.size()) fail("unexpected end of input");
+    return src_[pos_];
+  }
+
+  void expect(char wanted) {
+    if (peek() != wanted) {
+      fail(std::string("expected '") + wanted + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (src_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_whitespace();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string_value();
+      case 't':
+      case 'f': return parse_bool();
+      case 'n': return parse_null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string_token();
+      skip_whitespace();
+      expect(':');
+      JsonValue member = parse_value();
+      for (const auto& [existing, unused] : value.members) {
+        if (existing == key) fail("duplicate object key '" + key + "'");
+      }
+      value.members.emplace_back(std::move(key), std::move(member));
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return value;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.items.push_back(parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return value;
+    }
+  }
+
+  JsonValue parse_string_value() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kString;
+    value.text = parse_string_token();
+    return value;
+  }
+
+  std::string parse_string_token() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= src_.size()) fail("unterminated string");
+      const char c = src_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= src_.size()) fail("unterminated escape");
+      const char escape = src_[pos_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            if (pos_ >= src_.size()) fail("truncated \\u escape");
+            const char h = src_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid \\u escape digit");
+            }
+          }
+          // UTF-8 encode the BMP code point (the writer only escapes
+          // ASCII control characters, so this covers round-trips).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape sequence");
+      }
+    }
+  }
+
+  JsonValue parse_bool() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kBool;
+    if (consume_literal("true")) {
+      value.boolean = true;
+    } else if (consume_literal("false")) {
+      value.boolean = false;
+    } else {
+      fail("invalid literal");
+    }
+    return value;
+  }
+
+  JsonValue parse_null() {
+    if (!consume_literal("null")) fail("invalid literal");
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNull;
+    return value;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < src_.size() && src_[pos_] == '-') ++pos_;
+    const auto digits = [&]() {
+      std::size_t count = 0;
+      while (pos_ < src_.size() && src_[pos_] >= '0' && src_[pos_] <= '9') {
+        ++pos_;
+        ++count;
+      }
+      return count;
+    };
+    if (digits() == 0) fail("invalid number");
+    if (pos_ < src_.size() && src_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) fail("invalid number: missing fraction digits");
+    }
+    if (pos_ < src_.size() && (src_[pos_] == 'e' || src_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < src_.size() && (src_[pos_] == '+' || src_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (digits() == 0) fail("invalid number: missing exponent digits");
+    }
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.text = std::string(src_.substr(start, pos_ - start));
+    return value;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+};
+
+[[noreturn]] void type_fail(std::string_view context, const char* wanted) {
+  throw JsonError(std::string(context) + ": expected " + wanted, 0);
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+bool JsonValue::as_bool(std::string_view context) const {
+  if (kind != Kind::kBool) type_fail(context, "a boolean");
+  return boolean;
+}
+
+double JsonValue::as_double(std::string_view context) const {
+  if (kind != Kind::kNumber) type_fail(context, "a number");
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) type_fail(context, "a number");
+  if (errno == ERANGE && !std::isfinite(parsed)) {
+    type_fail(context, "a representable number");
+  }
+  return parsed;
+}
+
+std::uint64_t JsonValue::as_u64(std::string_view context) const {
+  if (kind != Kind::kNumber || text.empty() || text[0] == '-' ||
+      text.find_first_of(".eE") != std::string::npos) {
+    type_fail(context, "a non-negative integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) {
+    type_fail(context, "a non-negative integer in u64 range");
+  }
+  return parsed;
+}
+
+std::int64_t JsonValue::as_int(std::string_view context) const {
+  if (kind != Kind::kNumber ||
+      text.find_first_of(".eE") != std::string::npos) {
+    type_fail(context, "an integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) {
+    type_fail(context, "an integer in i64 range");
+  }
+  return parsed;
+}
+
+const std::string& JsonValue::as_string(std::string_view context) const {
+  if (kind != Kind::kString) type_fail(context, "a string");
+  return text;
+}
+
+JsonValue parse_json(std::string_view source) {
+  return Parser(source).parse_document();
+}
+
+}  // namespace vds::scenario

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "core/options.hpp"
+#include "baseline/duplex.hpp"
+#include "baseline/srt.hpp"
+#include "fault/fault_model.hpp"
+
+namespace vds::scenario {
+
+/// Which protocol engine a scenario drives.
+enum class EngineKind : std::uint8_t {
+  kSmt,      ///< SmtVds: VDS on the SMT processor (paper §3.2)
+  kConv,     ///< ConventionalVds: VDS on a conventional processor (§3.1)
+  kSrt,      ///< LockstepSrt: lockstep redundant threading baseline
+  kDuplex,   ///< PhysicalDuplex: two-processor duplex baseline
+};
+
+inline constexpr EngineKind kAllEngineKinds[] = {
+    EngineKind::kSmt, EngineKind::kConv, EngineKind::kSrt,
+    EngineKind::kDuplex};
+
+/// Canonical engine name: "smt", "conv", "srt", "duplex" — the same
+/// spelling used by Engine::kind(), CLI flags and scenario JSON.
+[[nodiscard]] std::string_view to_string(EngineKind kind) noexcept;
+
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+[[nodiscard]] EngineKind parse_engine_kind(std::string_view name);
+
+/// One complete, validated experiment specification: which engine to
+/// run, its timing/recovery configuration, the fault process and the
+/// predictor. The single source of configuration truth shared by
+/// vds_cli, vds_mc and vds_sweep — each tool builds engine/fault
+/// configs exclusively through the conversion methods below, so a
+/// scenario means the same thing everywhere. Round-trips through JSON
+/// (schema vds.scenario.v1) via to_json/from_json.
+struct Scenario {
+  EngineKind engine = EngineKind::kSmt;
+
+  // --- recovery / job (defaults = vds_cli defaults) ---
+  core::RecoveryScheme scheme = core::RecoveryScheme::kRollForwardDet;
+  std::string predictor = "random";
+  bool adaptive = false;
+  double alpha = 0.65;   ///< SMT slowdown factor
+  double beta = 0.1;     ///< c = t_cmp = beta * t
+  int s = 20;            ///< checkpoint interval in rounds
+  std::uint64_t rounds = 10000;  ///< job length in rounds
+  int threads = 2;       ///< SMT hardware threads (2, 3 or 5)
+  std::uint64_t seed = 1;
+
+  // --- fault process ---
+  double rate = 0.01;            ///< Poisson fault rate
+  double crash_weight = 0.0;
+  double permanent_weight = 0.0;
+  double bias = 0.5;             ///< P(fault hits version 1)
+  std::uint32_t locations = 16;
+  double skew = 1.0;             ///< location uniformity in (0, 1]
+
+  // --- baseline-engine extras (defaults = their config defaults) ---
+  double srt_compare_overhead = 0.10;
+  int srt_chunks_per_round = 100;
+  int duplex_processors = 2;
+
+  /// Cross-field validation: every conversion below must succeed and
+  /// the predictor must be a registered name. Throws
+  /// std::invalid_argument with a "Scenario: ..." message.
+  void validate() const;
+
+  // --- conversions (exactly the wiring the tools used to hand-roll) --
+  [[nodiscard]] core::VdsOptions vds_options() const;
+  [[nodiscard]] baseline::SrtConfig srt_config() const;
+  [[nodiscard]] baseline::DuplexConfig duplex_config() const;
+  [[nodiscard]] fault::FaultConfig fault_config() const;
+
+  /// Generous fault-timeline horizon: the job can stretch under
+  /// recoveries.
+  [[nodiscard]] double horizon() const noexcept {
+    return static_cast<double>(rounds) * 20.0 + 1000.0;
+  }
+
+  /// Serializes as a vds.scenario.v1 JSON document.
+  void to_json(std::ostream& os) const;
+  [[nodiscard]] std::string to_json_string() const;
+
+  /// Parses and validates a vds.scenario.v1 document. Strict: unknown
+  /// keys, a wrong/missing schema tag, malformed values and
+  /// out-of-range fields all throw (std::invalid_argument or
+  /// JsonError). Absent optional fields keep their defaults.
+  [[nodiscard]] static Scenario from_json(std::string_view text);
+
+  /// FNV-1a over the canonical JSON serialization: equal scenarios
+  /// hash equal, any field change rehashes.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  [[nodiscard]] bool operator==(const Scenario&) const = default;
+};
+
+}  // namespace vds::scenario

@@ -1,0 +1,168 @@
+// Edge-case coverage for the config validators the scenario layer
+// relies on: every engine config must reject NaN/inf timing, boundary
+// alpha values, and degenerate interval/job settings with
+// std::invalid_argument, because Scenario::validate() forwards to
+// these and the tools promise a clean error instead of a hung or
+// garbage simulation.
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "baseline/duplex.hpp"
+#include "baseline/srt.hpp"
+#include "core/options.hpp"
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// --- VdsOptions -------------------------------------------------------
+
+TEST(VdsOptionsValidation, RejectsNonFiniteTiming) {
+  for (const double bad : {kNaN, kInf, -kInf}) {
+    vds::core::VdsOptions options;
+    options.t = bad;
+    EXPECT_THROW(options.validate(), std::invalid_argument) << bad;
+    options = {};
+    options.c = bad;
+    EXPECT_THROW(options.validate(), std::invalid_argument) << bad;
+    options = {};
+    options.t_cmp = bad;
+    EXPECT_THROW(options.validate(), std::invalid_argument) << bad;
+    options = {};
+    options.alpha = bad;
+    EXPECT_THROW(options.validate(), std::invalid_argument) << bad;
+    options = {};
+    options.checkpoint_write_latency = bad;
+    EXPECT_THROW(options.validate(), std::invalid_argument) << bad;
+    options = {};
+    options.checkpoint_read_latency = bad;
+    EXPECT_THROW(options.validate(), std::invalid_argument) << bad;
+    options = {};
+    options.max_time = bad;
+    EXPECT_THROW(options.validate(), std::invalid_argument) << bad;
+  }
+}
+
+TEST(VdsOptionsValidation, AlphaBoundariesInclusive) {
+  vds::core::VdsOptions options;
+  options.alpha = 0.5;  // exactly the SMT lower bound
+  EXPECT_NO_THROW(options.validate());
+  options.alpha = 1.0;  // exactly no speedup
+  EXPECT_NO_THROW(options.validate());
+  options.alpha = std::nextafter(0.5, 0.0);
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options.alpha = std::nextafter(1.0, 2.0);
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+}
+
+TEST(VdsOptionsValidation, RejectsDegenerateIntervals) {
+  vds::core::VdsOptions options;
+  options.s = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = {};
+  options.s = -3;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = {};
+  options.s = 1;  // checkpoint every round: legal, just expensive
+  EXPECT_NO_THROW(options.validate());
+  options = {};
+  options.max_consecutive_failures = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = {};
+  options.max_time = 0.0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+}
+
+// --- SrtConfig --------------------------------------------------------
+
+TEST(SrtConfigValidation, RejectsNonFiniteTiming) {
+  for (const double bad : {kNaN, kInf}) {
+    vds::baseline::SrtConfig config;
+    config.t = bad;
+    EXPECT_THROW(config.validate(), std::invalid_argument) << bad;
+    config = {};
+    config.compare_overhead = bad;
+    EXPECT_THROW(config.validate(), std::invalid_argument) << bad;
+    config = {};
+    config.checkpoint_write_latency = bad;
+    EXPECT_THROW(config.validate(), std::invalid_argument) << bad;
+    config = {};
+    config.max_time = bad;
+    EXPECT_THROW(config.validate(), std::invalid_argument) << bad;
+  }
+}
+
+TEST(SrtConfigValidation, AlphaBoundariesInclusive) {
+  vds::baseline::SrtConfig config;
+  config.alpha = 0.5;
+  EXPECT_NO_THROW(config.validate());
+  config.alpha = 1.0;
+  EXPECT_NO_THROW(config.validate());
+  config.alpha = 0.49;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.alpha = 1.01;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.alpha = kNaN;  // NaN fails the >= comparison, not silently
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(SrtConfigValidation, RejectsDegenerateGranularity) {
+  vds::baseline::SrtConfig config;
+  config.s = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.chunks_per_round = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.job_rounds = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.compare_overhead = -0.01;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.compare_overhead = 0.0;  // free comparison hardware: legal
+  EXPECT_NO_THROW(config.validate());
+}
+
+// --- DuplexConfig -----------------------------------------------------
+
+TEST(DuplexConfigValidation, RejectsNonFiniteTiming) {
+  for (const double bad : {kNaN, kInf}) {
+    vds::baseline::DuplexConfig config;
+    config.t = bad;
+    EXPECT_THROW(config.validate(), std::invalid_argument) << bad;
+    config = {};
+    config.t_cmp = bad;
+    EXPECT_THROW(config.validate(), std::invalid_argument) << bad;
+    config = {};
+    config.checkpoint_read_latency = bad;
+    EXPECT_THROW(config.validate(), std::invalid_argument) << bad;
+    config = {};
+    config.max_time = bad;
+    EXPECT_THROW(config.validate(), std::invalid_argument) << bad;
+  }
+}
+
+TEST(DuplexConfigValidation, RejectsDegenerateConfigs) {
+  vds::baseline::DuplexConfig config;
+  config.s = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.job_rounds = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.processors = 1;  // a duplex needs two processors
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.t_cmp = 0.0;  // free state exchange: legal
+  EXPECT_NO_THROW(config.validate());
+  config.t_cmp = -0.1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,5 +1,8 @@
 #include "core/options.hpp"
 
+#include <set>
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace vds::core {
@@ -79,6 +82,35 @@ TEST(RecoverySchemeNames, AllDistinct) {
             "roll_forward_prob");
   EXPECT_EQ(to_string(RecoveryScheme::kRollForwardPredict),
             "roll_forward_predict");
+}
+
+// parse_recovery_scheme must invert BOTH spellings for EVERY scheme --
+// the contract the tools rely on now that their ad-hoc string maps are
+// gone.
+TEST(RecoverySchemeNames, ExhaustiveRoundTrip) {
+  for (const auto scheme : kAllRecoverySchemes) {
+    EXPECT_EQ(parse_recovery_scheme(to_string(scheme)), scheme)
+        << to_string(scheme);
+    EXPECT_EQ(parse_recovery_scheme(short_name(scheme)), scheme)
+        << short_name(scheme);
+  }
+}
+
+TEST(RecoverySchemeNames, ShortNamesDistinctAndStable) {
+  std::set<std::string> names;
+  for (const auto scheme : kAllRecoverySchemes) {
+    names.emplace(short_name(scheme));
+  }
+  EXPECT_EQ(names.size(), kAllRecoverySchemes.size());
+  EXPECT_EQ(short_name(RecoveryScheme::kStopAndRetry), "retry");
+  EXPECT_EQ(short_name(RecoveryScheme::kRollForwardDet), "det");
+}
+
+TEST(RecoverySchemeNames, ParseRejectsUnknown) {
+  EXPECT_EQ(parse_recovery_scheme("bogus"), std::nullopt);
+  EXPECT_EQ(parse_recovery_scheme(""), std::nullopt);
+  EXPECT_EQ(parse_recovery_scheme("DET"), std::nullopt);
+  EXPECT_EQ(parse_recovery_scheme("det "), std::nullopt);
 }
 
 }  // namespace

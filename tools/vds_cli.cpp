@@ -6,258 +6,112 @@
 // Runs one protocol simulation and prints the run report; with --model
 // it also prints the paper's closed-form predictions for the same
 // configuration, and with --trace N the first N protocol events.
+//
+// Configuration is a scenario::Scenario: load one with --scenario FILE
+// (vds.scenario.v1 JSON), override fields with flags, or print the
+// effective scenario with --emit-scenario.
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
-#include <memory>
 #include <string>
 
-#include "baseline/duplex.hpp"
-#include "baseline/srt.hpp"
-#include "core/conventional.hpp"
-#include "core/smt_engine.hpp"
 #include "model/gain.hpp"
 #include "model/limits.hpp"
 #include "model/reliability.hpp"
 #include "runtime/journal.hpp"
+#include "scenario/cli.hpp"
+#include "scenario/engine_factory.hpp"
 
 namespace {
 
-constexpr const char* kUsage = R"(usage: vds_cli [options]
+constexpr const char* kUsageHead = R"(usage: vds_cli [options]
 
-engine selection:
-  --engine smt|conv|srt|duplex   protocol engine            [smt]
+)";
 
-VDS configuration:
-  --scheme rollback|retry|det|prob|predict   recovery scheme [det]
-  --adaptive                     adaptive det/prob selection
-  --alpha X                      SMT slowdown factor        [0.65]
-  --beta X                       c = t_cmp = beta * t       [0.1]
-  --s N                          checkpoint interval        [20]
-  --rounds N                     job length in rounds       [10000]
-  --threads 2|3|5                hardware threads           [2]
-  --predictor random|oracle|static1|static2|last|two_bit|history|tournament|perceptron|crash
-                                 faulty-version predictor   [random]
-
-fault process:
-  --rate X                       Poisson fault rate         [0.01]
-  --crash-weight X               crash fault fraction       [0]
-  --permanent-weight X           permanent fault fraction   [0]
-  --bias X                       P(fault hits version 1)    [0.5]
-  --locations N                  abstract fault locations   [16]
-  --skew X                       location uniformity (0,1]  [1.0]
-  --seed N                       RNG seed                   [1]
-
+constexpr const char* kUsageTail = R"(
 output:
   --model                        print closed-form predictions
   --trace N                      dump the first N protocol events
   --json                         machine-readable report on stdout
                                  (schema vds.run_report.v1)
+  --emit-scenario                print the effective scenario as
+                                 vds.scenario.v1 JSON and exit
   --help                         this text
 )";
 
-struct CliOptions {
-  std::string engine = "smt";
-  std::string scheme = "det";
-  std::string predictor = "random";
-  bool adaptive = false;
-  double alpha = 0.65;
-  double beta = 0.1;
-  int s = 20;
-  std::uint64_t rounds = 10000;
-  int threads = 2;
-  double rate = 0.01;
-  double crash_weight = 0.0;
-  double permanent_weight = 0.0;
-  double bias = 0.5;
-  std::uint32_t locations = 16;
-  double skew = 1.0;
-  std::uint64_t seed = 1;
+void print_usage(std::FILE* stream) {
+  std::fputs(kUsageHead, stream);
+  std::fputs(std::string(vds::scenario::scenario_usage()).c_str(), stream);
+  std::fputs(kUsageTail, stream);
+}
+
+struct OutputOptions {
   bool model = false;
   bool json = false;
+  bool emit_scenario = false;
   std::size_t trace = 0;
 };
 
-bool parse_args(int argc, char** argv, CliOptions& cli) {
-  for (int k = 1; k < argc; ++k) {
-    const std::string arg = argv[k];
-    const auto next = [&]() -> const char* {
-      if (k + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
-        std::exit(2);
-      }
-      return argv[++k];
-    };
+int run_cli(int argc, char** argv) {
+  vds::scenario::Scenario scenario;
+  OutputOptions out;
+
+  vds::scenario::ArgCursor args(argc, argv);
+  while (!args.done()) {
+    const std::string arg(args.next());
     if (arg == "--help" || arg == "-h") {
-      std::fputs(kUsage, stdout);
-      return false;
-    } else if (arg == "--engine") {
-      cli.engine = next();
-    } else if (arg == "--scheme") {
-      cli.scheme = next();
-    } else if (arg == "--predictor") {
-      cli.predictor = next();
-    } else if (arg == "--adaptive") {
-      cli.adaptive = true;
-    } else if (arg == "--alpha") {
-      cli.alpha = std::atof(next());
-    } else if (arg == "--beta") {
-      cli.beta = std::atof(next());
-    } else if (arg == "--s") {
-      cli.s = std::atoi(next());
-    } else if (arg == "--rounds") {
-      cli.rounds = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--threads") {
-      cli.threads = std::atoi(next());
-    } else if (arg == "--rate") {
-      cli.rate = std::atof(next());
-    } else if (arg == "--crash-weight") {
-      cli.crash_weight = std::atof(next());
-    } else if (arg == "--permanent-weight") {
-      cli.permanent_weight = std::atof(next());
-    } else if (arg == "--bias") {
-      cli.bias = std::atof(next());
-    } else if (arg == "--locations") {
-      cli.locations = static_cast<std::uint32_t>(std::atoi(next()));
-    } else if (arg == "--skew") {
-      cli.skew = std::atof(next());
-    } else if (arg == "--seed") {
-      cli.seed = std::strtoull(next(), nullptr, 10);
+      print_usage(stdout);
+      return 0;
+    } else if (vds::scenario::apply_scenario_flag(scenario, arg, args)) {
+      // handled by the shared scenario parser
     } else if (arg == "--model") {
-      cli.model = true;
+      out.model = true;
     } else if (arg == "--json") {
-      cli.json = true;
+      out.json = true;
+    } else if (arg == "--emit-scenario") {
+      out.emit_scenario = true;
     } else if (arg == "--trace") {
-      cli.trace = static_cast<std::size_t>(std::atoi(next()));
+      out.trace = static_cast<std::size_t>(args.value_u64(arg));
     } else {
-      std::fprintf(stderr, "unknown option '%s'\n%s", arg.c_str(),
-                   kUsage);
-      std::exit(2);
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      print_usage(stderr);
+      return 2;
     }
   }
-  return true;
-}
+  scenario.validate();
 
-vds::core::RecoveryScheme parse_scheme(const std::string& name) {
-  using vds::core::RecoveryScheme;
-  if (name == "rollback") return RecoveryScheme::kRollback;
-  if (name == "retry") return RecoveryScheme::kStopAndRetry;
-  if (name == "det") return RecoveryScheme::kRollForwardDet;
-  if (name == "prob") return RecoveryScheme::kRollForwardProb;
-  if (name == "predict") return RecoveryScheme::kRollForwardPredict;
-  std::fprintf(stderr, "unknown scheme '%s'\n", name.c_str());
-  std::exit(2);
-}
-
-std::unique_ptr<vds::fault::Predictor> make_predictor(
-    const std::string& name, vds::sim::Rng rng) {
-  using namespace vds::fault;
-  if (name == "random") return std::make_unique<RandomPredictor>(rng);
-  if (name == "oracle") return std::make_unique<OraclePredictor>();
-  if (name == "static1") {
-    return std::make_unique<StaticPredictor>(VersionGuess::kVersion1);
+  if (out.emit_scenario) {
+    scenario.to_json(std::cout);
+    std::cout << '\n';
+    return 0;
   }
-  if (name == "static2") {
-    return std::make_unique<StaticPredictor>(VersionGuess::kVersion2);
-  }
-  if (name == "last") return std::make_unique<LastFaultyPredictor>();
-  if (name == "two_bit") return std::make_unique<TwoBitPredictor>(16);
-  if (name == "history") return std::make_unique<HistoryPredictor>(6, 4);
-  if (name == "tournament") {
-    return std::make_unique<TournamentPredictor>(6, 4);
-  }
-  if (name == "perceptron") return std::make_unique<PerceptronPredictor>();
-  if (name == "crash") {
-    return std::make_unique<CrashEvidencePredictor>(
-        std::make_unique<TwoBitPredictor>(16));
-  }
-  std::fprintf(stderr, "unknown predictor '%s'\n", name.c_str());
-  std::exit(2);
-}
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  CliOptions cli;
-  if (!parse_args(argc, argv, cli)) return 0;
-
-  vds::fault::FaultConfig fault_config;
-  fault_config.rate = cli.rate;
-  fault_config.weight_transient =
-      1.0 - cli.crash_weight - cli.permanent_weight;
-  fault_config.weight_crash = cli.crash_weight;
-  fault_config.weight_permanent = cli.permanent_weight;
-  fault_config.victim1_bias = cli.bias;
-  fault_config.locations = cli.locations;
-  fault_config.location_uniformity = cli.skew;
-
-  // Generous horizon: the job can stretch under recoveries.
-  const double horizon = static_cast<double>(cli.rounds) * 20.0 + 1000.0;
-  vds::sim::Rng fault_rng(cli.seed);
-  auto timeline =
-      vds::fault::generate_timeline(fault_config, fault_rng, horizon);
-  if (!cli.json) {
+  vds::sim::Rng fault_rng(scenario.seed);
+  auto timeline = vds::scenario::make_timeline(scenario, fault_rng);
+  if (!out.json) {
     std::printf("faults scheduled: %zu over horizon %.0f\n",
-                timeline.size(), horizon);
+                timeline.size(), scenario.horizon());
   }
 
-  vds::sim::Trace trace(/*enabled=*/cli.trace > 0, /*cap=*/cli.trace);
+  vds::sim::Trace trace(/*enabled=*/out.trace > 0, /*cap=*/out.trace);
 
-  vds::core::RunReport report;
-  if (cli.engine == "smt" || cli.engine == "conv") {
-    vds::core::VdsOptions options;
-    options.t = 1.0;
-    options.c = cli.beta;
-    options.t_cmp = cli.beta;
-    options.alpha = cli.alpha;
-    options.s = cli.s;
-    options.job_rounds = cli.rounds;
-    options.scheme = parse_scheme(cli.scheme);
-    options.adaptive_scheme = cli.adaptive;
-    options.hardware_threads = cli.threads;
-    if (cli.engine == "smt") {
-      vds::core::SmtVds vds(options, vds::sim::Rng(cli.seed + 1));
-      vds.set_predictor(
-          make_predictor(cli.predictor, vds::sim::Rng(cli.seed + 2)));
-      report = vds.run(timeline, &trace);
-    } else {
-      vds::core::ConventionalVds vds(options,
-                                     vds::sim::Rng(cli.seed + 1));
-      report = vds.run(timeline, &trace);
-    }
-  } else if (cli.engine == "srt") {
-    vds::baseline::SrtConfig config;
-    config.alpha = cli.alpha;
-    config.s = cli.s;
-    config.job_rounds = cli.rounds;
-    vds::baseline::LockstepSrt srt(config, vds::sim::Rng(cli.seed + 1));
-    report = srt.run(timeline);
-  } else if (cli.engine == "duplex") {
-    vds::baseline::DuplexConfig config;
-    config.t_cmp = cli.beta;
-    config.s = cli.s;
-    config.job_rounds = cli.rounds;
-    vds::baseline::PhysicalDuplex duplex(config,
-                                         vds::sim::Rng(cli.seed + 1));
-    report = duplex.run(timeline);
-  } else {
-    std::fprintf(stderr, "unknown engine '%s'\n%s", cli.engine.c_str(),
-                 kUsage);
-    return 2;
-  }
+  // Engine and predictor seeds derive from the scenario seed exactly
+  // as before the scenario layer existed: seed+1 / seed+2.
+  auto engine = vds::scenario::make_engine(
+      scenario, vds::sim::Rng(scenario.seed + 1),
+      vds::sim::Rng(scenario.seed + 2));
+  const vds::core::RunReport report = engine->run(timeline, &trace);
 
-  if (cli.json) {
+  if (out.json) {
     // Same report schema as vds_mc snapshots / the runtime journal.
     vds::runtime::JsonWriter json(std::cout);
     json.begin_object();
     json.field("schema", "vds.run_report.v1");
-    json.field("engine", cli.engine);
-    json.field("scheme", cli.scheme);
-    json.field("predictor", cli.predictor);
-    json.field("seed", cli.seed);
+    json.field("engine", to_string(scenario.engine));
+    json.field("scheme", vds::core::short_name(scenario.scheme));
+    json.field("predictor", scenario.predictor);
+    json.field("seed", scenario.seed);
     json.field("faults_scheduled",
                static_cast<std::uint64_t>(timeline.size()));
     json.key("report");
@@ -268,14 +122,17 @@ int main(int argc, char** argv) {
 
   std::printf("%s\n", report.to_string().c_str());
 
-  if (cli.trace > 0) {
-    std::printf("\nfirst %zu protocol events:\n", cli.trace);
+  if (out.trace > 0) {
+    std::printf("\nfirst %zu protocol events:\n", out.trace);
     trace.dump(std::cout);
   }
 
-  if (cli.model && (cli.engine == "smt" || cli.engine == "conv")) {
+  const bool vds_engine =
+      scenario.engine == vds::scenario::EngineKind::kSmt ||
+      scenario.engine == vds::scenario::EngineKind::kConv;
+  if (out.model && vds_engine) {
     const auto params = vds::model::Params::with_beta(
-        std::clamp(cli.alpha, 0.5, 1.0), cli.beta, cli.s,
+        std::clamp(scenario.alpha, 0.5, 1.0), scenario.beta, scenario.s,
         report.predictor_accuracy());
     std::printf("\nclosed-form predictions at measured p = %.3f:\n",
                 report.predictor_accuracy());
@@ -289,13 +146,14 @@ int main(int argc, char** argv) {
                 vds::model::mean_gain_corr(params));
     std::printf("  G_max (s -> inf)      = %.4f\n",
                 vds::model::g_max(params));
-    const auto scheme = cli.scheme == "prob"
-                            ? vds::model::Scheme::kProbabilistic
-                        : cli.scheme == "predict"
-                            ? vds::model::Scheme::kPrediction
-                            : vds::model::Scheme::kDeterministic;
+    const auto scheme =
+        scenario.scheme == vds::core::RecoveryScheme::kRollForwardProb
+            ? vds::model::Scheme::kProbabilistic
+        : scenario.scheme == vds::core::RecoveryScheme::kRollForwardPredict
+            ? vds::model::Scheme::kPrediction
+            : vds::model::Scheme::kDeterministic;
     const auto est = vds::model::estimate_reliability(
-        params, scheme, cli.rate, cli.rounds);
+        params, scheme, scenario.rate, scenario.rounds);
     std::printf("  expected detections   = %.1f (measured %llu)\n",
                 est.expected_detections,
                 static_cast<unsigned long long>(report.detections));
@@ -304,4 +162,15 @@ int main(int argc, char** argv) {
     std::printf("  P(silent corruption)  = %.4f\n", est.p_job_silent);
   }
   return report.completed ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_cli(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
 }

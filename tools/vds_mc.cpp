@@ -9,26 +9,29 @@
 // RNG substream, so the merged summary is bitwise identical for every
 // thread count. Progress is journaled; kill the run and relaunch with
 // --resume to finish without re-executing completed cells.
+//
+// The engine under test is a scenario::Scenario: any engine kind,
+// scheme or predictor the shared config layer knows (load a whole
+// spec with --scenario FILE, then override with flags). Campaign
+// flags (--replicas, --grid, --threads, --seed, ...) are handled
+// here; everything else falls through to the scenario parser.
 
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <iostream>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "core/smt_engine.hpp"
-#include "fault/predictor.hpp"
 #include "runtime/journal.hpp"
 #include "runtime/mc_campaign.hpp"
 #include "runtime/thread_pool.hpp"
+#include "scenario/cli.hpp"
+#include "scenario/engine_factory.hpp"
 
 namespace {
 
-constexpr const char* kUsage = R"(usage: vds_mc [options]
+constexpr const char* kUsageHead = R"(usage: vds_mc [options]
 
 campaign grid:
   --replicas N                   Monte Carlo replicas per grid cell [100]
@@ -37,16 +40,14 @@ campaign grid:
                                  (comma-separated)            [all four]
   --fixed-offset X               disable fault-position jitter, use
                                  fractional offset X within the round
-
-engine under test:
-  --scheme rollback|retry|det|prob|predict   recovery scheme [det]
-  --predictor random|oracle|static1|static2|last|two_bit|history|tournament|perceptron|crash
-                                 faulty-version predictor     [random]
-  --alpha X                      SMT slowdown factor          [0.65]
-  --beta X                       c = t_cmp = beta * t         [0.1]
-  --s N                          checkpoint interval          [20]
   --job-rounds N                 job length in rounds         [60]
 
+engine under test (shared scenario flags; --rate/--locations/... are
+accepted but unused -- the campaign schedules its own faults):
+
+)";
+
+constexpr const char* kUsageTail = R"(
 execution:
   --threads N                    worker threads (0 = hardware) [0]
   --seed N                       campaign RNG seed            [1]
@@ -57,18 +58,18 @@ execution:
   --help                         this text
 )";
 
-struct CliOptions {
+void print_usage(std::FILE* stream) {
+  std::fputs(kUsageHead, stream);
+  std::fputs(std::string(vds::scenario::scenario_usage()).c_str(), stream);
+  std::fputs(kUsageTail, stream);
+}
+
+struct CampaignOptions {
   std::uint64_t replicas = 100;
   std::vector<std::uint64_t> grid = {1, 5, 10, 15, 20};
   std::vector<std::string> kinds;  // empty = all four
   bool jitter = true;
   double fixed_offset = 0.3;
-  std::string scheme = "det";
-  std::string predictor = "random";
-  double alpha = 0.65;
-  double beta = 0.1;
-  int s = 20;
-  std::uint64_t job_rounds = 60;
   unsigned threads = 0;
   std::uint64_t seed = 1;
   std::string journal;
@@ -92,176 +93,131 @@ std::vector<std::string> split_csv(const std::string& text) {
   return parts;
 }
 
-bool parse_args(int argc, char** argv, CliOptions& cli) {
-  for (int k = 1; k < argc; ++k) {
-    const std::string arg = argv[k];
-    const auto next = [&]() -> const char* {
-      if (k + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
-        std::exit(2);
-      }
-      return argv[++k];
-    };
-    if (arg == "--help" || arg == "-h") {
-      std::fputs(kUsage, stdout);
-      return false;
-    } else if (arg == "--replicas") {
-      cli.replicas = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--grid") {
-      cli.grid.clear();
-      for (const std::string& part : split_csv(next())) {
-        char* end = nullptr;
-        const std::uint64_t round = std::strtoull(part.c_str(), &end, 10);
-        if (part.empty() || end != part.c_str() + part.size() ||
-            round == 0) {
-          std::fprintf(stderr,
-                       "--grid expects positive round numbers, got '%s'\n",
-                       part.c_str());
-          std::exit(2);
-        }
-        cli.grid.push_back(round);
-      }
-    } else if (arg == "--kinds") {
-      cli.kinds = split_csv(next());
-    } else if (arg == "--fixed-offset") {
-      cli.jitter = false;
-      cli.fixed_offset = std::atof(next());
-    } else if (arg == "--scheme") {
-      cli.scheme = next();
-    } else if (arg == "--predictor") {
-      cli.predictor = next();
-    } else if (arg == "--alpha") {
-      cli.alpha = std::atof(next());
-    } else if (arg == "--beta") {
-      cli.beta = std::atof(next());
-    } else if (arg == "--s") {
-      cli.s = std::atoi(next());
-    } else if (arg == "--job-rounds") {
-      cli.job_rounds = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--threads") {
-      cli.threads = static_cast<unsigned>(std::atoi(next()));
-    } else if (arg == "--seed") {
-      cli.seed = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--journal") {
-      cli.journal = next();
-    } else if (arg == "--resume") {
-      cli.resume = true;
-    } else if (arg == "--json-out") {
-      cli.json_out = next();
-    } else if (arg == "--quiet") {
-      cli.quiet = true;
-    } else {
-      std::fprintf(stderr, "unknown option '%s'\n%s", arg.c_str(), kUsage);
-      std::exit(2);
-    }
-  }
-  return true;
-}
-
 vds::fault::FaultKind parse_kind(const std::string& name) {
   using vds::fault::FaultKind;
   if (name == "transient") return FaultKind::kTransient;
   if (name == "crash") return FaultKind::kCrash;
   if (name == "permanent") return FaultKind::kPermanent;
   if (name == "processor_crash") return FaultKind::kProcessorCrash;
-  std::fprintf(stderr, "unknown fault kind '%s'\n", name.c_str());
-  std::exit(2);
+  throw vds::scenario::CliError("unknown fault kind '" + name + "'");
 }
 
-vds::core::RecoveryScheme parse_scheme(const std::string& name) {
-  using vds::core::RecoveryScheme;
-  if (name == "rollback") return RecoveryScheme::kRollback;
-  if (name == "retry") return RecoveryScheme::kStopAndRetry;
-  if (name == "det") return RecoveryScheme::kRollForwardDet;
-  if (name == "prob") return RecoveryScheme::kRollForwardProb;
-  if (name == "predict") return RecoveryScheme::kRollForwardPredict;
-  std::fprintf(stderr, "unknown scheme '%s'\n", name.c_str());
-  std::exit(2);
-}
+int run_mc(int argc, char** argv) {
+  using vds::scenario::CliError;
 
-std::unique_ptr<vds::fault::Predictor> make_predictor(
-    const std::string& name, vds::sim::Rng rng) {
-  using namespace vds::fault;
-  if (name == "random") return std::make_unique<RandomPredictor>(rng);
-  if (name == "oracle") return std::make_unique<OraclePredictor>();
-  if (name == "static1") {
-    return std::make_unique<StaticPredictor>(VersionGuess::kVersion1);
-  }
-  if (name == "static2") {
-    return std::make_unique<StaticPredictor>(VersionGuess::kVersion2);
-  }
-  if (name == "last") return std::make_unique<LastFaultyPredictor>();
-  if (name == "two_bit") return std::make_unique<TwoBitPredictor>(16);
-  if (name == "history") return std::make_unique<HistoryPredictor>(6, 4);
-  if (name == "tournament") {
-    return std::make_unique<TournamentPredictor>(6, 4);
-  }
-  if (name == "perceptron") return std::make_unique<PerceptronPredictor>();
-  if (name == "crash") {
-    return std::make_unique<CrashEvidencePredictor>(
-        std::make_unique<TwoBitPredictor>(16));
-  }
-  std::fprintf(stderr, "unknown predictor '%s'\n", name.c_str());
-  std::exit(2);
-}
+  vds::scenario::Scenario scenario;
+  scenario.rounds = 60;  // vds_mc's traditional default job length
+  CampaignOptions campaign;
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  CliOptions cli;
-  if (!parse_args(argc, argv, cli)) return 0;
-
-  vds::core::VdsOptions options;
-  options.t = 1.0;
-  options.c = cli.beta;
-  options.t_cmp = cli.beta;
-  options.alpha = cli.alpha;
-  options.s = cli.s;
-  options.job_rounds = cli.job_rounds;
-  options.scheme = parse_scheme(cli.scheme);
+  vds::scenario::ArgCursor args(argc, argv);
+  while (!args.done()) {
+    const std::string arg(args.next());
+    // Campaign flags claim --threads/--seed/--job-rounds before the
+    // scenario parser: for vds_mc they mean worker threads, campaign
+    // seed and job length, not the engine's SMT-context count.
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      return 0;
+    } else if (arg == "--replicas") {
+      campaign.replicas = args.value_u64(arg);
+    } else if (arg == "--grid") {
+      campaign.grid.clear();
+      for (const std::string& part :
+           split_csv(std::string(args.value(arg)))) {
+        const std::uint64_t round = vds::scenario::parse_u64(arg, part);
+        if (round == 0) {
+          throw CliError("--grid expects positive round numbers, got '" +
+                         part + "'");
+        }
+        campaign.grid.push_back(round);
+      }
+    } else if (arg == "--kinds") {
+      campaign.kinds = split_csv(std::string(args.value(arg)));
+    } else if (arg == "--fixed-offset") {
+      campaign.jitter = false;
+      campaign.fixed_offset = args.value_double(arg);
+    } else if (arg == "--job-rounds") {
+      scenario.rounds = args.value_u64(arg);
+    } else if (arg == "--threads") {
+      campaign.threads = args.value_unsigned(arg);
+    } else if (arg == "--seed") {
+      campaign.seed = args.value_u64(arg);
+    } else if (arg == "--journal") {
+      campaign.journal = std::string(args.value(arg));
+    } else if (arg == "--resume") {
+      campaign.resume = true;
+    } else if (arg == "--json-out") {
+      campaign.json_out = std::string(args.value(arg));
+    } else if (arg == "--quiet") {
+      campaign.quiet = true;
+    } else if (vds::scenario::apply_scenario_flag(scenario, arg, args)) {
+      // engine-under-test flag, handled by the shared parser
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      print_usage(stderr);
+      return 2;
+    }
+  }
+  scenario.validate();
 
   vds::runtime::McConfig config;
-  if (!cli.kinds.empty()) {
+  if (!campaign.kinds.empty()) {
     config.kinds.clear();
-    for (const std::string& name : cli.kinds) {
+    for (const std::string& name : campaign.kinds) {
       config.kinds.push_back(parse_kind(name));
     }
   }
-  config.rounds = cli.grid;
-  config.replicas = cli.replicas;
-  config.round_time = 2.0 * cli.alpha + cli.beta;
-  config.jitter_offset = cli.jitter;
-  config.fixed_offset = cli.fixed_offset;
-  config.seed = cli.seed;
-  config.threads = cli.threads;
-  config.journal_path = cli.journal;
-  config.resume = cli.resume;
+  config.rounds = campaign.grid;
+  config.replicas = campaign.replicas;
+  config.round_time = 2.0 * scenario.alpha + scenario.beta;
+  config.jitter_offset = campaign.jitter;
+  config.fixed_offset = campaign.fixed_offset;
+  config.seed = campaign.seed;
+  config.threads = campaign.threads;
+  config.journal_path = campaign.journal;
+  config.resume = campaign.resume;
   // Fold the engine parameters into the journal fingerprint so a
-  // journal can only be resumed against the same engine.
+  // journal can only be resumed against the same engine. The first
+  // six folds reproduce the pre-scenario fingerprint byte for byte;
+  // newer fields are folded only when they differ from the defaults,
+  // keeping old journals resumable.
   {
-    std::uint64_t h = vds::runtime::fnv1a(cli.scheme);
-    h = vds::runtime::fnv1a(cli.predictor, h);
-    h = vds::runtime::fnv1a(&cli.alpha, sizeof cli.alpha, h);
-    h = vds::runtime::fnv1a(&cli.beta, sizeof cli.beta, h);
-    h = vds::runtime::fnv1a(&cli.s, sizeof cli.s, h);
-    h = vds::runtime::fnv1a(&cli.job_rounds, sizeof cli.job_rounds, h);
+    std::uint64_t h =
+        vds::runtime::fnv1a(vds::core::short_name(scenario.scheme));
+    h = vds::runtime::fnv1a(scenario.predictor, h);
+    h = vds::runtime::fnv1a(&scenario.alpha, sizeof scenario.alpha, h);
+    h = vds::runtime::fnv1a(&scenario.beta, sizeof scenario.beta, h);
+    h = vds::runtime::fnv1a(&scenario.s, sizeof scenario.s, h);
+    h = vds::runtime::fnv1a(&scenario.rounds, sizeof scenario.rounds, h);
+    if (scenario.engine != vds::scenario::EngineKind::kSmt) {
+      h = vds::runtime::fnv1a(to_string(scenario.engine), h);
+    }
+    if (scenario.adaptive) h = vds::runtime::fnv1a("adaptive", h);
+    if (scenario.threads != 2) {
+      h = vds::runtime::fnv1a(&scenario.threads, sizeof scenario.threads,
+                              h);
+    }
     config.runner_fingerprint = h;
   }
 
-  const std::string predictor_name = cli.predictor;
   const vds::runtime::McRunner runner =
-      [&options, &predictor_name](const vds::runtime::McCell&,
-                                  vds::fault::FaultTimeline& timeline,
-                                  vds::sim::Rng& rng) {
-        vds::core::SmtVds vds(options, rng.split(1));
-        vds.set_predictor(make_predictor(predictor_name, rng.split(2)));
-        return vds.run(timeline);
+      [&scenario](const vds::runtime::McCell&,
+                  vds::fault::FaultTimeline& timeline,
+                  vds::sim::Rng& rng) {
+        // split() mutates the cell RNG, so the draw order (engine
+        // stream first, predictor stream second) is part of the
+        // deterministic contract -- sequence it with named locals.
+        auto engine_rng = rng.split(1);
+        auto predictor_rng = rng.split(2);
+        const auto engine = vds::scenario::make_engine(
+            scenario, engine_rng, predictor_rng);
+        return engine->run(timeline);
       };
 
   const unsigned workers =
-      cli.threads == 0 ? vds::runtime::ThreadPool::hardware_threads()
-                       : cli.threads;
-  if (!cli.quiet) {
+      campaign.threads == 0 ? vds::runtime::ThreadPool::hardware_threads()
+                            : campaign.threads;
+  if (!campaign.quiet) {
     std::printf("campaign: %zu cells (%zu kinds x %zu rounds x %llu "
                 "replicas), %u worker thread%s\n",
                 config.cells(), config.kinds.size(), config.rounds.size(),
@@ -282,7 +238,7 @@ int main(int argc, char** argv) {
                                     start)
           .count();
 
-  if (!cli.quiet) {
+  if (!campaign.quiet) {
     std::printf("done in %.2fs: %llu executed, %llu resumed from "
                 "journal\n",
                 elapsed,
@@ -315,17 +271,27 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(summary.digest()));
   }
 
-  if (!cli.json_out.empty()) {
-    if (cli.json_out == "-") {
+  if (!campaign.json_out.empty()) {
+    if (campaign.json_out == "-") {
       vds::runtime::write_snapshot(std::cout, config, summary);
     } else {
-      std::ofstream out(cli.json_out);
+      std::ofstream out(campaign.json_out);
       if (!out) {
-        std::fprintf(stderr, "cannot write '%s'\n", cli.json_out.c_str());
-        return 2;
+        throw CliError("cannot write '" + campaign.json_out + "'");
       }
       vds::runtime::write_snapshot(out, config, summary);
     }
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_mc(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
 }

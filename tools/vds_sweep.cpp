@@ -10,21 +10,18 @@
 // --threads value.
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
-#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "core/conventional.hpp"
-#include "core/smt_engine.hpp"
 #include "model/limits.hpp"
 #include "model/reliability.hpp"
 #include "model/surface.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/thread_pool.hpp"
+#include "scenario/cli.hpp"
+#include "scenario/engine_factory.hpp"
 #include "smt/metrics.hpp"
 #include "smt/workload.hpp"
 
@@ -87,33 +84,31 @@ void emit_schemes(vds::runtime::ThreadPool& pool) {
       pool, 5 * 4, [&](std::size_t i) {
         const auto scheme = kSchemes[i / 4];
         const double rate = kRates[i % 4];
-        vds::core::VdsOptions options;
-        options.c = 0.1;
-        options.t_cmp = 0.1;
-        options.alpha = 0.65;
-        options.s = 20;
-        options.job_rounds = 10000;
-        options.scheme = scheme;
-
-        vds::fault::FaultConfig config;
-        config.rate = rate;
-        config.victim1_bias = 0.8;
+        // Both engines of the point come from one shared scenario:
+        // alpha = 0.65, beta = 0.1, s = 20 are the scenario defaults.
+        vds::scenario::Scenario point;
+        point.scheme = scheme;
+        point.predictor = "two_bit";
+        point.rounds = 10000;
+        point.rate = rate;
+        point.bias = 0.8;
 
         vds::sim::Rng rng_a(7);
-        auto timeline_a = vds::fault::generate_timeline(config, rng_a,
-                                                        400000.0);
-        vds::core::SmtVds smt(options, vds::sim::Rng(8));
-        smt.set_predictor(
-            std::make_unique<vds::fault::TwoBitPredictor>(16));
-        const auto smt_report = smt.run(timeline_a);
+        auto timeline_a =
+            vds::scenario::make_timeline(point, rng_a, 400000.0);
+        const auto smt = vds::scenario::make_engine(
+            point, vds::sim::Rng(8), vds::sim::Rng(8));
+        const auto smt_report = smt->run(timeline_a);
 
-        vds::core::VdsOptions conv_options = options;
-        conv_options.scheme = vds::core::RecoveryScheme::kStopAndRetry;
+        vds::scenario::Scenario conv_point = point;
+        conv_point.engine = vds::scenario::EngineKind::kConv;
+        conv_point.scheme = vds::core::RecoveryScheme::kStopAndRetry;
         vds::sim::Rng rng_b(7);
-        auto timeline_b = vds::fault::generate_timeline(config, rng_b,
-                                                        400000.0);
-        vds::core::ConventionalVds conv(conv_options, vds::sim::Rng(8));
-        const auto conv_report = conv.run(timeline_b);
+        auto timeline_b =
+            vds::scenario::make_timeline(conv_point, rng_b, 400000.0);
+        const auto conv = vds::scenario::make_engine(
+            conv_point, vds::sim::Rng(8), vds::sim::Rng(8));
+        const auto conv_report = conv->run(timeline_b);
 
         const auto name = vds::core::to_string(scheme);
         char buf[192];
@@ -205,20 +200,19 @@ void emit_reliability(vds::runtime::ThreadPool& pool) {
   std::fputs(body.c_str(), stdout);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run_sweep(int argc, char** argv) {
   std::string dataset;
   std::size_t samples = 11;
   unsigned threads = 0;
-  for (int k = 1; k < argc; ++k) {
-    const std::string arg = argv[k];
-    if (arg == "--dataset" && k + 1 < argc) {
-      dataset = argv[++k];
-    } else if (arg == "--samples" && k + 1 < argc) {
-      samples = static_cast<std::size_t>(std::atoi(argv[++k]));
-    } else if (arg == "--threads" && k + 1 < argc) {
-      threads = static_cast<unsigned>(std::atoi(argv[++k]));
+  vds::scenario::ArgCursor args(argc, argv);
+  while (!args.done()) {
+    const std::string arg(args.next());
+    if (arg == "--dataset") {
+      dataset = std::string(args.value(arg));
+    } else if (arg == "--samples") {
+      samples = static_cast<std::size_t>(args.value_u64(arg));
+    } else if (arg == "--threads") {
+      threads = args.value_unsigned(arg);
     } else if (arg == "--help" || arg == "-h") {
       std::fputs(kUsage, stdout);
       return 0;
@@ -246,4 +240,15 @@ int main(int argc, char** argv) {
     return 2;
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_sweep(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
 }
