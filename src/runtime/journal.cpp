@@ -1,5 +1,6 @@
 #include "runtime/journal.hpp"
 
+#include <array>
 #include <cerrno>
 #include <cinttypes>
 #include <cmath>
@@ -10,6 +11,7 @@
 
 #include "core/campaign.hpp"
 #include "core/report.hpp"
+#include "runtime/chaos.hpp"
 
 namespace vds::runtime {
 
@@ -206,64 +208,158 @@ std::uint64_t fnv1a(std::string_view text, std::uint64_t seed) noexcept {
   return fnv1a(text.data(), text.size(), seed);
 }
 
+// --- CRC32C ----------------------------------------------------------
+
+namespace {
+
+/// Reflected Castagnoli polynomial, table built on first use.
+const std::uint32_t* crc32c_table() noexcept {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t n = 0; n < 256; ++n) {
+      std::uint32_t c = n;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0x82f63b78u ^ (c >> 1) : c >> 1;
+      }
+      t[n] = c;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t bytes,
+                     std::uint32_t crc) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const std::uint32_t* table = crc32c_table();
+  crc = ~crc;
+  for (std::size_t k = 0; k < bytes; ++k) {
+    crc = table[(crc ^ p[k]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t crc32c(std::string_view text, std::uint32_t crc) noexcept {
+  return crc32c(text.data(), text.size(), crc);
+}
+
 // --- Journal ---------------------------------------------------------
 
 namespace {
 
-constexpr const char* kHeaderFormat = "vds-mc-journal v1 fingerprint %016" PRIx64 "\n";
+constexpr const char* kHeaderFormat = "vds-mc-journal v2 fingerprint %016" PRIx64 "\n";
+
+/// Parses one record body (the line before any ` #crc` suffix).
+bool parse_record_body(const char* body, JournalRecord& record) {
+  return std::sscanf(body, "cell %" SCNu64 " %d %la %la %la %" SCNu64,
+                     &record.index, &record.outcome,
+                     &record.detection_latency, &record.recovery_time,
+                     &record.total_time, &record.rounds_committed) == 6;
+}
+
+std::string hex16(std::uint64_t value) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, value);
+  return buf;
+}
 
 }  // namespace
 
-std::vector<JournalRecord> Journal::load(const std::string& path,
-                                         std::uint64_t fingerprint) {
-  std::vector<JournalRecord> records;
+JournalLoad Journal::load(const std::string& path,
+                          std::uint64_t fingerprint) {
+  JournalLoad result;
+  errno = 0;
   std::FILE* file = std::fopen(path.c_str(), "r");
-  if (file == nullptr) return records;  // nothing journaled yet
+  if (file == nullptr) {
+    if (errno == ENOENT) return result;  // nothing journaled yet
+    throw std::runtime_error("journal '" + path + "': cannot open: " +
+                             std::strerror(errno));
+  }
 
   char line[256];
   bool have_header = false;
   while (std::fgets(line, sizeof line, file) != nullptr) {
-    const std::size_t len = std::strlen(line);
-    if (len == 0 || line[len - 1] != '\n') break;  // torn final line
+    std::size_t len = std::strlen(line);
+    if (len == 0 || line[len - 1] != '\n') {
+      // Torn final line: the process died mid-write. The record is
+      // lost; its cell will re-execute.
+      if (have_header) ++result.corrupt;
+      break;
+    }
+    line[--len] = '\0';
     if (!have_header) {
+      unsigned version = 0;
       std::uint64_t stored = 0;
-      if (std::sscanf(line, "vds-mc-journal v1 fingerprint %" SCNx64,
-                      &stored) != 1) {
+      if (std::sscanf(line, "vds-mc-journal v%u fingerprint %" SCNx64,
+                      &version, &stored) != 2 ||
+          version < 1 || version > 2) {
         std::fclose(file);
-        throw std::runtime_error("journal '" + path +
-                                 "': unrecognized header");
+        throw std::runtime_error(
+            "journal '" + path +
+            "': unrecognized header (not a vds-mc journal, or a newer "
+            "format); delete the file or pick another --journal path");
       }
       if (stored != fingerprint) {
         std::fclose(file);
         throw std::runtime_error(
             "journal '" + path +
-            "' was written for a different campaign configuration; "
-            "refusing to resume (delete it to start over)");
+            "' was written for a different campaign configuration "
+            "(journal fingerprint " + hex16(stored) + ", this campaign " +
+            hex16(fingerprint) +
+            "); --resume requires the identical campaign and engine "
+            "flags. Re-run with the original configuration, or delete "
+            "the journal (or drop --resume) to start over");
       }
+      result.version = static_cast<int>(version);
       have_header = true;
       continue;
     }
+    // ` #xxxxxxxx` suffix = checksummed v2 record. rfind: a corrupted
+    // body could contain a spurious '#'; the checksum is always last.
     JournalRecord record;
-    if (std::sscanf(line,
-                    "cell %" SCNu64 " %d %la %la %la %" SCNu64,
-                    &record.index, &record.outcome,
-                    &record.detection_latency, &record.recovery_time,
-                    &record.total_time, &record.rounds_committed) == 6) {
-      records.push_back(record);
+    const std::string_view text(line, len);
+    const std::size_t marker = text.rfind(" #");
+    if (marker != std::string_view::npos) {
+      unsigned long stored_crc = 0;
+      char tail = '\0';
+      if (std::sscanf(line + marker, " #%8lx%c", &stored_crc, &tail) != 1 ||
+          crc32c(text.substr(0, marker)) !=
+              static_cast<std::uint32_t>(stored_crc)) {
+        ++result.corrupt;  // bit flip or torn-then-overwritten line
+        continue;
+      }
+      line[marker] = '\0';
+      if (parse_record_body(line, record)) {
+        result.records.push_back(record);
+      } else {
+        ++result.corrupt;  // checksum of a body we cannot parse
+      }
+      continue;
     }
-    // Unparseable interior lines are skipped (future extensions).
+    // No checksum: legacy v1 record — trusted only in a v1 file.
+    if (result.version == 1 && parse_record_body(line, record)) {
+      result.records.push_back(record);
+    } else {
+      ++result.corrupt;
+    }
   }
   std::fclose(file);
-  return records;
+  return result;
 }
 
 Journal::Journal(const std::string& path, std::uint64_t fingerprint)
     : path_(path) {
   // "a" keeps existing records (resume); the header is only written
   // when the file is empty.
+  errno = 0;
   file_ = std::fopen(path.c_str(), "a");
   if (file_ == nullptr) {
-    throw std::runtime_error("cannot open journal '" + path + "'");
+    throw std::runtime_error(
+        "cannot open journal '" + path + "' for appending: " +
+        std::strerror(errno) +
+        " (check the directory exists and is writable)");
   }
   std::fseek(file_, 0, SEEK_END);
   if (std::ftell(file_) == 0) {
@@ -297,13 +393,33 @@ void Journal::append(const JournalRecord& record) {
     throw std::runtime_error("journal '" + path_ +
                              "': earlier write failed; record dropped");
   }
-  const int written =
-      std::fprintf(file_, "cell %" PRIu64 " %d %a %a %a %" PRIu64 "\n",
-                   record.index, record.outcome, record.detection_latency,
-                   record.recovery_time, record.total_time,
-                   record.rounds_committed);
+  char body[200];
+  const int body_len =
+      std::snprintf(body, sizeof body, "cell %" PRIu64 " %d %a %a %a %" PRIu64,
+                    record.index, record.outcome, record.detection_latency,
+                    record.recovery_time, record.total_time,
+                    record.rounds_committed);
+  if (body_len < 0 || body_len >= static_cast<int>(sizeof body)) {
+    failed_.store(true);
+    throw std::runtime_error("journal '" + path_ + "': record too long");
+  }
+  char line[224];
+  int line_len = std::snprintf(
+      line, sizeof line, "%s #%08" PRIx32 "\n", body,
+      crc32c(std::string_view(body, std::size_t(body_len))));
+  // Chaos write-side faults: both must look like a *successful* append
+  // to the campaign — they model silent substrate corruption that only
+  // the checksummed reader can catch on --resume.
+  if (chaos_ != nullptr) {
+    if (chaos_->fires(kChaosJournalTorn, record.index)) {
+      line_len /= 2;  // the kill instant: half a record, no newline
+    } else if (chaos_->fires(kChaosJournalCorrupt, record.index)) {
+      line[line_len / 3] ^= 0x04;  // one flipped bit inside the body
+    }
+  }
+  const std::size_t wrote = std::fwrite(line, 1, std::size_t(line_len), file_);
   const int flushed = std::fflush(file_);
-  if (written < 0 || flushed != 0) {
+  if (wrote != std::size_t(line_len) || flushed != 0) {
     const int error = errno;
     failed_.store(true);
     throw std::runtime_error("journal '" + path_ + "': write failed (" +

@@ -79,21 +79,41 @@ struct JournalRecord {
   [[nodiscard]] bool operator==(const JournalRecord&) const = default;
 };
 
+/// What `Journal::load` recovered from disk. `corrupt` counts every
+/// record that had to be discarded — checksum mismatch (bit flip),
+/// unparseable body, missing checksum in a v2 file, or a torn tail —
+/// so a resumed campaign can report how much work the substrate lost.
+struct JournalLoad {
+  std::vector<JournalRecord> records;
+  std::uint64_t corrupt = 0;
+  int version = 2;  ///< header version of the file (2 when absent)
+};
+
+class Chaos;
+
 /// Append-only progress journal for resumable campaigns.
 ///
 /// Plain text, one record per line, doubles in hex-float so reloads
-/// are bitwise exact. The header carries a fingerprint of the
-/// campaign configuration; `load()` refuses a journal written for a
-/// different configuration. A torn final line (the process was killed
-/// mid-write) is ignored on load, so a crashed campaign always
-/// resumes from its last *complete* record.
+/// are bitwise exact. Format `vds.journal.v2`: every record line ends
+/// in ` #xxxxxxxx`, a CRC32C of the record body, so a bit flip or a
+/// torn write anywhere in the file is detected on load and only that
+/// record is lost (the campaign re-executes its cell). v1 files (no
+/// checksums) remain loadable; appends always write v2 lines, which
+/// v1-headed files accept too. The header carries a fingerprint of
+/// the campaign configuration; `load()` refuses a journal written for
+/// a different configuration. A torn final line (the process was
+/// killed mid-write) is discarded and counted, so a crashed campaign
+/// always resumes from its last *complete* record.
 class Journal {
  public:
-  /// Parses `path`. Returns the complete records found; an absent
-  /// file yields an empty vector. Throws std::runtime_error when the
-  /// file exists but its fingerprint does not match.
-  static std::vector<JournalRecord> load(const std::string& path,
-                                         std::uint64_t fingerprint);
+  /// Parses `path`. Returns the complete records found plus the count
+  /// of corrupt/torn ones; an absent file yields an empty result.
+  /// Throws std::runtime_error (with path, expected vs. found
+  /// fingerprint, and a resume hint) when the file exists but was
+  /// written for a different configuration, and on I/O errors other
+  /// than the file not existing.
+  static JournalLoad load(const std::string& path,
+                          std::uint64_t fingerprint);
 
   /// Opens `path` for appending, writing the fingerprint header first
   /// if the file is new/empty. Throws std::runtime_error on I/O error
@@ -124,12 +144,35 @@ class Journal {
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
+  /// Arms write-side chaos sites (`journal.corrupt` flips a bit in
+  /// the record body, `journal.torn` truncates the line mid-write;
+  /// both report success to the caller — the *reader* must catch
+  /// them). `chaos` must outlive the journal; nullptr disarms.
+  void arm_chaos(const Chaos* chaos) noexcept { chaos_ = chaos; }
+
  private:
   std::string path_;
   std::mutex mutex_;
   std::FILE* file_ = nullptr;
   std::atomic<bool> failed_{false};
+  const Chaos* chaos_ = nullptr;
 };
+
+/// CRC32C (Castagnoli), the per-record journal checksum.
+[[nodiscard]] std::uint32_t crc32c(const void* data, std::size_t bytes,
+                                   std::uint32_t crc = 0) noexcept;
+
+[[nodiscard]] std::uint32_t crc32c(std::string_view text,
+                                   std::uint32_t crc = 0) noexcept;
+
+// Without this overload, crc32c("literal", prior_crc) silently picks
+// the (const void*, size_t) overload -- the pointer conversion beats
+// string_view's user-defined one -- and reads `prior_crc` bytes.
+template <std::size_t N>
+[[nodiscard]] std::uint32_t crc32c(const char (&text)[N],
+                                   std::uint32_t crc = 0) noexcept {
+  return crc32c(std::string_view(static_cast<const char*>(text)), crc);
+}
 
 /// FNV-1a, the journal/config fingerprint hash.
 [[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t bytes,

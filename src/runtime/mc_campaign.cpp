@@ -2,12 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <stdexcept>
+#include <string>
+#include <thread>
 
 #include "core/smt_engine.hpp"
+#include "runtime/chaos.hpp"
 #include "runtime/journal.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -154,11 +161,20 @@ void McSummary::merge(const McSummary& other) {
   rounds_committed.merge(other.rounds_committed);
   cells_executed += other.cells_executed;
   cells_resumed += other.cells_resumed;
+  cells_retried += other.cells_retried;
+  cells_quarantined += other.cells_quarantined;
+  records_corrupt += other.records_corrupt;
+  cells_skipped += other.cells_skipped;
+  drained = drained || other.drained;
+  quarantined.insert(quarantined.end(), other.quarantined.begin(),
+                     other.quarantined.end());
 }
 
 std::uint64_t McSummary::digest() const noexcept {
-  // cells_executed / cells_resumed are deliberately excluded: a
-  // resumed campaign must digest-match its uninterrupted twin.
+  // The failure-path bookkeeping (cells_executed/resumed/retried/
+  // quarantined, records_corrupt, skip/drain state) is deliberately
+  // excluded: a resumed or retried campaign must digest-match its
+  // uninterrupted twin.
   std::uint64_t h = fnv1a("vds-mc-summary-v1");
   for (const auto count : outcomes.by_outcome) h = hash_u64(count, h);
   h = hash_u64(outcomes.injections, h);
@@ -179,6 +195,160 @@ McRunner make_smt_runner(core::VdsOptions options) {
   };
 }
 
+// --- graceful drain ---------------------------------------------------
+
+namespace {
+
+std::atomic<bool> g_drain_requested{false};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "the drain flag must be settable from a signal handler");
+
+}  // namespace
+
+void request_drain() noexcept { g_drain_requested.store(true); }
+void clear_drain_request() noexcept { g_drain_requested.store(false); }
+bool drain_requested() noexcept { return g_drain_requested.load(); }
+
+void install_drain_signal_handlers() {
+  // Only the lock-free atomic store happens in signal context.
+  std::signal(SIGINT, +[](int) { g_drain_requested.store(true); });
+  std::signal(SIGTERM, +[](int) { g_drain_requested.store(true); });
+}
+
+// --- per-cell execution with watchdog / retry -------------------------
+
+namespace {
+
+/// How a cell's task left the campaign. Each slot is written by at
+/// most one pool task; the pool barrier publishes them to the reducer.
+enum CellState : char {
+  kPending = 0,
+  kResumed,      ///< satisfied from the journal
+  kExecuted,     ///< ran (possibly after retries) this invocation
+  kQuarantined,  ///< every attempt failed or timed out
+  kSkipped,      ///< dispatch stopped by a graceful drain
+};
+
+/// A retryable attempt failure (runner exception, injected chaos
+/// failure, or watchdog timeout). Anything else a cell task throws —
+/// journal I/O above all — is a harness failure and propagates.
+struct CellAttemptFailure : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Runs one attempt of one cell. Every random draw comes from the
+/// cell's own substream, a pure function of (seed, index), re-derived
+/// from scratch here: neither scheduling nor the attempt number can
+/// perturb it, so a retried cell reproduces a first-try result
+/// bitwise.
+McCellResult execute_attempt(const McConfig& config, const McCell& cell,
+                             const Chaos& chaos, const McRunner& runner,
+                             unsigned attempt) {
+  if (chaos.fires(kChaosCellFail, cell.index, attempt)) {
+    throw CellAttemptFailure("chaos: injected failure (cell " +
+                             std::to_string(cell.index) + ", attempt " +
+                             std::to_string(attempt) + ")");
+  }
+  if (chaos.fires(kChaosCellHang, cell.index, attempt)) {
+    // Long enough to trip the watchdog, short enough that a disabled
+    // watchdog only slows the campaign instead of wedging it.
+    const double seconds = config.cell_timeout > 0.0
+                               ? std::min(4.0 * config.cell_timeout, 2.0)
+                               : 0.05;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+  vds::sim::Rng rng = vds::sim::Rng(config.seed).substream(cell.index);
+  vds::fault::Fault fault = draw_fault(config, cell, rng);
+  vds::fault::FaultTimeline timeline({fault});
+  return to_cell_result(runner(cell, timeline, rng));
+}
+
+/// One attempt under the watchdog. With no timeout the attempt runs
+/// inline; with one it runs on a dedicated thread so a hang can be
+/// abandoned: on timeout the thread is detached and only touches its
+/// own shared state (which outlives it), never the campaign's.
+McCellResult attempt_cell(const McConfig& config, const McCell& cell,
+                          const Chaos& chaos, const McRunner& runner,
+                          unsigned attempt) {
+  if (config.cell_timeout <= 0.0) {
+    try {
+      return execute_attempt(config, cell, chaos, runner, attempt);
+    } catch (const CellAttemptFailure&) {
+      throw;
+    } catch (const std::exception& error) {
+      throw CellAttemptFailure(error.what());
+    } catch (...) {
+      throw CellAttemptFailure("unknown error");
+    }
+  }
+
+  struct Shared {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    bool failed = false;
+    std::string error;
+    McCellResult result;
+  };
+  auto shared = std::make_shared<Shared>();
+  // Everything the (possibly abandoned) attempt touches is captured
+  // by value; a hung attempt finishing after the campaign returned
+  // writes only into `shared` and is ignored.
+  std::thread worker([shared, config, cell, chaos, runner, attempt] {
+    McCellResult result;
+    bool failed = false;
+    std::string error;
+    try {
+      result = execute_attempt(config, cell, chaos, runner, attempt);
+    } catch (const std::exception& e) {
+      failed = true;
+      error = e.what();
+    } catch (...) {
+      failed = true;
+      error = "unknown error";
+    }
+    {
+      std::lock_guard<std::mutex> lock(shared->mutex);
+      shared->result = result;
+      shared->failed = failed;
+      shared->error = std::move(error);
+      shared->done = true;
+    }
+    shared->cv.notify_all();
+  });
+
+  std::unique_lock<std::mutex> lock(shared->mutex);
+  const bool finished = shared->cv.wait_for(
+      lock, std::chrono::duration<double>(config.cell_timeout),
+      [&] { return shared->done; });
+  if (!finished) {
+    lock.unlock();
+    worker.detach();
+    throw CellAttemptFailure(
+        "cell " + std::to_string(cell.index) + " attempt " +
+        std::to_string(attempt) + " exceeded the watchdog timeout (" +
+        std::to_string(config.cell_timeout) + "s)");
+  }
+  const bool failed = shared->failed;
+  McCellResult result = shared->result;
+  std::string error = shared->error;
+  lock.unlock();
+  worker.join();
+  if (failed) throw CellAttemptFailure(error);
+  return result;
+}
+
+/// Capped exponential backoff before retry `attempt + 1`.
+void retry_backoff(const McConfig& config, unsigned attempt) {
+  if (config.retry_backoff_ms <= 0.0) return;
+  const double factor = static_cast<double>(1ull << std::min(attempt, 20u));
+  const double ms = std::min(config.retry_backoff_ms * factor,
+                             config.retry_backoff_ms * 100.0);
+  std::this_thread::sleep_for(std::chrono::duration<double>(ms / 1000.0));
+}
+
+}  // namespace
+
 McSummary run_mc_campaign(const McConfig& config, const McRunner& runner) {
   if (config.kinds.empty() || config.rounds.empty() ||
       config.replicas == 0) {
@@ -186,18 +356,27 @@ McSummary run_mc_campaign(const McConfig& config, const McRunner& runner) {
   }
   const std::size_t cells = config.cells();
   const std::uint64_t fingerprint = config.fingerprint();
+  const Chaos chaos = Chaos::parse(config.chaos, config.seed);
 
   std::vector<McCellResult> results(cells);
-  std::vector<char> done(cells, 0);
+  std::vector<char> state(cells, kPending);
   std::uint64_t resumed = 0;
+  std::uint64_t corrupt = 0;
 
   if (!config.journal_path.empty()) {
     if (config.resume) {
-      for (const JournalRecord& record :
-           Journal::load(config.journal_path, fingerprint)) {
-        if (record.index >= cells || done[record.index]) continue;
+      JournalLoad loaded = Journal::load(config.journal_path, fingerprint);
+      corrupt = loaded.corrupt;
+      for (const JournalRecord& record : loaded.records) {
+        // Out-of-range or duplicate cells (a corrupted index that
+        // still checksummed, or a double append) are dropped; the
+        // first occurrence wins, matching the uninterrupted order.
+        if (record.index >= cells || state[record.index] != kPending) {
+          ++corrupt;
+          continue;
+        }
         results[record.index] = from_record(record);
-        done[record.index] = 1;
+        state[record.index] = kResumed;
         ++resumed;
       }
     } else {
@@ -209,31 +388,57 @@ McSummary run_mc_campaign(const McConfig& config, const McRunner& runner) {
   std::unique_ptr<Journal> journal;
   if (!config.journal_path.empty()) {
     journal = std::make_unique<Journal>(config.journal_path, fingerprint);
+    if (chaos.armed()) journal->arm_chaos(&chaos);
   }
 
   ThreadPool pool(config.threads);
-  const vds::sim::Rng base(config.seed);
+  if (chaos.armed()) pool.arm_chaos(&chaos);
   std::atomic<std::uint64_t> executed{0};
+  std::atomic<std::uint64_t> retried{0};
 
   for (std::size_t index = 0; index < cells; ++index) {
-    if (done[index]) continue;
+    if (state[index] != kPending) continue;
     pool.submit([&, index] {
-      // Every random draw comes from the cell's own substream, a pure
-      // function of (seed, index): scheduling cannot perturb it.
-      vds::sim::Rng rng = base.substream(index);
+      if (drain_requested()) {
+        state[index] = kSkipped;
+        return;
+      }
       const McCell cell = cell_at(config, index);
-      vds::fault::Fault fault = draw_fault(config, cell, rng);
-      vds::fault::FaultTimeline timeline({fault});
-      const core::RunReport report = runner(cell, timeline, rng);
-      results[index] = to_cell_result(report);
-      if (journal) journal->append(to_record(index, results[index]));
+      McCellResult result;
+      for (unsigned attempt = 0;; ++attempt) {
+        try {
+          result = attempt_cell(config, cell, chaos, runner, attempt);
+          if (attempt > 0) retried.fetch_add(1, std::memory_order_relaxed);
+          break;
+        } catch (const CellAttemptFailure&) {
+          if (attempt >= config.max_retries) {
+            // Give up on the cell, not on the campaign: quarantine is
+            // reported in the summary and the cell stays out of the
+            // journal, so a later --resume gets another shot at it.
+            state[index] = kQuarantined;
+            return;
+          }
+          if (drain_requested()) {
+            state[index] = kSkipped;
+            return;
+          }
+          retry_backoff(config, attempt);
+        }
+      }
+      results[index] = result;
+      state[index] = kExecuted;
+      // Journal failures bypass the retry loop on purpose: a journal
+      // that cannot persist progress must fail the campaign (the pool
+      // captures this throw and wait_idle reports it).
+      if (journal) journal->append(to_record(index, result));
       executed.fetch_add(1, std::memory_order_relaxed);
     });
   }
   pool.wait_idle();
 
   // Sharded reduction: fixed index blocks, built in parallel, merged
-  // in block order -- deterministic for any thread count.
+  // in block order -- deterministic for any thread count. Only cells
+  // that actually produced a result participate.
   const std::size_t shard_count = (cells + kShardCells - 1) / kShardCells;
   std::vector<McSummary> shards(shard_count);
   for (std::size_t s = 0; s < shard_count; ++s) {
@@ -241,7 +446,9 @@ McSummary run_mc_campaign(const McConfig& config, const McRunner& runner) {
       const std::size_t lo = s * kShardCells;
       const std::size_t hi = std::min(cells, lo + kShardCells);
       for (std::size_t index = lo; index < hi; ++index) {
-        shards[s].add(results[index]);
+        if (state[index] == kResumed || state[index] == kExecuted) {
+          shards[s].add(results[index]);
+        }
       }
     });
   }
@@ -251,6 +458,17 @@ McSummary run_mc_campaign(const McConfig& config, const McRunner& runner) {
   for (const McSummary& shard : shards) total.merge(shard);
   total.cells_executed = executed.load();
   total.cells_resumed = resumed;
+  total.cells_retried = retried.load();
+  total.records_corrupt = corrupt;
+  total.drained = drain_requested();
+  for (std::size_t index = 0; index < cells; ++index) {
+    if (state[index] == kQuarantined) {
+      ++total.cells_quarantined;
+      total.quarantined.push_back(index);
+    } else if (state[index] == kSkipped) {
+      ++total.cells_skipped;
+    }
+  }
   return total;
 }
 
@@ -274,6 +492,9 @@ void write_snapshot(std::ostream& os, const McConfig& config,
   json.field("seed", config.seed);
   json.field("cells", static_cast<std::uint64_t>(config.cells()));
   json.field("fingerprint", config.fingerprint());
+  json.field("cell_timeout", config.cell_timeout);
+  json.field("max_retries", static_cast<std::uint64_t>(config.max_retries));
+  json.field("chaos", config.chaos);
   json.end_object();
   json.key("summary").begin_object();
   json.key("outcomes");
@@ -284,6 +505,19 @@ void write_snapshot(std::ostream& os, const McConfig& config,
   write_json(json, "rounds_committed", summary.rounds_committed);
   json.field("cells_executed", summary.cells_executed);
   json.field("cells_resumed", summary.cells_resumed);
+  json.field("cells_retried", summary.cells_retried);
+  json.field("cells_quarantined", summary.cells_quarantined);
+  json.field("records_corrupt", summary.records_corrupt);
+  json.field("cells_skipped", summary.cells_skipped);
+  json.field("drained", summary.drained);
+  json.key("quarantined").begin_array();
+  // Bounded preview: cells_quarantined carries the full count.
+  constexpr std::size_t kQuarantinePreview = 64;
+  for (std::size_t k = 0;
+       k < std::min(summary.quarantined.size(), kQuarantinePreview); ++k) {
+    json.value(summary.quarantined[k]);
+  }
+  json.end_array();
   char digest_hex[20];
   std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
                 static_cast<unsigned long long>(summary.digest()));

@@ -50,6 +50,23 @@ struct McConfig {
   /// against a differently configured engine.
   std::uint64_t runner_fingerprint = 0;
 
+  // --- failure-path knobs (never part of the fingerprint: they do
+  // --- not shape any cell's result, only how failures are handled).
+
+  /// Watchdog timeout per cell attempt, seconds; 0 disables the
+  /// watchdog (cells run inline on the pool worker).
+  double cell_timeout = 0.0;
+  /// Retry attempts after a failed/hung attempt before the cell is
+  /// quarantined. The retry re-derives the cell's RNG substream from
+  /// scratch, so a retried cell's result is bitwise identical to a
+  /// first-try success.
+  unsigned max_retries = 2;
+  /// Base backoff before the first retry, milliseconds; doubles per
+  /// retry, capped at 100x the base.
+  double retry_backoff_ms = 1.0;
+  /// Chaos fault-point spec (see runtime::Chaos); "" disarms.
+  std::string chaos;
+
   [[nodiscard]] std::size_t cells() const noexcept {
     return kinds.size() * rounds.size() *
            static_cast<std::size_t>(replicas);
@@ -93,12 +110,23 @@ struct McSummary {
   std::uint64_t cells_executed = 0;  ///< ran this invocation (not journaled)
   std::uint64_t cells_resumed = 0;   ///< satisfied from the journal
 
+  // Failure-path bookkeeping (all excluded from the digest: a campaign
+  // that limped through retries, corruption, or a drain must still
+  // digest-match its clean twin once every cell is accounted for).
+  std::uint64_t cells_retried = 0;      ///< succeeded after >=1 retry
+  std::uint64_t cells_quarantined = 0;  ///< gave up after max_retries
+  std::uint64_t records_corrupt = 0;    ///< journal lines discarded on load
+  std::uint64_t cells_skipped = 0;      ///< left unrun by a graceful drain
+  bool drained = false;                 ///< a drain request stopped dispatch
+  std::vector<std::uint64_t> quarantined;  ///< indices, canonical order
+
   void add(const McCellResult& result);
   void merge(const McSummary& other);
 
   /// Order-sensitive hash of every moment and count — two summaries
   /// with equal digests are bitwise identical. Used by the
-  /// determinism tests and the scaling bench.
+  /// determinism tests and the scaling bench. Deliberately excludes
+  /// the failure-path bookkeeping fields above.
   [[nodiscard]] std::uint64_t digest() const noexcept;
 };
 
@@ -113,6 +141,22 @@ using McRunner = std::function<core::RunReport(
 /// engine seed derives from each cell's substream.
 [[nodiscard]] McRunner make_smt_runner(core::VdsOptions options);
 
+// --- graceful drain ---------------------------------------------------
+// A drain request (SIGINT/SIGTERM, or programmatic) stops dispatching
+// new cells: in-flight cells finish and are journaled, undispatched
+// cells are skipped and the campaign returns a partial summary with
+// `drained = true`. The journal stays resumable — a later --resume
+// completes the remaining cells to the exact digest of an
+// uninterrupted run.
+
+/// Installs SIGINT/SIGTERM handlers that call request_drain(). The
+/// handlers only set a lock-free flag (async-signal-safe).
+void install_drain_signal_handlers();
+
+void request_drain() noexcept;
+void clear_drain_request() noexcept;
+[[nodiscard]] bool drain_requested() noexcept;
+
 /// Runs the campaign across a work-stealing pool. Cells fan out over
 /// `config.threads` workers; each cell draws its fault from
 /// `Rng(config.seed).substream(cell index)` so the work decomposition
@@ -120,11 +164,22 @@ using McRunner = std::function<core::RunReport(
 /// results into fixed blocks, reduces the blocks in parallel and
 /// merges them in canonical order — the returned summary is bitwise
 /// identical for every thread count, and (with a journal) across
-/// kill/resume boundaries. Throws std::runtime_error if a journal is
-/// present but was written by a different configuration, or if a
-/// journal append fails mid-campaign (the worker's exception is
-/// captured by the pool and rethrown here — a truncated journal must
-/// not masquerade as a resumable one).
+/// kill/resume boundaries.
+///
+/// Failure handling: with `cell_timeout > 0` every attempt runs under
+/// a watchdog; a hung or throwing attempt is retried up to
+/// `max_retries` times with capped exponential backoff, then the cell
+/// is quarantined (counted and listed in the summary, never fatal).
+/// Journal records carry CRC32C checksums; on resume, corrupt or torn
+/// records are skipped, counted in `records_corrupt`, and their cells
+/// re-executed, so the merged digest matches the uninterrupted run.
+///
+/// Throws std::runtime_error if a journal is present but was written
+/// by a different configuration, or if a journal append fails
+/// mid-campaign (the worker's exception is captured by the pool and
+/// rethrown here — a truncated journal must not masquerade as a
+/// resumable one); std::invalid_argument if `config.chaos` does not
+/// parse.
 [[nodiscard]] McSummary run_mc_campaign(const McConfig& config,
                                         const McRunner& runner);
 

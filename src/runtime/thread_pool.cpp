@@ -1,6 +1,11 @@
 #include "runtime/thread_pool.hpp"
 
+#include <chrono>
+#include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "runtime/chaos.hpp"
 
 namespace vds::runtime {
 
@@ -59,11 +64,26 @@ void ThreadPool::drain() noexcept {
 void ThreadPool::wait_idle() {
   drain();
   std::exception_ptr error;
+  std::size_t failures = 0;
   {
     std::lock_guard<std::mutex> lock(error_mutex_);
     error = std::exchange(first_error_, nullptr);
+    failures = std::exchange(error_count_, 0);
   }
-  if (error) std::rethrow_exception(error);
+  if (!error) return;
+  if (failures <= 1) std::rethrow_exception(error);
+  // Several tasks failed in the batch: surface the count instead of
+  // pretending the first failure was the only one.
+  std::string first;
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    first = e.what();
+  } catch (...) {
+    first = "unknown exception";
+  }
+  throw std::runtime_error(std::to_string(failures) +
+                           " pool tasks failed; first failure: " + first);
 }
 
 bool ThreadPool::try_pop(unsigned id, Task& task) {
@@ -107,10 +127,19 @@ void ThreadPool::worker_loop(unsigned id) {
       if (stop_.load() && unclaimed_.load() == 0) return;
       continue;  // re-scan the deques
     }
+    if (const Chaos* chaos = chaos_.load(std::memory_order_acquire)) {
+      // Deterministically keyed by claim order, but claim order itself
+      // is scheduling-dependent: a stress knob, not a results input.
+      if (chaos->fires(kChaosPoolDelay,
+                       chaos_seq_.fetch_add(1, std::memory_order_relaxed))) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
     try {
       task();
     } catch (...) {
       std::lock_guard<std::mutex> lock(error_mutex_);
+      ++error_count_;
       if (!first_error_) first_error_ = std::current_exception();
     }
     task = nullptr;  // destroy captures before reporting completion

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -12,6 +13,8 @@
 #include <vector>
 
 namespace vds::runtime {
+
+class Chaos;
 
 /// Work-stealing thread pool for campaign and sweep fan-out.
 ///
@@ -29,10 +32,13 @@ namespace vds::runtime {
 /// ("some deque holds an unclaimed task") is exact and steal-race
 /// losers go back to sleep instead of spinning.
 ///
-/// Exceptions: a task that throws does not kill the worker. The first
-/// exception is captured and rethrown by the next `wait_idle()` call;
-/// later exceptions from the same batch are dropped. The destructor
-/// drains and swallows any captured exception.
+/// Exceptions: a task that throws does not kill the worker. Every
+/// failure is counted and the first exception is kept; the next
+/// `wait_idle()` call rethrows the first exception when it was the
+/// only one, or a std::runtime_error aggregating the failure count
+/// with the first message when several tasks failed — no failure is
+/// silently dropped. The destructor drains and swallows any captured
+/// exceptions.
 class ThreadPool {
  public:
   using Task = std::function<void()>;
@@ -50,10 +56,20 @@ class ThreadPool {
   /// multiple external threads concurrently.
   void submit(Task task);
 
-  /// Blocks until all submitted tasks have completed. If any task
-  /// threw since the last call, rethrows the first captured
-  /// exception (the remaining tasks still ran to completion).
+  /// Blocks until all submitted tasks have completed. If tasks threw
+  /// since the last call, reports *all* of them (the remaining tasks
+  /// still ran to completion): one failure rethrows the original
+  /// exception; several throw a std::runtime_error carrying the
+  /// failure count and the first failure's message.
   void wait_idle();
+
+  /// Arms the `pool.delay` chaos site: each task execution consults
+  /// it (keyed by a claim sequence number) and sleeps briefly when it
+  /// fires, shaking out scheduling races under test. `chaos` must
+  /// outlive the pool; nullptr disarms.
+  void arm_chaos(const Chaos* chaos) noexcept {
+    chaos_.store(chaos, std::memory_order_release);
+  }
 
   [[nodiscard]] unsigned size() const noexcept {
     return static_cast<unsigned>(workers_.size());
@@ -94,7 +110,11 @@ class ThreadPool {
   std::condition_variable idle_cv_;
 
   std::mutex error_mutex_;
-  std::exception_ptr first_error_;  // guarded by error_mutex_
+  std::exception_ptr first_error_;   // guarded by error_mutex_
+  std::size_t error_count_ = 0;      // guarded by error_mutex_
+
+  std::atomic<const Chaos*> chaos_{nullptr};
+  std::atomic<std::uint64_t> chaos_seq_{0};
 };
 
 }  // namespace vds::runtime

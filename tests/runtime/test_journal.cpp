@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -47,7 +48,19 @@ JournalRecord sample_record(std::uint64_t index) {
 }
 
 TEST_F(JournalTest, MissingFileLoadsEmpty) {
-  EXPECT_TRUE(Journal::load(path_, 1).empty());
+  const JournalLoad load = Journal::load(path_, 1);
+  EXPECT_TRUE(load.records.empty());
+  EXPECT_EQ(load.corrupt, 0u);
+}
+
+TEST(Crc32c, KnownAnswerAndChaining) {
+  // RFC 3720 check value for the Castagnoli polynomial.
+  EXPECT_EQ(crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(crc32c(""), 0u);
+  // Incremental feeding must match the one-shot digest.
+  const std::uint32_t head = crc32c("12345");
+  EXPECT_EQ(crc32c("6789", head), crc32c("123456789"));
+  EXPECT_NE(crc32c("123456789"), crc32c("123456789 "));
 }
 
 TEST_F(JournalTest, RoundTripIsBitwiseExact) {
@@ -65,7 +78,10 @@ TEST_F(JournalTest, RoundTripIsBitwiseExact) {
     awkward.rounds_committed = 0;
     journal.append(awkward);
   }
-  const auto records = Journal::load(path_, fp);
+  const JournalLoad load = Journal::load(path_, fp);
+  EXPECT_EQ(load.version, 2);
+  EXPECT_EQ(load.corrupt, 0u);
+  const auto& records = load.records;
   ASSERT_EQ(records.size(), 3u);
   EXPECT_EQ(records[0], sample_record(0));
   EXPECT_EQ(records[1], sample_record(7));
@@ -83,18 +99,29 @@ TEST_F(JournalTest, AppendAcrossReopens) {
     Journal journal(path_, fp);  // reopen appends, no duplicate header
     journal.append(sample_record(1));
   }
-  const auto records = Journal::load(path_, fp);
+  const auto records = Journal::load(path_, fp).records;
   ASSERT_EQ(records.size(), 2u);
   EXPECT_EQ(records[0].index, 0u);
   EXPECT_EQ(records[1].index, 1u);
 }
 
-TEST_F(JournalTest, RejectsWrongFingerprint) {
+TEST_F(JournalTest, RejectsWrongFingerprintWithActionableMessage) {
   {
-    Journal journal(path_, 1);
+    Journal journal(path_, 0xdeadbeefull);
     journal.append(sample_record(0));
   }
-  EXPECT_THROW(Journal::load(path_, 2), std::runtime_error);
+  try {
+    (void)Journal::load(path_, 0x1234ull);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    // The message must let the user act without opening the file:
+    // which journal, both fingerprints, and what to do next.
+    EXPECT_NE(what.find(path_), std::string::npos) << what;
+    EXPECT_NE(what.find("00000000deadbeef"), std::string::npos) << what;
+    EXPECT_NE(what.find("0000000000001234"), std::string::npos) << what;
+    EXPECT_NE(what.find("--resume"), std::string::npos) << what;
+  }
 }
 
 TEST_F(JournalTest, RejectsForeignFile) {
@@ -128,7 +155,7 @@ TEST_F(JournalTest, HeaderWriteFailureThrowsFromConstructor) {
   EXPECT_THROW(Journal("/dev/full", 1), std::runtime_error);
 }
 
-TEST_F(JournalTest, TornFinalLineIsIgnored) {
+TEST_F(JournalTest, TornFinalLineIsCountedCorrupt) {
   {
     Journal journal(path_, 3);
     journal.append(sample_record(0));
@@ -139,9 +166,126 @@ TEST_F(JournalTest, TornFinalLineIsIgnored) {
     std::ofstream out(path_, std::ios::app);
     out << "cell 2 1 0x1p+0 0x1p+0 0x1";
   }
-  const auto records = Journal::load(path_, 3);
-  ASSERT_EQ(records.size(), 2u);
-  EXPECT_EQ(records[1].index, 1u);
+  const JournalLoad load = Journal::load(path_, 3);
+  ASSERT_EQ(load.records.size(), 2u);
+  EXPECT_EQ(load.records[1].index, 1u);
+  EXPECT_EQ(load.corrupt, 1u);
+}
+
+TEST_F(JournalTest, BitFlippedRecordIsSkippedAndCounted) {
+  {
+    Journal journal(path_, 5);
+    journal.append(sample_record(0));
+    journal.append(sample_record(1));
+    journal.append(sample_record(2));
+  }
+  // Flip one bit inside the middle record's body; its CRC no longer
+  // matches, so only that record may be dropped.
+  std::string text;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    text.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  std::size_t line_start = text.find('\n') + 1;      // skip header
+  line_start = text.find('\n', line_start) + 1;      // skip record 0
+  text[line_start + 8] ^= 0x01;
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+  const JournalLoad load = Journal::load(path_, 5);
+  EXPECT_EQ(load.corrupt, 1u);
+  ASSERT_EQ(load.records.size(), 2u);
+  EXPECT_EQ(load.records[0].index, 0u);
+  EXPECT_EQ(load.records[1].index, 2u);
+}
+
+TEST_F(JournalTest, TruncatedTailLosesOnlyTheLastRecord) {
+  {
+    Journal journal(path_, 6);
+    journal.append(sample_record(0));
+    journal.append(sample_record(1));
+    journal.append(sample_record(2));
+  }
+  std::string text;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    text.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  // Chop the file mid-way through the final record.
+  std::filesystem::resize_file(path_, text.size() - 10);
+  const JournalLoad load = Journal::load(path_, 6);
+  EXPECT_EQ(load.corrupt, 1u);
+  ASSERT_EQ(load.records.size(), 2u);
+  EXPECT_EQ(load.records[1].index, 1u);
+}
+
+TEST_F(JournalTest, ChecksummedGarbageBodyIsCounted) {
+  {
+    Journal journal(path_, 7);
+    journal.append(sample_record(0));
+  }
+  {
+    // A line whose CRC matches but whose body is not a record: the
+    // checksum alone must not be a free pass into the record list.
+    std::ofstream out(path_, std::ios::app);
+    const std::string body = "cell zero is not a number";
+    char crc[16];
+    std::snprintf(crc, sizeof crc, " #%08x", crc32c(body));
+    out << body << crc << '\n';
+  }
+  const JournalLoad load = Journal::load(path_, 7);
+  EXPECT_EQ(load.corrupt, 1u);
+  ASSERT_EQ(load.records.size(), 1u);
+}
+
+TEST_F(JournalTest, V1JournalStillLoads) {
+  {
+    // A file exactly as the pre-CRC writer produced it.
+    std::ofstream out(path_);
+    out << "vds-mc-journal v1 fingerprint 0000000000000009\n";
+    out << "cell 0 1 0x1.3333333333333p-2 0x1.5555555555555p-2 "
+           "0x1.f400000002af8p+9 60\n";
+    out << "cell 3 2 -0x1p+0 0x0p+0 0x1p+4 12\n";
+  }
+  const JournalLoad load = Journal::load(path_, 9);
+  EXPECT_EQ(load.version, 1);
+  EXPECT_EQ(load.corrupt, 0u);
+  ASSERT_EQ(load.records.size(), 2u);
+  EXPECT_EQ(load.records[0].index, 0u);
+  EXPECT_EQ(load.records[0].rounds_committed, 60u);
+  EXPECT_EQ(load.records[1].index, 3u);
+  EXPECT_EQ(load.records[1].outcome, 2);
+}
+
+TEST_F(JournalTest, UnchecksummedLineInV2FileIsCorrupt) {
+  {
+    Journal journal(path_, 8);
+    journal.append(sample_record(0));
+  }
+  {
+    // v2 files promise a CRC on every record; a bare v1-style line in
+    // one means the suffix was destroyed.
+    std::ofstream out(path_, std::ios::app);
+    out << "cell 1 1 0x1p+0 0x1p+0 0x1p+0 60\n";
+  }
+  const JournalLoad load = Journal::load(path_, 8);
+  EXPECT_EQ(load.corrupt, 1u);
+  ASSERT_EQ(load.records.size(), 1u);
+}
+
+TEST_F(JournalTest, OpenFailureNamesThePathAndReason) {
+  // Appending under a missing parent directory must say which path
+  // failed and why, not just "cannot open".
+  const std::string bad = path_ + ".dir/nested/journal";
+  try {
+    Journal journal(bad, 1);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find(bad), std::string::npos) << what;
+    EXPECT_NE(what.find("directory"), std::string::npos) << what;
+  }
 }
 
 TEST(JsonWriter, NestedStructure) {

@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -187,6 +188,7 @@ TEST_F(McJournalTest, ResumeSkipsJournaledCellsAndMatchesUninterrupted) {
   const McSummary resumed = run_mc_campaign(config, runner);
   EXPECT_EQ(resumed.cells_resumed, 40u);
   EXPECT_EQ(resumed.cells_executed, 56u);
+  EXPECT_EQ(resumed.records_corrupt, 1u);  // the torn line
   expect_bitwise_equal(reference, resumed);
 }
 
@@ -240,7 +242,203 @@ TEST_F(McJournalTest, FreshRunOverwritesStaleJournal) {
       run_mc_campaign(config, make_smt_runner(engine_options()));
   EXPECT_EQ(fresh.cells_executed, 96u);
   // And the journal now belongs to the new fingerprint.
-  EXPECT_EQ(Journal::load(path_, config.fingerprint()).size(), 96u);
+  EXPECT_EQ(Journal::load(path_, config.fingerprint()).records.size(), 96u);
+}
+
+TEST_F(McJournalTest, BitFlippedJournalResumesToGoldenDigest) {
+  const McRunner runner = make_smt_runner(engine_options());
+  McConfig config = small_config();
+  config.threads = 2;
+
+  const McSummary reference = run_mc_campaign(config, runner);
+
+  // Write the journal through chaos: ~30% of the records hit the file
+  // with a flipped bit, reported to the campaign as clean appends --
+  // silent substrate corruption.
+  config.journal_path = path_;
+  config.chaos = "journal.corrupt=0.3";
+  const McSummary chaotic = run_mc_campaign(config, runner);
+  EXPECT_EQ(chaotic.digest(), reference.digest());  // write-side only
+
+  // Resume under a clean config: the CRCs catch every flipped record,
+  // those cells re-execute, and the digest still matches.
+  config.chaos.clear();
+  config.resume = true;
+  const McSummary resumed = run_mc_campaign(config, runner);
+  EXPECT_GT(resumed.records_corrupt, 0u);
+  EXPECT_EQ(resumed.cells_executed, resumed.records_corrupt);
+  EXPECT_EQ(resumed.cells_resumed + resumed.cells_executed, 96u);
+  expect_bitwise_equal(reference, resumed);
+}
+
+TEST_F(McJournalTest, TornJournalWritesResumeToGoldenDigest) {
+  const McRunner runner = make_smt_runner(engine_options());
+  McConfig config = small_config();
+  config.threads = 2;
+
+  const McSummary reference = run_mc_campaign(config, runner);
+
+  // Torn appends (half a record, no newline) glue onto the next line;
+  // the checksum rejects the merged wreckage and both cells re-run.
+  config.journal_path = path_;
+  config.chaos = "journal.torn=0.2";
+  (void)run_mc_campaign(config, runner);
+
+  config.chaos.clear();
+  config.resume = true;
+  const McSummary resumed = run_mc_campaign(config, runner);
+  EXPECT_GT(resumed.records_corrupt, 0u);
+  EXPECT_EQ(resumed.cells_resumed + resumed.cells_executed, 96u);
+  expect_bitwise_equal(reference, resumed);
+}
+
+TEST_F(McJournalTest, V1JournalResumesWithoutReExecution) {
+  const McRunner runner = make_smt_runner(engine_options());
+  McConfig config = small_config();
+  config.threads = 2;
+  config.journal_path = path_;
+  const McSummary reference = run_mc_campaign(config, runner);
+
+  // Rewrite the journal exactly as the pre-CRC v1 writer left it:
+  // v1 header, no checksum suffixes.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path_);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 97u);
+  {
+    std::ofstream out(path_, std::ios::trunc);
+    const std::size_t v = lines[0].find("v2");
+    ASSERT_NE(v, std::string::npos);
+    lines[0][v + 1] = '1';
+    out << lines[0] << "\n";
+    for (std::size_t k = 1; k < lines.size(); ++k) {
+      out << lines[k].substr(0, lines[k].rfind(" #")) << "\n";
+    }
+  }
+
+  config.resume = true;
+  const McSummary resumed = run_mc_campaign(config, runner);
+  EXPECT_EQ(resumed.cells_resumed, 96u);
+  EXPECT_EQ(resumed.cells_executed, 0u);
+  EXPECT_EQ(resumed.records_corrupt, 0u);
+  expect_bitwise_equal(reference, resumed);
+}
+
+TEST(McChaos, InjectedFailureIsRetriedToTheGoldenResult) {
+  const McRunner runner = make_smt_runner(engine_options());
+  McConfig config = small_config();
+  config.threads = 4;
+  const McSummary reference = run_mc_campaign(config, runner);
+
+  // Every cell's first attempt fails; the retry re-derives the cell
+  // substream from scratch, so the campaign still lands bitwise on
+  // the reference.
+  config.chaos = "cell.fail=1:1";
+  config.retry_backoff_ms = 0.01;
+  const McSummary retried = run_mc_campaign(config, runner);
+  EXPECT_EQ(retried.cells_retried, 96u);
+  EXPECT_EQ(retried.cells_quarantined, 0u);
+  expect_bitwise_equal(reference, retried);
+}
+
+TEST(McChaos, ExhaustedRetriesQuarantineTheCellNotTheCampaign) {
+  McConfig config = small_config();
+  config.kinds = {fault::FaultKind::kTransient};
+  config.rounds = {1, 4};
+  config.replicas = 2;  // 4 cells
+  config.threads = 2;
+  config.chaos = "cell.fail=1";  // every attempt of every cell
+  config.max_retries = 1;
+  config.retry_backoff_ms = 0.01;
+  const McSummary summary =
+      run_mc_campaign(config, make_smt_runner(engine_options()));
+  EXPECT_EQ(summary.cells_quarantined, 4u);
+  EXPECT_EQ(summary.cells_executed, 0u);
+  EXPECT_EQ(summary.outcomes.injections, 0u);
+  ASSERT_EQ(summary.quarantined.size(), 4u);
+  // Canonical index order, independent of scheduling.
+  EXPECT_EQ(summary.quarantined,
+            (std::vector<std::uint64_t>{0, 1, 2, 3}));
+}
+
+TEST(McChaos, WatchdogTimesOutHungCellThenRetrySucceeds) {
+  const McRunner runner = make_smt_runner(engine_options());
+  McConfig config = small_config();
+  config.kinds = {fault::FaultKind::kTransient};
+  config.rounds = {1, 4};
+  config.replicas = 2;  // 4 cells
+  config.threads = 2;
+  const McSummary reference = run_mc_campaign(config, runner);
+
+  config.chaos = "cell.hang=1:1";  // first attempt of every cell hangs
+  config.cell_timeout = 0.05;
+  config.retry_backoff_ms = 0.01;
+  const McSummary summary = run_mc_campaign(config, runner);
+  EXPECT_EQ(summary.cells_retried, 4u);
+  EXPECT_EQ(summary.cells_quarantined, 0u);
+  expect_bitwise_equal(reference, summary);
+}
+
+TEST(McChaos, WatchdogQuarantinesAPermanentlyHungCell) {
+  McConfig config = small_config();
+  config.kinds = {fault::FaultKind::kTransient};
+  config.rounds = {1};
+  config.replicas = 2;  // 2 cells
+  config.threads = 2;
+  config.chaos = "cell.hang=1";  // hangs on every attempt
+  config.cell_timeout = 0.05;
+  config.max_retries = 1;
+  config.retry_backoff_ms = 0.01;
+  const McSummary summary =
+      run_mc_campaign(config, make_smt_runner(engine_options()));
+  EXPECT_EQ(summary.cells_quarantined, 2u);
+  EXPECT_EQ(summary.cells_executed, 0u);
+}
+
+TEST(McChaos, MalformedSpecThrowsInvalidArgument) {
+  McConfig config = small_config();
+  config.chaos = "cell.fail=2";
+  EXPECT_THROW(
+      (void)run_mc_campaign(config, make_smt_runner(engine_options())),
+      std::invalid_argument);
+}
+
+TEST_F(McJournalTest, DrainStopsDispatchAndResumeFinishesTheCampaign) {
+  const McRunner base_runner = make_smt_runner(engine_options());
+  McConfig config = small_config();
+  config.threads = 2;
+  const McSummary reference = run_mc_campaign(config, base_runner);
+
+  // A runner that pulls the andon cord after 20 cells -- the
+  // in-process stand-in for SIGINT mid-campaign.
+  std::atomic<std::uint64_t> ran{0};
+  const McRunner draining_runner =
+      [&](const McCell& cell, fault::FaultTimeline& timeline,
+          sim::Rng& rng) {
+        if (ran.fetch_add(1) + 1 == 20) request_drain();
+        return base_runner(cell, timeline, rng);
+      };
+
+  config.journal_path = path_;
+  clear_drain_request();
+  const McSummary partial = run_mc_campaign(config, draining_runner);
+  clear_drain_request();
+  EXPECT_TRUE(partial.drained);
+  EXPECT_GT(partial.cells_skipped, 0u);
+  EXPECT_LT(partial.cells_executed, 96u);
+  EXPECT_EQ(partial.cells_executed + partial.cells_skipped, 96u);
+
+  // Every journaled record survived the drain; resume finishes the
+  // rest and lands on the uninterrupted digest.
+  config.resume = true;
+  const McSummary resumed = run_mc_campaign(config, base_runner);
+  EXPECT_FALSE(resumed.drained);
+  EXPECT_EQ(resumed.cells_resumed, partial.cells_executed);
+  EXPECT_EQ(resumed.cells_resumed + resumed.cells_executed, 96u);
+  expect_bitwise_equal(reference, resumed);
 }
 
 TEST(McCampaign, SnapshotEmitsSchemaAndDigest) {
@@ -259,6 +457,13 @@ TEST(McCampaign, SnapshotEmitsSchemaAndDigest) {
   std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
                 static_cast<unsigned long long>(summary.digest()));
   EXPECT_NE(text.find(digest_hex), std::string::npos);
+  // The robustness counters ship with every snapshot.
+  EXPECT_NE(text.find("\"cells_retried\": 0"), std::string::npos);
+  EXPECT_NE(text.find("\"cells_quarantined\": 0"), std::string::npos);
+  EXPECT_NE(text.find("\"records_corrupt\": 0"), std::string::npos);
+  EXPECT_NE(text.find("\"drained\": false"), std::string::npos);
+  EXPECT_NE(text.find("\"quarantined\""), std::string::npos);
+  EXPECT_NE(text.find("\"chaos\": \"\""), std::string::npos);
 }
 
 }  // namespace

@@ -194,7 +194,19 @@ TEST(ThreadPool, ThrowingTaskIsRethrownByWaitIdle) {
   EXPECT_EQ(counter.load(), 49);
 }
 
-TEST(ThreadPool, FirstOfSeveralExceptionsWins) {
+TEST(ThreadPool, SingleExceptionRethrownVerbatim) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle did not rethrow";
+  } catch (const std::runtime_error& error) {
+    // Exactly one failure: the original exception, untouched.
+    EXPECT_STREQ(error.what(), "boom");
+  }
+}
+
+TEST(ThreadPool, SeveralExceptionsAreAggregated) {
   ThreadPool pool(2);
   for (int k = 0; k < 10; ++k) {
     pool.submit([] { throw std::runtime_error("boom"); });
@@ -203,8 +215,15 @@ TEST(ThreadPool, FirstOfSeveralExceptionsWins) {
     pool.wait_idle();
     FAIL() << "wait_idle did not rethrow";
   } catch (const std::runtime_error& error) {
-    EXPECT_STREQ(error.what(), "boom");
+    // The batch lost 10 tasks; reporting only "boom" would hide 9 of
+    // them. The aggregate names the count and the first message.
+    EXPECT_STREQ(error.what(), "10 pool tasks failed; first failure: boom");
   }
+  // The aggregate was consumed: the next batch starts clean.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
 }
 
 TEST(ThreadPool, PoolIsReusableAfterException) {

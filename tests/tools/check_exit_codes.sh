@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Exit-code convention across the three tools:
+#   0 success; 1 job did not complete (vds_cli only); 2 usage/parse
+#   error; 3 runtime failure; 130 signal drain (vds_mc, covered by
+#   check_drain_resume.sh).
+# Usage: check_exit_codes.sh BUILD_DIR
+set -u
+
+build="${1:?usage: check_exit_codes.sh BUILD_DIR}"
+cli="$build/tools/vds_cli"
+mc="$build/tools/vds_mc"
+sweep="$build/tools/vds_sweep"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+failures=0
+expect() {
+  local want="$1"; shift
+  "$@" > /dev/null 2>&1
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: expected exit $want, got $got: $*" >&2
+    failures=$((failures + 1))
+  fi
+}
+
+# 0: clean runs.
+expect 0 "$cli" --rounds 50 --seed 3
+expect 0 "$mc" --quiet --replicas 2 --grid 1,3 --kinds transient \
+  --job-rounds 20 --threads 2
+expect 0 "$sweep" --dataset gmax
+
+# 2: usage and parse errors.
+expect 2 "$cli" --no-such-flag
+expect 2 "$cli" --alpha 0.2            # scenario.validate() rejection
+expect 2 "$mc" --no-such-flag
+expect 2 "$mc" --grid 0                # invalid grid value
+expect 2 "$mc" --chaos cell.explode=1  # unknown chaos site
+expect 2 "$mc" --chaos cell.fail=2     # probability out of range
+expect 2 "$sweep" --dataset nope
+expect 2 "$sweep" --no-such-flag
+
+# 2 via environment: $VDS_CHAOS is parsed like --chaos.
+VDS_CHAOS="bogus" expect 2 "$mc" --quiet --replicas 1 --grid 1 \
+  --kinds transient --job-rounds 10
+
+# 3: runtime failure — a resume fingerprint mismatch.
+"$mc" --quiet --replicas 1 --grid 1 --kinds transient --job-rounds 10 \
+  --journal "$tmp/j.journal" > /dev/null 2>&1
+expect 3 "$mc" --quiet --replicas 1 --grid 1 --kinds transient \
+  --job-rounds 10 --seed 99 --journal "$tmp/j.journal" --resume
+
+if [ "$failures" -ne 0 ]; then
+  echo "exit-code convention: $failures violation(s)" >&2
+  exit 1
+fi
+echo "exit-code convention holds"

@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
 #include "model/gain.hpp"
@@ -38,6 +39,9 @@ output:
   --emit-scenario                print the effective scenario as
                                  vds.scenario.v1 JSON and exit
   --help                         this text
+
+exit codes: 0 success; 1 job did not complete; 2 usage/parse error;
+3 runtime failure.
 )";
 
 void print_usage(std::FILE* stream) {
@@ -169,8 +173,15 @@ int run_cli(int argc, char** argv) {
 int main(int argc, char** argv) {
   try {
     return run_cli(argc, argv);
-  } catch (const std::exception& error) {
+  } catch (const vds::scenario::CliError& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 2;
+  } catch (const std::invalid_argument& error) {
+    // scenario.validate() rejects inconsistent configurations
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 3;
   }
 }

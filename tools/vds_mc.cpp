@@ -18,11 +18,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "runtime/chaos.hpp"
 #include "runtime/journal.hpp"
 #include "runtime/mc_campaign.hpp"
 #include "runtime/thread_pool.hpp"
@@ -52,10 +55,30 @@ execution:
   --threads N                    worker threads (0 = hardware) [0]
   --seed N                       campaign RNG seed            [1]
   --journal PATH                 append-only progress journal
-  --resume                       skip cells already in the journal
+                                 (vds.journal.v2, CRC32C per record;
+                                 v1 journals resume fine)
+  --resume                       skip cells already in the journal;
+                                 corrupt/torn records are counted and
+                                 their cells re-executed
   --json-out PATH                write JSON snapshot ('-' = stdout)
   --quiet                        suppress the text summary
   --help                         this text
+
+robustness:
+  --cell-timeout SECONDS         per-cell watchdog; a hung cell is
+                                 retried, then quarantined [0 = off]
+  --max-retries N                retries before quarantine    [2]
+  --chaos SPEC                   arm deterministic harness fault points,
+                                 SPEC = site=prob[:limit],...  (sites:
+                                 cell.hang cell.fail journal.corrupt
+                                 journal.torn pool.delay); also read
+                                 from $VDS_CHAOS
+
+SIGINT/SIGTERM drain the campaign gracefully: dispatch stops, in-flight
+cells are journaled, and the exit code is 130 with a resumable journal.
+
+exit codes: 0 success; 2 usage/parse error; 3 runtime failure;
+130 signal drain.
 )";
 
 void print_usage(std::FILE* stream) {
@@ -76,6 +99,9 @@ struct CampaignOptions {
   bool resume = false;
   std::string json_out;
   bool quiet = false;
+  double cell_timeout = 0.0;
+  unsigned max_retries = 2;
+  std::string chaos;
 };
 
 std::vector<std::string> split_csv(const std::string& text) {
@@ -150,6 +176,15 @@ int run_mc(int argc, char** argv) {
       campaign.json_out = std::string(args.value(arg));
     } else if (arg == "--quiet") {
       campaign.quiet = true;
+    } else if (arg == "--cell-timeout") {
+      campaign.cell_timeout = args.value_double(arg);
+      if (campaign.cell_timeout < 0.0) {
+        throw CliError("--cell-timeout must be >= 0");
+      }
+    } else if (arg == "--max-retries") {
+      campaign.max_retries = args.value_unsigned(arg);
+    } else if (arg == "--chaos") {
+      campaign.chaos = std::string(args.value(arg));
     } else if (vds::scenario::apply_scenario_flag(scenario, arg, args)) {
       // engine-under-test flag, handled by the shared parser
     } else {
@@ -176,6 +211,18 @@ int run_mc(int argc, char** argv) {
   config.threads = campaign.threads;
   config.journal_path = campaign.journal;
   config.resume = campaign.resume;
+  config.cell_timeout = campaign.cell_timeout;
+  config.max_retries = campaign.max_retries;
+  if (campaign.chaos.empty()) {
+    if (const char* env = std::getenv("VDS_CHAOS")) campaign.chaos = env;
+  }
+  config.chaos = campaign.chaos;
+  // A typo'd chaos spec is a usage error; validate before the run.
+  try {
+    (void)vds::runtime::Chaos::parse(config.chaos, config.seed);
+  } catch (const std::exception& error) {
+    throw CliError(error.what());
+  }
   // Fold the engine parameters into the journal fingerprint so a
   // journal can only be resumed against the same engine. The first
   // six folds reproduce the pre-scenario fingerprint byte for byte;
@@ -225,13 +272,17 @@ int run_mc(int argc, char** argv) {
                 workers == 1 ? "" : "s");
   }
 
+  // From here on SIGINT/SIGTERM drain gracefully: dispatch stops,
+  // in-flight cells flush to the journal, and we exit 130 below.
+  vds::runtime::install_drain_signal_handlers();
+
   const auto start = std::chrono::steady_clock::now();
   vds::runtime::McSummary summary;
   try {
     summary = vds::runtime::run_mc_campaign(config, runner);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
-    return 2;
+    return 3;
   }
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -244,6 +295,14 @@ int run_mc(int argc, char** argv) {
                 elapsed,
                 static_cast<unsigned long long>(summary.cells_executed),
                 static_cast<unsigned long long>(summary.cells_resumed));
+    if (summary.cells_retried > 0 || summary.cells_quarantined > 0 ||
+        summary.records_corrupt > 0) {
+      std::printf("degraded cells: %llu retried, %llu quarantined, "
+                  "%llu corrupt journal records skipped\n",
+                  static_cast<unsigned long long>(summary.cells_retried),
+                  static_cast<unsigned long long>(summary.cells_quarantined),
+                  static_cast<unsigned long long>(summary.records_corrupt));
+    }
     std::printf("outcomes:\n");
     for (std::size_t k = 0; k < summary.outcomes.by_outcome.size(); ++k) {
       if (summary.outcomes.by_outcome[k] == 0) continue;
@@ -282,6 +341,14 @@ int run_mc(int argc, char** argv) {
       vds::runtime::write_snapshot(out, config, summary);
     }
   }
+  if (summary.drained) {
+    std::fprintf(stderr,
+                 "drained: campaign stopped on signal with %llu cell%s "
+                 "unrun; relaunch with --resume to finish\n",
+                 static_cast<unsigned long long>(summary.cells_skipped),
+                 summary.cells_skipped == 1 ? "" : "s");
+    return 130;
+  }
   return 0;
 }
 
@@ -290,8 +357,14 @@ int run_mc(int argc, char** argv) {
 int main(int argc, char** argv) {
   try {
     return run_mc(argc, argv);
-  } catch (const std::exception& error) {
+  } catch (const vds::scenario::CliError& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 2;
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 3;
   }
 }

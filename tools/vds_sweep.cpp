@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -41,6 +42,8 @@ options:
   --samples N   grid samples per axis for fig4/fig5 [11]
   --threads N   worker threads, 0 = hardware concurrency [0];
                 output is byte-identical for every value
+
+exit codes: 0 success; 2 usage/parse error; 3 runtime failure.
 )";
 
 void emit_fig(double p, std::size_t samples, vds::runtime::ThreadPool& pool) {
@@ -247,8 +250,14 @@ int run_sweep(int argc, char** argv) {
 int main(int argc, char** argv) {
   try {
     return run_sweep(argc, argv);
-  } catch (const std::exception& error) {
+  } catch (const vds::scenario::CliError& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 2;
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 3;
   }
 }
