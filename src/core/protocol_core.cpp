@@ -4,8 +4,78 @@
 #include <utility>
 
 #include "fault/detector.hpp"
+#include "runtime/metrics.hpp"
 
 namespace vds::core {
+
+namespace {
+
+namespace metrics = vds::runtime::metrics;
+
+// The engine's observable counterparts of the paper's equations. All
+// protocol event counts are pure functions of (options, seed,
+// timeline) — never of scheduling — so each one folds into a
+// deterministic global counter once, when the run finishes.
+void fold_into_metrics(const RunReport& rep) {
+  using metrics::Determinism;
+  struct EngineCounters {
+    metrics::Counter& runs;
+    metrics::Counter& completed;
+    metrics::Counter& failed_safe;
+    metrics::Counter& silent_corruptions;
+    metrics::Counter& rounds_committed;
+    metrics::Counter& comparisons;
+    metrics::Counter& checkpoints;
+    metrics::Counter& detections;
+    metrics::Counter& rollbacks;
+    metrics::Counter& recoveries_ok;
+    metrics::Counter& roll_forwards_kept;
+    metrics::Counter& roll_forwards_discarded;
+    metrics::Counter& roll_forward_rounds_gained;
+    metrics::Counter& faults_seen;
+    metrics::Counter& predictions;
+    metrics::Counter& prediction_hits;
+  };
+  auto& reg = metrics::registry();
+  static EngineCounters c{
+      reg.counter("engine.runs", Determinism::kDeterministic),
+      reg.counter("engine.completed", Determinism::kDeterministic),
+      reg.counter("engine.failed_safe", Determinism::kDeterministic),
+      reg.counter("engine.silent_corruptions", Determinism::kDeterministic),
+      reg.counter("engine.rounds_committed", Determinism::kDeterministic),
+      reg.counter("engine.comparisons", Determinism::kDeterministic),
+      reg.counter("engine.checkpoints", Determinism::kDeterministic),
+      reg.counter("engine.detections", Determinism::kDeterministic),
+      reg.counter("engine.rollbacks", Determinism::kDeterministic),
+      reg.counter("engine.recoveries_ok", Determinism::kDeterministic),
+      reg.counter("engine.roll_forwards_kept", Determinism::kDeterministic),
+      reg.counter("engine.roll_forwards_discarded",
+                  Determinism::kDeterministic),
+      reg.counter("engine.roll_forward_rounds_gained",
+                  Determinism::kDeterministic),
+      reg.counter("engine.faults_seen", Determinism::kDeterministic),
+      reg.counter("engine.predictions", Determinism::kDeterministic),
+      reg.counter("engine.prediction_hits", Determinism::kDeterministic),
+  };
+  c.runs.add();
+  c.completed.add(rep.completed ? 1 : 0);
+  c.failed_safe.add(rep.failed_safe ? 1 : 0);
+  c.silent_corruptions.add(rep.silent_corruption ? 1 : 0);
+  c.rounds_committed.add(rep.rounds_committed);
+  c.comparisons.add(rep.comparisons);
+  c.checkpoints.add(rep.checkpoints);
+  c.detections.add(rep.detections);
+  c.rollbacks.add(rep.rollbacks);
+  c.recoveries_ok.add(rep.recoveries_ok);
+  c.roll_forwards_kept.add(rep.roll_forwards_kept);
+  c.roll_forwards_discarded.add(rep.roll_forwards_discarded);
+  c.roll_forward_rounds_gained.add(rep.roll_forward_rounds_gained);
+  c.faults_seen.add(rep.faults_seen);
+  c.predictions.add(rep.predictions);
+  c.prediction_hits.add(rep.prediction_hits);
+}
+
+}  // namespace
 
 using vds::checkpoint::VersionState;
 using vds::fault::Fault;
@@ -28,6 +98,7 @@ ProtocolCore::ProtocolCore(const VdsOptions& options, vds::sim::Rng& rng,
 }
 
 RunReport ProtocolCore::run() {
+  const metrics::Span run_span("engine.run", "engine");
   bool aborted = false;
   while (base_ + i_ < opt_.job_rounds) {
     if (clock_ > opt_.max_time || rep_.failed_safe) {
@@ -46,6 +117,7 @@ RunReport ProtocolCore::run() {
                              b_.state.digest() != golden.digest();
     record(TraceKind::kJobDone, "VDS", "");
   }
+  fold_into_metrics(rep_);
   return rep_;
 }
 
@@ -159,6 +231,12 @@ void ProtocolCore::compare_and_dispatch(std::uint64_t round) {
   if (pending_since_ >= 0.0) {
     rep_.detection_latency.add(clock_ - pending_since_);
   }
+  // Dynamic counter name, but this is the rare recovery path — a map
+  // lookup per invocation is fine.
+  metrics::registry()
+      .counter("engine.recoveries." + std::string(policy_.name()),
+               metrics::Determinism::kDeterministic)
+      .add();
   const double recovery_start = clock_;
   policy_.recover(*this);
   rep_.recovery_time.add(clock_ - recovery_start);

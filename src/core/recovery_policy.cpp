@@ -6,8 +6,11 @@
 
 #include "core/platform_cores.hpp"
 #include "fault/predictor.hpp"
+#include "runtime/metrics.hpp"
 
 namespace vds::core {
+
+namespace metrics = vds::runtime::metrics;
 
 using vds::checkpoint::VersionState;
 using vds::fault::Fault;
@@ -156,6 +159,10 @@ void SmtRecoveryPolicy::recover(ProtocolCore& core) {
   const std::uint64_t ic = c.i_ + 1;
 
   const RecoveryScheme scheme = selector_->choose(c);
+  metrics::registry()
+      .counter("engine.scheme." + std::string(short_name(scheme)),
+               metrics::Determinism::kDeterministic)
+      .add();
 
   const std::uint64_t cap =
       static_cast<std::uint64_t>(c.opt_.s) >= ic

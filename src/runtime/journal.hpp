@@ -3,11 +3,12 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
-#include <iosfwd>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "runtime/json_writer.hpp"
 
 namespace vds::core {
 struct RunReport;
@@ -15,49 +16,6 @@ struct CampaignSummary;
 }  // namespace vds::core
 
 namespace vds::runtime {
-
-/// Minimal streaming JSON emitter — the one machine-readable schema
-/// shared by `vds_mc --json-out`, `vds_cli --json` and the journal's
-/// snapshot. Handles nesting, comma placement, string escaping and
-/// round-trippable doubles; the caller supplies structure.
-class JsonWriter {
- public:
-  explicit JsonWriter(std::ostream& os) : os_(os) {}
-
-  JsonWriter& begin_object();
-  JsonWriter& end_object();
-  JsonWriter& begin_array();
-  JsonWriter& end_array();
-
-  /// Emits the key of the next object member.
-  JsonWriter& key(std::string_view name);
-
-  JsonWriter& value(std::string_view text);
-  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
-  JsonWriter& value(double number);
-  JsonWriter& value(std::uint64_t number);
-  JsonWriter& value(std::int64_t number);
-  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
-  JsonWriter& value(bool flag);
-
-  /// key + value in one call.
-  template <typename T>
-  JsonWriter& field(std::string_view name, T&& v) {
-    key(name);
-    return value(static_cast<T&&>(v));
-  }
-
- private:
-  void separate();
-  void indent();
-  void write_string(std::string_view text);
-
-  std::ostream& os_;
-  // One entry per open container: true once the first element has
-  // been written (a comma is then needed before the next one).
-  std::vector<bool> wrote_element_;
-  bool pending_key_ = false;
-};
 
 /// Serializes a full engine run report (schema `vds.run_report.v1`
 /// object body). Shared between the CLIs.

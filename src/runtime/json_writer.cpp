@@ -1,0 +1,131 @@
+#include "runtime/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace vds::runtime {
+
+void JsonWriter::separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows its key on the same line
+  }
+  if (!wrote_element_.empty()) {
+    if (wrote_element_.back()) os_ << ',';
+    wrote_element_.back() = true;
+    os_ << '\n';
+    indent();
+  }
+}
+
+void JsonWriter::indent() {
+  for (std::size_t k = 0; k < wrote_element_.size(); ++k) os_ << "  ";
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  os_ << '{';
+  wrote_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool had_elements = wrote_element_.back();
+  wrote_element_.pop_back();
+  if (had_elements) {
+    os_ << '\n';
+    indent();
+  }
+  os_ << '}';
+  if (wrote_element_.empty()) os_ << '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  os_ << '[';
+  wrote_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool had_elements = wrote_element_.back();
+  wrote_element_.pop_back();
+  if (had_elements) {
+    os_ << '\n';
+    indent();
+  }
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  separate();
+  write_string(name);
+  os_ << ": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  separate();
+  write_string(text);
+  return *this;
+}
+
+void JsonWriter::write_string(std::string_view text) {
+  os_ << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': os_ << "\\\""; break;
+      case '\\': os_ << "\\\\"; break;
+      case '\n': os_ << "\\n"; break;
+      case '\r': os_ << "\\r"; break;
+      case '\t': os_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os_ << buf;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  separate();
+  if (!std::isfinite(number)) {
+    // JSON has no inf/nan literals; "%.17g" would emit them and
+    // corrupt the document.
+    os_ << "null";
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", number);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  separate();
+  os_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  separate();
+  os_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  separate();
+  os_ << (flag ? "true" : "false");
+  return *this;
+}
+
+}  // namespace vds::runtime

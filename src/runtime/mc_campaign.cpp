@@ -16,11 +16,41 @@
 #include "core/smt_engine.hpp"
 #include "runtime/chaos.hpp"
 #include "runtime/journal.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace vds::runtime {
 
 namespace {
+
+// Campaign-level event counts. Everything here is a pure function of
+// the workload — retries/quarantines included, because chaos decisions
+// hash (seed, site, cell, attempt), not wall-clock — except skipped
+// cells, which depend on when a drain signal arrived.
+struct McCounters {
+  metrics::Counter& executed;
+  metrics::Counter& resumed;
+  metrics::Counter& retried;
+  metrics::Counter& quarantined;
+  metrics::Counter& skipped;
+  metrics::Counter& corrupt;
+  metrics::Timing& attempt_ms;
+};
+
+McCounters& mc_counters() {
+  using metrics::Determinism;
+  auto& reg = metrics::registry();
+  static McCounters counters{
+      reg.counter("mc.cells_executed", Determinism::kDeterministic),
+      reg.counter("mc.cells_resumed", Determinism::kDeterministic),
+      reg.counter("mc.cells_retried", Determinism::kDeterministic),
+      reg.counter("mc.cells_quarantined", Determinism::kDeterministic),
+      reg.counter("mc.cells_skipped", Determinism::kScheduling),
+      reg.counter("mc.records_corrupt", Determinism::kDeterministic),
+      reg.timing("mc.cell_attempt_ms", 0.0, 250.0, 128),
+  };
+  return counters;
+}
 
 /// Cells per aggregation shard. Shards are fixed index blocks (not
 /// per-worker bins), so the reduction shape is independent of the
@@ -354,6 +384,7 @@ McSummary run_mc_campaign(const McConfig& config, const McRunner& runner) {
       config.replicas == 0) {
     throw std::runtime_error("mc campaign: empty grid");
   }
+  const metrics::Span campaign_span("mc.campaign", "mc");
   const std::size_t cells = config.cells();
   const std::uint64_t fingerprint = config.fingerprint();
   const Chaos chaos = Chaos::parse(config.chaos, config.seed);
@@ -391,6 +422,9 @@ McSummary run_mc_campaign(const McConfig& config, const McRunner& runner) {
     if (chaos.armed()) journal->arm_chaos(&chaos);
   }
 
+  mc_counters().resumed.add(resumed);
+  mc_counters().corrupt.add(corrupt);
+
   ThreadPool pool(config.threads);
   if (chaos.armed()) pool.arm_chaos(&chaos);
   std::atomic<std::uint64_t> executed{0};
@@ -401,14 +435,22 @@ McSummary run_mc_campaign(const McConfig& config, const McRunner& runner) {
     pool.submit([&, index] {
       if (drain_requested()) {
         state[index] = kSkipped;
+        mc_counters().skipped.add();
         return;
       }
       const McCell cell = cell_at(config, index);
+      const metrics::Span cell_span("mc.cell", "mc", index);
       McCellResult result;
       for (unsigned attempt = 0;; ++attempt) {
         try {
-          result = attempt_cell(config, cell, chaos, runner, attempt);
-          if (attempt > 0) retried.fetch_add(1, std::memory_order_relaxed);
+          {
+            const metrics::ScopedTimer timer(mc_counters().attempt_ms);
+            result = attempt_cell(config, cell, chaos, runner, attempt);
+          }
+          if (attempt > 0) {
+            retried.fetch_add(1, std::memory_order_relaxed);
+            mc_counters().retried.add();
+          }
           break;
         } catch (const CellAttemptFailure&) {
           if (attempt >= config.max_retries) {
@@ -416,10 +458,12 @@ McSummary run_mc_campaign(const McConfig& config, const McRunner& runner) {
             // reported in the summary and the cell stays out of the
             // journal, so a later --resume gets another shot at it.
             state[index] = kQuarantined;
+            mc_counters().quarantined.add();
             return;
           }
           if (drain_requested()) {
             state[index] = kSkipped;
+            mc_counters().skipped.add();
             return;
           }
           retry_backoff(config, attempt);
@@ -432,6 +476,7 @@ McSummary run_mc_campaign(const McConfig& config, const McRunner& runner) {
       // captures this throw and wait_idle reports it).
       if (journal) journal->append(to_record(index, result));
       executed.fetch_add(1, std::memory_order_relaxed);
+      mc_counters().executed.add();
     });
   }
   pool.wait_idle();

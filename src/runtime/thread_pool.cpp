@@ -6,8 +6,51 @@
 #include <utility>
 
 #include "runtime/chaos.hpp"
+#include "runtime/metrics.hpp"
 
 namespace vds::runtime {
+
+namespace {
+
+// Submission/execution counts are a property of the workload
+// (deterministic); steals and idle waits depend on how the OS
+// scheduled the workers (scheduling).
+metrics::Counter& tasks_submitted_counter() {
+  static auto& c = metrics::registry().counter(
+      "pool.tasks_submitted", metrics::Determinism::kDeterministic);
+  return c;
+}
+
+metrics::Counter& tasks_executed_counter() {
+  static auto& c = metrics::registry().counter(
+      "pool.tasks_executed", metrics::Determinism::kDeterministic);
+  return c;
+}
+
+metrics::Counter& steals_counter() {
+  static auto& c = metrics::registry().counter(
+      "pool.steals", metrics::Determinism::kScheduling);
+  return c;
+}
+
+metrics::Counter& idle_waits_counter() {
+  static auto& c = metrics::registry().counter(
+      "pool.idle_waits", metrics::Determinism::kScheduling);
+  return c;
+}
+
+metrics::Timing& idle_wait_timing() {
+  static auto& t =
+      metrics::registry().timing("pool.idle_wait_ms", 0.0, 100.0, 64);
+  return t;
+}
+
+metrics::Timing& task_timing() {
+  static auto& t = metrics::registry().timing("pool.task_ms", 0.0, 250.0, 128);
+  return t;
+}
+
+}  // namespace
 
 unsigned ThreadPool::hardware_threads() noexcept {
   const unsigned n = std::thread::hardware_concurrency();
@@ -37,6 +80,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(Task task) {
+  tasks_submitted_counter().add();
   pending_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t victim =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
@@ -107,6 +151,7 @@ bool ThreadPool::try_pop(unsigned id, Task& task) {
       task = std::move(victim.queue.front());
       victim.queue.pop_front();
       unclaimed_.fetch_sub(1);
+      steals_counter().add();
       return true;
     }
   }
@@ -117,6 +162,8 @@ void ThreadPool::worker_loop(unsigned id) {
   for (;;) {
     Task task;
     if (!try_pop(id, task)) {
+      idle_waits_counter().add();
+      const metrics::ScopedTimer idle_timer(idle_wait_timing());
       std::unique_lock<std::mutex> lock(sleep_mutex_);
       sleepers_.fetch_add(1);
       sleep_cv_.wait(lock, [this] {
@@ -135,13 +182,18 @@ void ThreadPool::worker_loop(unsigned id) {
         std::this_thread::sleep_for(std::chrono::microseconds(200));
       }
     }
-    try {
-      task();
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mutex_);
-      ++error_count_;
-      if (!first_error_) first_error_ = std::current_exception();
+    {
+      const metrics::Span span("pool.task", "pool");
+      const metrics::ScopedTimer task_timer(task_timing());
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        ++error_count_;
+        if (!first_error_) first_error_ = std::current_exception();
+      }
     }
+    tasks_executed_counter().add();
     task = nullptr;  // destroy captures before reporting completion
     if (pending_.fetch_sub(1) == 1) {
       std::lock_guard<std::mutex> lock(idle_mutex_);

@@ -5,7 +5,10 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <sstream>
+
+#include "runtime/metrics.hpp"
 
 namespace vds::scenario {
 namespace {
@@ -196,6 +199,70 @@ std::string_view scenario_usage() noexcept {
   --locations N                  abstract fault locations   [16]
   --skew X                       location uniformity (0,1]  [1.0]
 )";
+}
+
+bool apply_observability_flag(Observability& obs, std::string_view arg,
+                              ArgCursor& args) {
+  if (arg == "--metrics") {
+    obs.metrics_path = std::string(args.value(arg));
+    return true;
+  }
+  if (arg == "--trace") {
+    obs.trace_path = std::string(args.value(arg));
+    return true;
+  }
+  return false;
+}
+
+std::string_view observability_usage() noexcept {
+  return R"(observability (shared across vds_cli / vds_mc / vds_sweep):
+  --metrics FILE                 write a vds.metrics.v1 snapshot
+                                 ("-" = stdout); the "counters"
+                                 section is bitwise-stable across
+                                 --threads, timings are wall-clock
+  --trace FILE                   write Chrome trace-event spans
+                                 (load in chrome://tracing / Perfetto)
+)";
+}
+
+void Observability::arm() const {
+  auto& registry = vds::runtime::metrics::registry();
+  if (wanted()) registry.set_enabled(true);
+  if (!trace_path.empty()) registry.set_tracing(true);
+}
+
+namespace {
+
+template <typename WriteFn>
+void write_to(const std::string& path, const char* what, WriteFn&& fn) {
+  if (path == "-") {
+    fn(std::cout);
+    return;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw CliError(std::string("cannot write ") + what + " '" + path + "'");
+  }
+  fn(out);
+  out.flush();
+  if (!out) {
+    throw CliError(std::string(what) + " '" + path + "': write failed");
+  }
+}
+
+}  // namespace
+
+void Observability::write() const {
+  auto& registry = vds::runtime::metrics::registry();
+  if (!metrics_path.empty()) {
+    write_to(metrics_path, "metrics snapshot", [&](std::ostream& os) {
+      registry.write_snapshot(os);
+    });
+  }
+  if (!trace_path.empty()) {
+    write_to(trace_path, "trace",
+             [&](std::ostream& os) { registry.write_trace(os); });
+  }
 }
 
 std::string read_file(const std::string& path) {

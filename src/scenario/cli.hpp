@@ -77,6 +77,37 @@ class ArgCursor {
 /// embedding in each tool's --help output.
 [[nodiscard]] std::string_view scenario_usage() noexcept;
 
+/// Where a run's observability output goes — the shared `--metrics
+/// FILE` / `--trace FILE` flags. Both default off; either one arms
+/// collection in the global metrics registry. With the layer compiled
+/// out (VDS_METRICS=OFF) the flags stay accepted and the files are
+/// still written, holding an empty snapshot / empty event array.
+struct Observability {
+  std::string metrics_path;  ///< vds.metrics.v1 snapshot ("-" = stdout)
+  std::string trace_path;    ///< Chrome trace-event JSON array
+
+  [[nodiscard]] bool wanted() const noexcept {
+    return !metrics_path.empty() || !trace_path.empty();
+  }
+
+  /// Enables counter/timing collection (and span tracing when a trace
+  /// file was requested). Call before the measured work starts.
+  void arm() const;
+
+  /// Writes the requested files. Call after the work finished; throws
+  /// CliError when a file cannot be written.
+  void write() const;
+};
+
+/// Routes `--metrics FILE` / `--trace FILE` into `obs`; false when
+/// `arg` is neither flag.
+[[nodiscard]] bool apply_observability_flag(Observability& obs,
+                                            std::string_view arg,
+                                            ArgCursor& args);
+
+/// Usage text for the observability flags.
+[[nodiscard]] std::string_view observability_usage() noexcept;
+
 /// Reads an entire file (CliError on failure) — for `--scenario FILE`.
 [[nodiscard]] std::string read_file(const std::string& path);
 

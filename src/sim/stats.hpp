@@ -60,7 +60,11 @@ class Histogram {
   [[nodiscard]] double bin_hi(std::size_t i) const;
 
   /// Approximate quantile (q in [0,1]) by linear interpolation within
-  /// the containing bin. Underflow/overflow mass sits at lo/hi.
+  /// the containing bin. Underflow/overflow mass sits at lo/hi. NaN
+  /// samples land in their own bucket (see nan_count()) and carry no
+  /// rank: quantiles are computed over the total() - nan_count()
+  /// ranked samples, and a histogram holding only NaN samples returns
+  /// lo for every q.
   [[nodiscard]] double quantile(double q) const;
 
   /// Renders a compact ASCII summary, one bin per line.

@@ -234,5 +234,20 @@ TEST(Histogram, QuantileIgnoresNanMass) {
   EXPECT_DOUBLE_EQ(h.quantile(0.5), median_before);
 }
 
+TEST(Histogram, QuantileOfAllNanReturnsLo) {
+  // With zero ranked samples (total == nan_count) there is nothing to
+  // rank, so every quantile degrades to lo — same as an empty
+  // histogram, and never NaN.
+  Histogram h(2.0, 10.0, 8);
+  for (int k = 0; k < 5; ++k) {
+    h.add(std::numeric_limits<double>::quiet_NaN());
+  }
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.nan_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+}
+
 }  // namespace
 }  // namespace vds::sim

@@ -5,7 +5,7 @@
 //
 // Runs one protocol simulation and prints the run report; with --model
 // it also prints the paper's closed-form predictions for the same
-// configuration, and with --trace N the first N protocol events.
+// configuration, and with --events N the first N protocol events.
 //
 // Configuration is a scenario::Scenario: load one with --scenario FILE
 // (vds.scenario.v1 JSON), override fields with flags, or print the
@@ -33,7 +33,7 @@ constexpr const char* kUsageHead = R"(usage: vds_cli [options]
 constexpr const char* kUsageTail = R"(
 output:
   --model                        print closed-form predictions
-  --trace N                      dump the first N protocol events
+  --events N                     dump the first N protocol events
   --json                         machine-readable report on stdout
                                  (schema vds.run_report.v1)
   --emit-scenario                print the effective scenario as
@@ -47,6 +47,8 @@ exit codes: 0 success; 1 job did not complete; 2 usage/parse error;
 void print_usage(std::FILE* stream) {
   std::fputs(kUsageHead, stream);
   std::fputs(std::string(vds::scenario::scenario_usage()).c_str(), stream);
+  std::fputs(std::string(vds::scenario::observability_usage()).c_str(),
+             stream);
   std::fputs(kUsageTail, stream);
 }
 
@@ -59,6 +61,7 @@ struct OutputOptions {
 
 int run_cli(int argc, char** argv) {
   vds::scenario::Scenario scenario;
+  vds::scenario::Observability observability;
   OutputOptions out;
 
   vds::scenario::ArgCursor args(argc, argv);
@@ -69,13 +72,16 @@ int run_cli(int argc, char** argv) {
       return 0;
     } else if (vds::scenario::apply_scenario_flag(scenario, arg, args)) {
       // handled by the shared scenario parser
+    } else if (vds::scenario::apply_observability_flag(observability, arg,
+                                                       args)) {
+      // handled by the shared observability parser
     } else if (arg == "--model") {
       out.model = true;
     } else if (arg == "--json") {
       out.json = true;
     } else if (arg == "--emit-scenario") {
       out.emit_scenario = true;
-    } else if (arg == "--trace") {
+    } else if (arg == "--events") {
       out.trace = static_cast<std::size_t>(args.value_u64(arg));
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
@@ -91,6 +97,7 @@ int run_cli(int argc, char** argv) {
     return 0;
   }
 
+  observability.arm();
   vds::sim::Rng fault_rng(scenario.seed);
   auto timeline = vds::scenario::make_timeline(scenario, fault_rng);
   if (!out.json) {
@@ -121,6 +128,7 @@ int run_cli(int argc, char** argv) {
     json.key("report");
     vds::runtime::write_json(json, report);
     json.end_object();
+    observability.write();
     return report.completed ? 0 : 1;
   }
 
@@ -165,6 +173,7 @@ int run_cli(int argc, char** argv) {
                 est.expected_total_time, report.total_time);
     std::printf("  P(silent corruption)  = %.4f\n", est.p_job_silent);
   }
+  observability.write();
   return report.completed ? 0 : 1;
 }
 

@@ -84,6 +84,8 @@ exit codes: 0 success; 2 usage/parse error; 3 runtime failure;
 void print_usage(std::FILE* stream) {
   std::fputs(kUsageHead, stream);
   std::fputs(std::string(vds::scenario::scenario_usage()).c_str(), stream);
+  std::fputs(std::string(vds::scenario::observability_usage()).c_str(),
+             stream);
   std::fputs(kUsageTail, stream);
 }
 
@@ -133,6 +135,7 @@ int run_mc(int argc, char** argv) {
 
   vds::scenario::Scenario scenario;
   scenario.rounds = 60;  // vds_mc's traditional default job length
+  vds::scenario::Observability observability;
   CampaignOptions campaign;
 
   vds::scenario::ArgCursor args(argc, argv);
@@ -187,6 +190,9 @@ int run_mc(int argc, char** argv) {
       campaign.chaos = std::string(args.value(arg));
     } else if (vds::scenario::apply_scenario_flag(scenario, arg, args)) {
       // engine-under-test flag, handled by the shared parser
+    } else if (vds::scenario::apply_observability_flag(observability, arg,
+                                                       args)) {
+      // handled by the shared observability parser
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       print_usage(stderr);
@@ -276,6 +282,7 @@ int run_mc(int argc, char** argv) {
   // in-flight cells flush to the journal, and we exit 130 below.
   vds::runtime::install_drain_signal_handlers();
 
+  observability.arm();
   const auto start = std::chrono::steady_clock::now();
   vds::runtime::McSummary summary;
   try {
@@ -341,6 +348,7 @@ int run_mc(int argc, char** argv) {
       vds::runtime::write_snapshot(out, config, summary);
     }
   }
+  observability.write();
   if (summary.drained) {
     std::fprintf(stderr,
                  "drained: campaign stopped on signal with %llu cell%s "

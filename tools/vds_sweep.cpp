@@ -42,6 +42,8 @@ options:
   --samples N   grid samples per axis for fig4/fig5 [11]
   --threads N   worker threads, 0 = hardware concurrency [0];
                 output is byte-identical for every value
+  --metrics FILE  write a vds.metrics.v1 snapshot ("-" = stdout)
+  --trace FILE    write Chrome trace-event spans (Perfetto loadable)
 
 exit codes: 0 success; 2 usage/parse error; 3 runtime failure.
 )";
@@ -207,6 +209,7 @@ int run_sweep(int argc, char** argv) {
   std::string dataset;
   std::size_t samples = 11;
   unsigned threads = 0;
+  vds::scenario::Observability observability;
   vds::scenario::ArgCursor args(argc, argv);
   while (!args.done()) {
     const std::string arg(args.next());
@@ -216,6 +219,9 @@ int run_sweep(int argc, char** argv) {
       samples = static_cast<std::size_t>(args.value_u64(arg));
     } else if (arg == "--threads") {
       threads = args.value_unsigned(arg);
+    } else if (vds::scenario::apply_observability_flag(observability, arg,
+                                                       args)) {
+      // handled by the shared observability parser
     } else if (arg == "--help" || arg == "-h") {
       std::fputs(kUsage, stdout);
       return 0;
@@ -225,6 +231,7 @@ int run_sweep(int argc, char** argv) {
     }
   }
 
+  observability.arm();
   vds::runtime::ThreadPool pool(threads);
   if (dataset == "fig4") {
     emit_fig(0.5, samples, pool);
@@ -242,6 +249,7 @@ int run_sweep(int argc, char** argv) {
     std::fprintf(stderr, "missing or unknown --dataset\n%s", kUsage);
     return 2;
   }
+  observability.write();
   return 0;
 }
 
