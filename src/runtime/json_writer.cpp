@@ -14,6 +14,7 @@ void JsonWriter::separate() {
   if (!wrote_element_.empty()) {
     if (wrote_element_.back()) os_ << ',';
     wrote_element_.back() = true;
+    if (compact_) return;
     os_ << '\n';
     indent();
   }
@@ -33,12 +34,12 @@ JsonWriter& JsonWriter::begin_object() {
 JsonWriter& JsonWriter::end_object() {
   const bool had_elements = wrote_element_.back();
   wrote_element_.pop_back();
-  if (had_elements) {
+  if (had_elements && !compact_) {
     os_ << '\n';
     indent();
   }
   os_ << '}';
-  if (wrote_element_.empty()) os_ << '\n';
+  if (wrote_element_.empty() && !compact_) os_ << '\n';
   return *this;
 }
 
@@ -52,7 +53,7 @@ JsonWriter& JsonWriter::begin_array() {
 JsonWriter& JsonWriter::end_array() {
   const bool had_elements = wrote_element_.back();
   wrote_element_.pop_back();
-  if (had_elements) {
+  if (had_elements && !compact_) {
     os_ << '\n';
     indent();
   }

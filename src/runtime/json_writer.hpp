@@ -12,9 +12,16 @@ namespace vds::runtime {
 /// snapshot and the journal's snapshot. Handles nesting, comma
 /// placement, string escaping and round-trippable doubles; the caller
 /// supplies structure.
+///
+/// `compact` suppresses all newlines and indentation (keys keep their
+/// single space after the colon), so a document fits on one line —
+/// the form vds_serve's newline-delimited protocol requires. Every
+/// byte other than the dropped whitespace is identical to the pretty
+/// form.
 class JsonWriter {
  public:
-  explicit JsonWriter(std::ostream& os) : os_(os) {}
+  explicit JsonWriter(std::ostream& os, bool compact = false)
+      : os_(os), compact_(compact) {}
 
   JsonWriter& begin_object();
   JsonWriter& end_object();
@@ -49,6 +56,7 @@ class JsonWriter {
   // been written (a comma is then needed before the next one).
   std::vector<bool> wrote_element_;
   bool pending_key_ = false;
+  bool compact_ = false;
 };
 
 }  // namespace vds::runtime

@@ -196,6 +196,7 @@ void McSummary::merge(const McSummary& other) {
   records_corrupt += other.records_corrupt;
   cells_skipped += other.cells_skipped;
   drained = drained || other.drained;
+  deadline_exceeded = deadline_exceeded || other.deadline_exceeded;
   quarantined.insert(quarantined.end(), other.quarantined.begin(),
                      other.quarantined.end());
 }
@@ -377,122 +378,186 @@ void retry_backoff(const McConfig& config, unsigned attempt) {
   std::this_thread::sleep_for(std::chrono::duration<double>(ms / 1000.0));
 }
 
+bool has_deadline(const McConfig& config) noexcept {
+  return config.deadline.time_since_epoch().count() != 0;
+}
+
+bool past_deadline(const McConfig& config) noexcept {
+  return has_deadline(config) &&
+         std::chrono::steady_clock::now() >= config.deadline;
+}
+
 }  // namespace
 
-McSummary run_mc_campaign(const McConfig& config, const McRunner& runner) {
-  if (config.kinds.empty() || config.rounds.empty() ||
-      config.replicas == 0) {
-    throw std::runtime_error("mc campaign: empty grid");
-  }
-  const metrics::Span campaign_span("mc.campaign", "mc");
-  const std::size_t cells = config.cells();
-  const std::uint64_t fingerprint = config.fingerprint();
-  const Chaos chaos = Chaos::parse(config.chaos, config.seed);
+// --- shared-pool execution --------------------------------------------
 
-  std::vector<McCellResult> results(cells);
-  std::vector<char> state(cells, kPending);
+struct McExecution::State {
+  metrics::Span campaign_span{"mc.campaign", "mc"};
+  std::size_t cells = 0;
+  Chaos chaos;
+  std::vector<McCellResult> results;
+  std::vector<char> cell_state;
   std::uint64_t resumed = 0;
   std::uint64_t corrupt = 0;
+  std::unique_ptr<Journal> journal;
+  std::atomic<std::uint64_t> executed{0};
+  std::atomic<std::uint64_t> retried{0};
+  std::atomic<bool> deadline_hit{false};
+};
 
-  if (!config.journal_path.empty()) {
-    if (config.resume) {
-      JournalLoad loaded = Journal::load(config.journal_path, fingerprint);
-      corrupt = loaded.corrupt;
+McExecution::McExecution(McConfig config, McRunner runner)
+    : config_(std::move(config)),
+      runner_(std::move(runner)),
+      state_(std::make_unique<State>()) {
+  if (config_.kinds.empty() || config_.rounds.empty() ||
+      config_.replicas == 0) {
+    throw std::runtime_error("mc campaign: empty grid");
+  }
+  State& st = *state_;
+  st.cells = config_.cells();
+  st.chaos = Chaos::parse(config_.chaos, config_.seed);
+  const std::uint64_t fingerprint = config_.fingerprint();
+
+  st.results.resize(st.cells);
+  st.cell_state.assign(st.cells, kPending);
+
+  if (!config_.journal_path.empty()) {
+    if (config_.resume) {
+      JournalLoad loaded = Journal::load(config_.journal_path, fingerprint);
+      st.corrupt = loaded.corrupt;
       for (const JournalRecord& record : loaded.records) {
         // Out-of-range or duplicate cells (a corrupted index that
         // still checksummed, or a double append) are dropped; the
         // first occurrence wins, matching the uninterrupted order.
-        if (record.index >= cells || state[record.index] != kPending) {
-          ++corrupt;
+        if (record.index >= st.cells ||
+            st.cell_state[record.index] != kPending) {
+          ++st.corrupt;
           continue;
         }
-        results[record.index] = from_record(record);
-        state[record.index] = kResumed;
-        ++resumed;
+        st.results[record.index] = from_record(record);
+        st.cell_state[record.index] = kResumed;
+        ++st.resumed;
       }
     } else {
       // A fresh (non-resuming) campaign starts a fresh journal.
-      std::remove(config.journal_path.c_str());
+      std::remove(config_.journal_path.c_str());
     }
+    st.journal =
+        std::make_unique<Journal>(config_.journal_path, fingerprint);
+    if (st.chaos.armed()) st.journal->arm_chaos(&st.chaos);
   }
 
-  std::unique_ptr<Journal> journal;
-  if (!config.journal_path.empty()) {
-    journal = std::make_unique<Journal>(config.journal_path, fingerprint);
-    if (chaos.armed()) journal->arm_chaos(&chaos);
+  mc_counters().resumed.add(st.resumed);
+  mc_counters().corrupt.add(st.corrupt);
+}
+
+McExecution::~McExecution() = default;
+
+void McExecution::arm_chaos(ThreadPool& pool) const noexcept {
+  if (state_->chaos.armed()) pool.arm_chaos(&state_->chaos);
+}
+
+void McExecution::run_cell(std::uint64_t index) {
+  State& st = *state_;
+  const bool late = past_deadline(config_);
+  if (late || (config_.honor_global_drain && drain_requested())) {
+    if (late) st.deadline_hit.store(true, std::memory_order_relaxed);
+    st.cell_state[index] = kSkipped;
+    mc_counters().skipped.add();
+    return;
+  }
+  // With a deadline set, clamp the watchdog so an in-flight cell
+  // cannot overrun the time remaining (and enable it if it was off).
+  const McConfig* config = &config_;
+  McConfig clamped;
+  if (has_deadline(config_)) {
+    // Never at or below zero: that would read as "watchdog off" and
+    // let the attempt run unbounded right when time has run out.
+    const double remaining = std::max(
+        std::chrono::duration<double>(config_.deadline -
+                                      std::chrono::steady_clock::now())
+            .count(),
+        1e-3);
+    clamped = config_;
+    clamped.cell_timeout = config_.cell_timeout > 0.0
+                               ? std::min(config_.cell_timeout, remaining)
+                               : remaining;
+    config = &clamped;
   }
 
-  mc_counters().resumed.add(resumed);
-  mc_counters().corrupt.add(corrupt);
-
-  ThreadPool pool(config.threads);
-  if (chaos.armed()) pool.arm_chaos(&chaos);
-  std::atomic<std::uint64_t> executed{0};
-  std::atomic<std::uint64_t> retried{0};
-
-  for (std::size_t index = 0; index < cells; ++index) {
-    if (state[index] != kPending) continue;
-    pool.submit([&, index] {
-      if (drain_requested()) {
-        state[index] = kSkipped;
+  const McCell cell = cell_at(config_, index);
+  const metrics::Span cell_span("mc.cell", "mc", index);
+  McCellResult result;
+  for (unsigned attempt = 0;; ++attempt) {
+    try {
+      {
+        const metrics::ScopedTimer timer(mc_counters().attempt_ms);
+        result = attempt_cell(*config, cell, st.chaos, runner_, attempt);
+      }
+      if (attempt > 0) {
+        st.retried.fetch_add(1, std::memory_order_relaxed);
+        mc_counters().retried.add();
+      }
+      break;
+    } catch (const CellAttemptFailure&) {
+      if (past_deadline(config_)) {
+        // The deadline, not the cell, is what failed: report the cell
+        // as skipped (resumable), never quarantined.
+        st.deadline_hit.store(true, std::memory_order_relaxed);
+        st.cell_state[index] = kSkipped;
         mc_counters().skipped.add();
         return;
       }
-      const McCell cell = cell_at(config, index);
-      const metrics::Span cell_span("mc.cell", "mc", index);
-      McCellResult result;
-      for (unsigned attempt = 0;; ++attempt) {
-        try {
-          {
-            const metrics::ScopedTimer timer(mc_counters().attempt_ms);
-            result = attempt_cell(config, cell, chaos, runner, attempt);
-          }
-          if (attempt > 0) {
-            retried.fetch_add(1, std::memory_order_relaxed);
-            mc_counters().retried.add();
-          }
-          break;
-        } catch (const CellAttemptFailure&) {
-          if (attempt >= config.max_retries) {
-            // Give up on the cell, not on the campaign: quarantine is
-            // reported in the summary and the cell stays out of the
-            // journal, so a later --resume gets another shot at it.
-            state[index] = kQuarantined;
-            mc_counters().quarantined.add();
-            return;
-          }
-          if (drain_requested()) {
-            state[index] = kSkipped;
-            mc_counters().skipped.add();
-            return;
-          }
-          retry_backoff(config, attempt);
-        }
+      if (attempt >= config_.max_retries) {
+        // Give up on the cell, not on the campaign: quarantine is
+        // reported in the summary and the cell stays out of the
+        // journal, so a later --resume gets another shot at it.
+        st.cell_state[index] = kQuarantined;
+        mc_counters().quarantined.add();
+        return;
       }
-      results[index] = result;
-      state[index] = kExecuted;
-      // Journal failures bypass the retry loop on purpose: a journal
-      // that cannot persist progress must fail the campaign (the pool
-      // captures this throw and wait_idle reports it).
-      if (journal) journal->append(to_record(index, result));
-      executed.fetch_add(1, std::memory_order_relaxed);
-      mc_counters().executed.add();
-    });
+      if (config_.honor_global_drain && drain_requested()) {
+        st.cell_state[index] = kSkipped;
+        mc_counters().skipped.add();
+        return;
+      }
+      retry_backoff(config_, attempt);
+    }
   }
-  pool.wait_idle();
+  st.results[index] = result;
+  st.cell_state[index] = kExecuted;
+  // Journal failures bypass the retry loop on purpose: a journal
+  // that cannot persist progress must fail the campaign (the pool
+  // captures this throw and wait_idle reports it).
+  if (st.journal) st.journal->append(to_record(index, result));
+  st.executed.fetch_add(1, std::memory_order_relaxed);
+  mc_counters().executed.add();
+}
 
+void McExecution::enqueue(ThreadPool& pool) {
+  State& st = *state_;
+  for (std::size_t index = 0; index < st.cells; ++index) {
+    if (st.cell_state[index] != kPending) continue;
+    pool.submit([this, index] { run_cell(index); });
+  }
+}
+
+McSummary McExecution::reduce(ThreadPool& pool) {
+  State& st = *state_;
   // Sharded reduction: fixed index blocks, built in parallel, merged
   // in block order -- deterministic for any thread count. Only cells
   // that actually produced a result participate.
-  const std::size_t shard_count = (cells + kShardCells - 1) / kShardCells;
+  const std::size_t shard_count =
+      (st.cells + kShardCells - 1) / kShardCells;
   std::vector<McSummary> shards(shard_count);
   for (std::size_t s = 0; s < shard_count; ++s) {
     pool.submit([&, s] {
       const std::size_t lo = s * kShardCells;
-      const std::size_t hi = std::min(cells, lo + kShardCells);
+      const std::size_t hi = std::min(st.cells, lo + kShardCells);
       for (std::size_t index = lo; index < hi; ++index) {
-        if (state[index] == kResumed || state[index] == kExecuted) {
-          shards[s].add(results[index]);
+        if (st.cell_state[index] == kResumed ||
+            st.cell_state[index] == kExecuted) {
+          shards[s].add(st.results[index]);
         }
       }
     });
@@ -501,25 +566,40 @@ McSummary run_mc_campaign(const McConfig& config, const McRunner& runner) {
 
   McSummary total;
   for (const McSummary& shard : shards) total.merge(shard);
-  total.cells_executed = executed.load();
-  total.cells_resumed = resumed;
-  total.cells_retried = retried.load();
-  total.records_corrupt = corrupt;
-  total.drained = drain_requested();
-  for (std::size_t index = 0; index < cells; ++index) {
-    if (state[index] == kQuarantined) {
+  total.cells_executed = st.executed.load();
+  total.cells_resumed = st.resumed;
+  total.cells_retried = st.retried.load();
+  total.records_corrupt = st.corrupt;
+  total.drained = config_.honor_global_drain && drain_requested();
+  total.deadline_exceeded = st.deadline_hit.load();
+  for (std::size_t index = 0; index < st.cells; ++index) {
+    if (st.cell_state[index] == kQuarantined) {
       ++total.cells_quarantined;
       total.quarantined.push_back(index);
-    } else if (state[index] == kSkipped) {
+    } else if (st.cell_state[index] == kSkipped) {
       ++total.cells_skipped;
     }
   }
   return total;
 }
 
+McSummary run_mc_campaign(const McConfig& config, const McRunner& runner) {
+  McExecution exec(config, runner);
+  ThreadPool pool(config.threads);
+  exec.arm_chaos(pool);
+  exec.enqueue(pool);
+  pool.wait_idle();
+  return exec.reduce(pool);
+}
+
 void write_snapshot(std::ostream& os, const McConfig& config,
                     const McSummary& summary) {
   JsonWriter json(os);
+  write_snapshot(json, config, summary);
+}
+
+void write_snapshot(JsonWriter& json, const McConfig& config,
+                    const McSummary& summary) {
   json.begin_object();
   json.field("schema", "vds.mc_summary.v1");
   json.key("config").begin_object();
@@ -555,6 +635,9 @@ void write_snapshot(std::ostream& os, const McConfig& config,
   json.field("records_corrupt", summary.records_corrupt);
   json.field("cells_skipped", summary.cells_skipped);
   json.field("drained", summary.drained);
+  // Conditional so the golden pretty snapshots keep their exact bytes
+  // (only deadline-bearing serve requests can set it).
+  if (summary.deadline_exceeded) json.field("deadline_exceeded", true);
   json.key("quarantined").begin_array();
   // Bounded preview: cells_quarantined carries the full count.
   constexpr std::size_t kQuarantinePreview = 64;

@@ -1,8 +1,11 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +18,11 @@
 #include "sim/stats.hpp"
 
 namespace vds::runtime {
+
+class Chaos;
+class Journal;
+class JsonWriter;
+class ThreadPool;
 
 /// Monte Carlo injection-campaign configuration. The grid is the same
 /// (fault kind × detection round) lattice as core::InjectionCampaign;
@@ -67,6 +75,17 @@ struct McConfig {
   /// Chaos fault-point spec (see runtime::Chaos); "" disarms.
   std::string chaos;
 
+  /// Absolute deadline; the epoch default means "none". Cells not yet
+  /// dispatched when the deadline passes are skipped and the summary
+  /// comes back partial with `deadline_exceeded = true`; in-flight
+  /// cells are bounded by the watchdog, whose effective timeout is
+  /// clamped to the time remaining.
+  std::chrono::steady_clock::time_point deadline{};
+  /// When false the campaign ignores the process-wide drain flag
+  /// (vds_serve uses this: SIGTERM must finish in-flight requests,
+  /// not truncate them). Programmatic deadlines still apply.
+  bool honor_global_drain = true;
+
   [[nodiscard]] std::size_t cells() const noexcept {
     return kinds.size() * rounds.size() *
            static_cast<std::size_t>(replicas);
@@ -118,6 +137,7 @@ struct McSummary {
   std::uint64_t records_corrupt = 0;    ///< journal lines discarded on load
   std::uint64_t cells_skipped = 0;      ///< left unrun by a graceful drain
   bool drained = false;                 ///< a drain request stopped dispatch
+  bool deadline_exceeded = false;       ///< a deadline stopped dispatch
   std::vector<std::uint64_t> quarantined;  ///< indices, canonical order
 
   void add(const McCellResult& result);
@@ -183,8 +203,65 @@ void clear_drain_request() noexcept;
 [[nodiscard]] McSummary run_mc_campaign(const McConfig& config,
                                         const McRunner& runner);
 
+/// One campaign's worth of cell tasks, decoupled from pool ownership
+/// so several campaigns can share a single warm pool (vds_serve
+/// batches compatible requests this way). Usage:
+///
+///   McExecution exec(config, runner);   // journal load/resume here
+///   exec.enqueue(pool);                 // submits every pending cell
+///   pool.wait_idle();                   // caller-owned barrier
+///   McSummary s = exec.reduce(pool);    // canonical-order reduction
+///
+/// Because every cell re-derives its RNG substream from
+/// `Rng(config.seed).substream(index)`, interleaving cells from
+/// different executions on one pool cannot perturb any result — the
+/// summary stays bitwise identical to a private-pool run.
+///
+/// The constructor throws like run_mc_campaign (journal mismatch,
+/// bad chaos spec). enqueue/reduce must be called at most once, in
+/// that order, with the same pool; the pool's wait_idle() rethrows
+/// any journal-append failure raised by a cell task.
+class McExecution {
+ public:
+  McExecution(McConfig config, McRunner runner);
+  ~McExecution();
+
+  McExecution(const McExecution&) = delete;
+  McExecution& operator=(const McExecution&) = delete;
+
+  /// Arms the pool's chaos site from this execution's parsed chaos
+  /// spec (no-op when disarmed). Callers sharing a pool across
+  /// executions — vds_serve — deliberately skip this.
+  void arm_chaos(ThreadPool& pool) const noexcept;
+
+  /// Submits every not-yet-satisfied cell onto `pool`. Cells observe
+  /// drain/deadline at dispatch time, so a request can still be
+  /// abandoned after enqueueing.
+  void enqueue(ThreadPool& pool);
+
+  /// Reduces the per-cell results (sharded, canonical order) into the
+  /// final summary. Only valid once the pool has gone idle.
+  [[nodiscard]] McSummary reduce(ThreadPool& pool);
+
+  [[nodiscard]] const McConfig& config() const noexcept { return config_; }
+
+ private:
+  struct State;
+  void run_cell(std::uint64_t index);
+
+  McConfig config_;
+  McRunner runner_;
+  std::unique_ptr<State> state_;
+};
+
 /// Writes the `vds.mc_summary.v1` JSON snapshot (config + summary).
 void write_snapshot(std::ostream& os, const McConfig& config,
+                    const McSummary& summary);
+
+/// Same document through a caller-configured writer (vds_serve uses a
+/// compact writer to keep the response on one line — byte-identical
+/// to the pretty form modulo whitespace).
+void write_snapshot(JsonWriter& writer, const McConfig& config,
                     const McSummary& summary);
 
 }  // namespace vds::runtime

@@ -1,0 +1,133 @@
+#include "scenario/campaign_spec.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/journal.hpp"
+#include "scenario/engine_factory.hpp"
+#include "scenario/json_reader.hpp"
+
+namespace vds::scenario {
+
+vds::fault::FaultKind parse_fault_kind(std::string_view name) {
+  using vds::fault::FaultKind;
+  if (name == "transient") return FaultKind::kTransient;
+  if (name == "crash") return FaultKind::kCrash;
+  if (name == "permanent") return FaultKind::kPermanent;
+  if (name == "processor_crash") return FaultKind::kProcessorCrash;
+  throw std::invalid_argument(
+      "unknown fault kind '" + std::string(name) +
+      "' (expected transient, crash, permanent or processor_crash)");
+}
+
+std::uint64_t engine_fingerprint(const Scenario& scenario) {
+  std::uint64_t h =
+      vds::runtime::fnv1a(vds::core::short_name(scenario.scheme));
+  h = vds::runtime::fnv1a(scenario.predictor, h);
+  h = vds::runtime::fnv1a(&scenario.alpha, sizeof scenario.alpha, h);
+  h = vds::runtime::fnv1a(&scenario.beta, sizeof scenario.beta, h);
+  h = vds::runtime::fnv1a(&scenario.s, sizeof scenario.s, h);
+  h = vds::runtime::fnv1a(&scenario.rounds, sizeof scenario.rounds, h);
+  if (scenario.engine != EngineKind::kSmt) {
+    h = vds::runtime::fnv1a(to_string(scenario.engine), h);
+  }
+  if (scenario.adaptive) h = vds::runtime::fnv1a("adaptive", h);
+  if (scenario.threads != 2) {
+    h = vds::runtime::fnv1a(&scenario.threads, sizeof scenario.threads, h);
+  }
+  return h;
+}
+
+runtime::McConfig to_mc_config(const CampaignSpec& spec,
+                               const Scenario& scenario) {
+  runtime::McConfig config;
+  if (!spec.kinds.empty()) config.kinds = spec.kinds;
+  config.rounds = spec.grid;
+  config.replicas = spec.replicas;
+  config.round_time = 2.0 * scenario.alpha + scenario.beta;
+  config.jitter_offset = spec.jitter;
+  config.fixed_offset = spec.fixed_offset;
+  config.seed = spec.seed;
+  config.threads = spec.threads;
+  config.journal_path = spec.journal;
+  config.resume = spec.resume;
+  config.cell_timeout = spec.cell_timeout;
+  config.max_retries = spec.max_retries;
+  config.chaos = spec.chaos;
+  config.runner_fingerprint = engine_fingerprint(scenario);
+  return config;
+}
+
+runtime::McRunner make_mc_runner(Scenario scenario) {
+  return [scenario = std::move(scenario)](
+             const runtime::McCell&, vds::fault::FaultTimeline& timeline,
+             vds::sim::Rng& rng) {
+    // split() mutates the cell RNG, so the draw order (engine stream
+    // first, predictor stream second) is part of the deterministic
+    // contract -- sequence it with named locals.
+    auto engine_rng = rng.split(1);
+    auto predictor_rng = rng.split(2);
+    const auto engine = make_engine(scenario, engine_rng, predictor_rng);
+    return engine->run(timeline);
+  };
+}
+
+namespace {
+
+[[noreturn]] void spec_fail(const std::string& what) {
+  throw std::invalid_argument("campaign: " + what);
+}
+
+}  // namespace
+
+CampaignSpec campaign_spec_from_json(const JsonValue& doc) {
+  if (!doc.is_object()) spec_fail("must be a JSON object");
+  CampaignSpec spec;
+  for (const auto& [key, value] : doc.members) {
+    if (key == "replicas") {
+      spec.replicas = value.as_u64(key);
+      if (spec.replicas == 0) spec_fail("replicas must be >= 1");
+    } else if (key == "rounds") {
+      if (value.kind != JsonValue::Kind::kArray) {
+        spec_fail("rounds must be an array of round numbers");
+      }
+      spec.grid.clear();
+      for (const JsonValue& item : value.items) {
+        const std::uint64_t round = item.as_u64(key);
+        if (round == 0) spec_fail("rounds must be positive");
+        spec.grid.push_back(round);
+      }
+      if (spec.grid.empty()) spec_fail("rounds must not be empty");
+    } else if (key == "kinds") {
+      if (value.kind != JsonValue::Kind::kArray) {
+        spec_fail("kinds must be an array of fault-kind names");
+      }
+      spec.kinds.clear();
+      for (const JsonValue& item : value.items) {
+        spec.kinds.push_back(parse_fault_kind(item.as_string(key)));
+      }
+      if (spec.kinds.empty()) spec_fail("kinds must not be empty");
+    } else if (key == "jitter_offset") {
+      spec.jitter = value.as_bool(key);
+    } else if (key == "fixed_offset") {
+      spec.jitter = false;
+      spec.fixed_offset = value.as_double(key);
+    } else if (key == "seed") {
+      spec.seed = value.as_u64(key);
+    } else if (key == "cell_timeout") {
+      spec.cell_timeout = value.as_double(key);
+      if (spec.cell_timeout < 0.0) spec_fail("cell_timeout must be >= 0");
+    } else if (key == "max_retries") {
+      const std::uint64_t wide = value.as_u64(key);
+      if (wide > 0xFFFFFFFFull) spec_fail("max_retries out of range");
+      spec.max_retries = static_cast<unsigned>(wide);
+    } else {
+      // threads/journal/chaos are deliberately not reachable from a
+      // request: the server owns execution policy.
+      spec_fail("unknown key '" + key + "'");
+    }
+  }
+  return spec;
+}
+
+}  // namespace vds::scenario

@@ -9,17 +9,15 @@
 #include <sstream>
 
 #include "runtime/metrics.hpp"
+#include "scenario/engine_factory.hpp"
 
 namespace vds::scenario {
-namespace {
 
-[[noreturn]] void bad_value(std::string_view flag, std::string_view text,
-                            const char* wanted) {
-  throw CliError(std::string(flag) + ": expected " + wanted + ", got '" +
-                 std::string(text) + "'");
+void bad_value(std::string_view flag, std::string_view text,
+               std::string_view wanted) {
+  throw CliError(std::string(flag) + ": expected " + std::string(wanted) +
+                 ", got '" + std::string(text) + "'");
 }
-
-}  // namespace
 
 double parse_double(std::string_view flag, std::string_view text) {
   const std::string token(text);
@@ -99,8 +97,8 @@ bool apply_scenario_flag(Scenario& scenario, std::string_view arg,
     const std::string_view name = args.value(arg);
     try {
       scenario.engine = parse_engine_kind(name);
-    } catch (const std::invalid_argument& error) {
-      throw CliError(error.what());
+    } catch (const std::invalid_argument&) {
+      bad_value(arg, name, "smt, conv, srt or duplex");
     }
     return true;
   }
@@ -108,14 +106,19 @@ bool apply_scenario_flag(Scenario& scenario, std::string_view arg,
     const std::string_view name = args.value(arg);
     const auto parsed = core::parse_recovery_scheme(name);
     if (!parsed) {
-      throw CliError("unknown scheme '" + std::string(name) +
-                     "' (expected rollback, retry, det, prob or predict)");
+      bad_value(arg, name, "rollback, retry, det, prob or predict");
     }
     scenario.scheme = *parsed;
     return true;
   }
   if (arg == "--predictor") {
-    scenario.predictor = std::string(args.value(arg));
+    const std::string_view name = args.value(arg);
+    // Reject here, not in validate(): the diagnostic must name the
+    // flag and value like every other strict-parse error.
+    if (!known_predictor(name)) {
+      bad_value(arg, name, "a registered predictor name");
+    }
+    scenario.predictor = std::string(name);
     return true;
   }
   if (arg == "--adaptive") {
@@ -163,9 +166,10 @@ bool apply_scenario_flag(Scenario& scenario, std::string_view arg,
     return true;
   }
   if (arg == "--locations") {
-    const std::uint64_t wide = args.value_u64(arg);
+    const std::string_view text = args.value(arg);
+    const std::uint64_t wide = parse_u64(arg, text);
     if (wide > 0xFFFFFFFFull) {
-      throw CliError("--locations: value out of u32 range");
+      bad_value(arg, text, "an integer in u32 range");
     }
     scenario.locations = static_cast<std::uint32_t>(wide);
     return true;

@@ -16,10 +16,20 @@ class CliError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Throws the canonical strict-parse CliError, always naming both the
+/// flag and the offending value:
+///   FLAG: expected WANTED, got 'VALUE'
+/// Every tool's value diagnostics go through this one formatter so the
+/// message shape is uniform (and testable) across vds_cli / vds_mc /
+/// vds_sweep / vds_serve.
+[[noreturn]] void bad_value(std::string_view flag, std::string_view text,
+                            std::string_view wanted);
+
 // --- strict numeric parsing -------------------------------------------
 // Each parser consumes the ENTIRE token and range-checks the result;
 // "bogus", "1.5x", "" or an out-of-range value throw CliError naming
-// the flag. (The atof/atoi they replace silently produced 0.)
+// the flag AND the value (via bad_value above). (The atof/atoi they
+// replace silently produced 0.)
 
 [[nodiscard]] double parse_double(std::string_view flag,
                                   std::string_view text);

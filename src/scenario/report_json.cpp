@@ -1,0 +1,38 @@
+#include "scenario/report_json.hpp"
+
+#include "runtime/journal.hpp"
+#include "scenario/engine_factory.hpp"
+#include "sim/rng.hpp"
+
+namespace vds::scenario {
+
+RunOutcome run_scenario_once(const Scenario& scenario) {
+  vds::sim::Rng fault_rng(scenario.seed);
+  auto timeline = make_timeline(scenario, fault_rng);
+  RunOutcome outcome;
+  outcome.faults_scheduled = timeline.size();
+  // Engine and predictor seeds derive from the scenario seed exactly
+  // as before the scenario layer existed: seed+1 / seed+2.
+  const auto engine =
+      make_engine(scenario, vds::sim::Rng(scenario.seed + 1),
+                  vds::sim::Rng(scenario.seed + 2));
+  outcome.report = engine->run(timeline);
+  return outcome;
+}
+
+void write_run_report(runtime::JsonWriter& json, const Scenario& scenario,
+                      std::uint64_t faults_scheduled,
+                      const core::RunReport& report) {
+  json.begin_object();
+  json.field("schema", "vds.run_report.v1");
+  json.field("engine", to_string(scenario.engine));
+  json.field("scheme", vds::core::short_name(scenario.scheme));
+  json.field("predictor", scenario.predictor);
+  json.field("seed", scenario.seed);
+  json.field("faults_scheduled", faults_scheduled);
+  json.key("report");
+  vds::runtime::write_json(json, report);
+  json.end_object();
+}
+
+}  // namespace vds::scenario

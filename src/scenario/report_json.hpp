@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/report.hpp"
+#include "scenario/scenario.hpp"
+
+namespace vds::runtime {
+class JsonWriter;
+}
+
+namespace vds::scenario {
+
+/// A one-shot engine run plus the context the report envelope needs.
+struct RunOutcome {
+  core::RunReport report;
+  std::uint64_t faults_scheduled = 0;
+};
+
+/// Runs the scenario once with vds_cli's exact derivations (fault
+/// timeline from Rng(seed), engine from Rng(seed+1), predictor from
+/// Rng(seed+2)), so any caller — vds_cli, vds_serve — produces the
+/// identical report for the same scenario.
+[[nodiscard]] RunOutcome run_scenario_once(const Scenario& scenario);
+
+/// Writes the `vds.run_report.v1` envelope (schema, engine, scheme,
+/// predictor, seed, faults_scheduled, report). One writer shared by
+/// vds_cli --json and vds_serve, so the documents match byte for byte
+/// modulo the writer's whitespace mode.
+void write_run_report(runtime::JsonWriter& json, const Scenario& scenario,
+                      std::uint64_t faults_scheduled,
+                      const core::RunReport& report);
+
+}  // namespace vds::scenario

@@ -176,7 +176,10 @@ void for_each_member_strict(const JsonValue& object,
 }  // namespace
 
 Scenario Scenario::from_json(std::string_view text) {
-  const JsonValue doc = parse_json(text);
+  return from_json_value(parse_json(text));
+}
+
+Scenario Scenario::from_json_value(const JsonValue& doc) {
   if (!doc.is_object()) from_json_fail("document must be a JSON object");
   const JsonValue* schema = doc.find("schema");
   if (schema == nullptr ||

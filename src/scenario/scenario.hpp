@@ -12,6 +12,8 @@
 
 namespace vds::scenario {
 
+class JsonValue;
+
 /// Which protocol engine a scenario drives.
 enum class EngineKind : std::uint8_t {
   kSmt,      ///< SmtVds: VDS on the SMT processor (paper §3.2)
@@ -91,6 +93,11 @@ struct Scenario {
   /// out-of-range fields all throw (std::invalid_argument or
   /// JsonError). Absent optional fields keep their defaults.
   [[nodiscard]] static Scenario from_json(std::string_view text);
+
+  /// Same strictness starting from an already-parsed document —
+  /// vds_serve embeds scenarios inside request envelopes and hands
+  /// the inner object here without re-serializing.
+  [[nodiscard]] static Scenario from_json_value(const JsonValue& doc);
 
   /// FNV-1a over the canonical JSON serialization: equal scenarios
   /// hash equal, any field change rehashes.

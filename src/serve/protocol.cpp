@@ -1,0 +1,192 @@
+#include "serve/protocol.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "runtime/journal.hpp"
+#include "scenario/json_reader.hpp"
+#include "scenario/report_json.hpp"
+
+namespace vds::serve {
+
+namespace {
+
+using scenario::JsonValue;
+
+[[noreturn]] void request_fail(const std::string& what) {
+  throw std::invalid_argument("serve request: " + what);
+}
+
+RequestType parse_type(const std::string& name) {
+  if (name == "campaign") return RequestType::kCampaign;
+  if (name == "run") return RequestType::kRun;
+  if (name == "stats") return RequestType::kStats;
+  request_fail("unknown type '" + name +
+               "' (expected campaign, run or stats)");
+}
+
+}  // namespace
+
+ServeRequest parse_request(std::string_view line) {
+  const JsonValue doc = scenario::parse_json(line);
+  if (!doc.is_object()) request_fail("must be a JSON object");
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr ||
+      schema->as_string("schema") != "vds.serve_request.v1") {
+    request_fail("missing or unsupported schema (want vds.serve_request.v1)");
+  }
+
+  ServeRequest request;
+  const JsonValue* scenario_doc = nullptr;
+  const JsonValue* campaign_doc = nullptr;
+  bool have_type = false;
+  for (const auto& [key, value] : doc.members) {
+    if (key == "schema") continue;
+    if (key == "id") {
+      request.id = value.as_string(key);
+    } else if (key == "type") {
+      request.type = parse_type(value.as_string(key));
+      have_type = true;
+    } else if (key == "deadline_ms") {
+      request.deadline_ms = value.as_double(key);
+      if (request.deadline_ms <= 0.0) {
+        request_fail("deadline_ms must be > 0");
+      }
+    } else if (key == "scenario") {
+      scenario_doc = &value;
+    } else if (key == "campaign") {
+      campaign_doc = &value;
+    } else {
+      request_fail("unknown key '" + key + "'");
+    }
+  }
+  if (request.id.empty()) request_fail("missing or empty id");
+  if (!have_type) request_fail("missing type");
+
+  if (request.type == RequestType::kStats) {
+    if (scenario_doc != nullptr || campaign_doc != nullptr) {
+      request_fail("stats requests take no scenario/campaign");
+    }
+    return request;
+  }
+
+  if (scenario_doc == nullptr) request_fail("missing scenario");
+  request.scenario = scenario::Scenario::from_json_value(*scenario_doc);
+  if (request.type == RequestType::kCampaign) {
+    // vds_mc parity: its traditional default job length is 60 rounds,
+    // not the Scenario default of 10000.
+    if (scenario_doc->find("rounds") == nullptr) {
+      request.scenario.rounds = 60;
+    }
+    if (campaign_doc != nullptr) {
+      request.campaign = scenario::campaign_spec_from_json(*campaign_doc);
+    }
+  } else if (campaign_doc != nullptr) {
+    request_fail("run requests take no campaign");
+  }
+  return request;
+}
+
+std::string request_id_hint(std::string_view line) {
+  try {
+    const JsonValue doc = scenario::parse_json(line);
+    const JsonValue* id = doc.find("id");
+    if (id != nullptr && id->kind == JsonValue::Kind::kString) {
+      return id->text;
+    }
+  } catch (...) {
+    // unparseable line: no id to echo
+  }
+  return "";
+}
+
+std::string format_error(std::string_view id, std::string_view code,
+                         std::string_view message) {
+  std::ostringstream os;
+  runtime::JsonWriter json(os, /*compact=*/true);
+  json.begin_object();
+  json.field("schema", "vds.serve_error.v1");
+  json.field("id", id);
+  json.field("code", code);
+  json.field("message", message);
+  json.end_object();
+  return os.str();
+}
+
+namespace {
+
+/// The shared response head; the caller appends the body and closes.
+void begin_response(runtime::JsonWriter& json, std::string_view id,
+                    std::string_view status, double queue_ms,
+                    double service_ms) {
+  json.begin_object();
+  json.field("schema", "vds.serve_response.v1");
+  json.field("id", id);
+  json.field("status", status);
+  json.field("queue_ms", queue_ms);
+  json.field("service_ms", service_ms);
+  json.key("body");
+}
+
+}  // namespace
+
+std::string format_campaign_response(std::string_view id,
+                                     const runtime::McConfig& config,
+                                     const runtime::McSummary& summary,
+                                     double queue_ms, double service_ms) {
+  const bool partial =
+      summary.deadline_exceeded || summary.cells_skipped > 0;
+  std::ostringstream os;
+  runtime::JsonWriter json(os, /*compact=*/true);
+  begin_response(json, id, partial ? "partial" : "ok", queue_ms,
+                 service_ms);
+  runtime::write_snapshot(json, config, summary);
+  json.end_object();
+  return os.str();
+}
+
+std::string format_run_response(std::string_view id,
+                                const scenario::Scenario& scenario,
+                                std::uint64_t faults_scheduled,
+                                const core::RunReport& report,
+                                double queue_ms, double service_ms) {
+  std::ostringstream os;
+  runtime::JsonWriter json(os, /*compact=*/true);
+  begin_response(json, id, "ok", queue_ms, service_ms);
+  scenario::write_run_report(json, scenario, faults_scheduled, report);
+  json.end_object();
+  return os.str();
+}
+
+std::string format_stats(std::string_view id, const StatsSnapshot& stats) {
+  std::ostringstream os;
+  runtime::JsonWriter json(os, /*compact=*/true);
+  json.begin_object();
+  json.field("schema", "vds.serve_stats.v1");
+  json.field("id", id);
+  json.field("accepted", stats.accepted);
+  json.field("rejected_queue_full", stats.rejected_queue_full);
+  json.field("rejected_deadline", stats.rejected_deadline);
+  json.field("rejected_drain", stats.rejected_drain);
+  json.field("bad_requests", stats.bad_requests);
+  json.field("completed", stats.completed);
+  json.field("batches", stats.batches);
+  json.field("queue_depth", stats.queue_depth);
+  json.field("outstanding", stats.outstanding);
+  json.key("queue_wait_ms").begin_object();
+  json.field("count", stats.queue_count);
+  json.field("mean", stats.queue_mean);
+  json.field("p50", stats.queue_p50);
+  json.field("p99", stats.queue_p99);
+  json.end_object();
+  json.key("service_ms").begin_object();
+  json.field("count", stats.service_count);
+  json.field("mean", stats.service_mean);
+  json.field("p50", stats.service_p50);
+  json.field("p99", stats.service_p99);
+  json.end_object();
+  json.end_object();
+  return os.str();
+}
+
+}  // namespace vds::serve

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/report.hpp"
+#include "runtime/mc_campaign.hpp"
+#include "scenario/campaign_spec.hpp"
+#include "scenario/scenario.hpp"
+
+namespace vds::serve {
+
+/// What a request asks the server to do.
+enum class RequestType : std::uint8_t {
+  kCampaign,  ///< Monte Carlo campaign -> vds.mc_summary.v1 body
+  kRun,       ///< single one-shot run  -> vds.run_report.v1 body
+  kStats,     ///< health/metrics probe -> vds.serve_stats.v1 line
+};
+
+/// One parsed `vds.serve_request.v1` envelope. The wire form is a
+/// single line of JSON:
+///
+///   {"schema": "vds.serve_request.v1", "id": "r1", "type": "campaign",
+///    "deadline_ms": 500,
+///    "scenario": { "schema": "vds.scenario.v1", ... },
+///    "campaign": { "replicas": 100, "rounds": [1, 5, 10], ... }}
+///
+/// `id` and `type` are required; `scenario` is required for campaign
+/// and run requests (a full vds.scenario.v1 object, exactly what
+/// `vds_cli --emit-scenario` prints); `campaign` (campaign requests
+/// only) takes the keys campaign_spec_from_json accepts; `deadline_ms`
+/// is an optional per-request deadline measured from admission.
+struct ServeRequest {
+  std::string id;
+  RequestType type = RequestType::kCampaign;
+  scenario::Scenario scenario;
+  scenario::CampaignSpec campaign;
+  double deadline_ms = 0.0;  ///< 0 = no deadline
+};
+
+// vds.serve_error.v1 codes. Every rejected request gets one of these
+// on its own line — never a silent drop.
+inline constexpr std::string_view kErrBadRequest = "bad_request";
+inline constexpr std::string_view kErrQueueFull = "queue_full";
+inline constexpr std::string_view kErrDeadline = "deadline";
+inline constexpr std::string_view kErrDrain = "drain";
+inline constexpr std::string_view kErrInternal = "internal";
+
+/// Parses one request line. Throws std::invalid_argument (or
+/// scenario::JsonError) on anything malformed: bad JSON, wrong or
+/// missing schema tag, unknown keys, invalid scenario/campaign
+/// fields. A campaign request whose scenario omits "rounds" gets
+/// vds_mc's job-length default (60) instead of vds_cli's (10000), so
+/// defaulted serve campaigns digest-match defaulted vds_mc runs.
+[[nodiscard]] ServeRequest parse_request(std::string_view line);
+
+/// Best-effort id extraction for error reporting on requests that
+/// fail strict parsing ("" when even that is hopeless).
+[[nodiscard]] std::string request_id_hint(std::string_view line);
+
+/// One vds.serve_error.v1 line (no trailing newline):
+///   {"schema": "vds.serve_error.v1", "id": ..., "code": ..., "message": ...}
+[[nodiscard]] std::string format_error(std::string_view id,
+                                       std::string_view code,
+                                       std::string_view message);
+
+/// One vds.serve_response.v1 line wrapping a vds.mc_summary.v1 body.
+/// `status` is "ok", or "partial" when a deadline stopped dispatch
+/// (body present either way; partial bodies carry deadline_exceeded /
+/// cells_skipped). The body bytes come from the same write_snapshot
+/// code path as `vds_mc --json-out`, so equal digests mean bitwise
+/// identical summaries.
+[[nodiscard]] std::string format_campaign_response(
+    std::string_view id, const runtime::McConfig& config,
+    const runtime::McSummary& summary, double queue_ms, double service_ms);
+
+/// One vds.serve_response.v1 line wrapping a vds.run_report.v1 body
+/// (the same envelope writer as `vds_cli --json`).
+[[nodiscard]] std::string format_run_response(
+    std::string_view id, const scenario::Scenario& scenario,
+    std::uint64_t faults_scheduled, const core::RunReport& report,
+    double queue_ms, double service_ms);
+
+/// Point-in-time server health, answered synchronously by a stats
+/// request (it never queues behind campaign work).
+struct StatsSnapshot {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_deadline = 0;
+  std::uint64_t rejected_drain = 0;
+  std::uint64_t bad_requests = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t outstanding = 0;
+  // Wall-clock distributions over completed requests, milliseconds.
+  std::uint64_t queue_count = 0;
+  double queue_mean = 0.0, queue_p50 = 0.0, queue_p99 = 0.0;
+  std::uint64_t service_count = 0;
+  double service_mean = 0.0, service_p50 = 0.0, service_p99 = 0.0;
+};
+
+/// One vds.serve_stats.v1 line.
+[[nodiscard]] std::string format_stats(std::string_view id,
+                                       const StatsSnapshot& stats);
+
+}  // namespace vds::serve

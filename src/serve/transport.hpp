@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace vds::serve {
+
+/// Largest accepted request line. Anything longer is discarded up to
+/// its newline and answered with a bad_request error — the reader
+/// never buffers unboundedly on a client that forgets the newline.
+inline constexpr std::size_t kMaxLineBytes = 1u << 20;  // 1 MiB
+
+/// ResponseSink over a raw file descriptor. One instance per
+/// connection; a mutex makes each write_line atomic against the
+/// dispatcher and reader threads. Optionally owns (closes) the fd —
+/// response lines can outlive the reader thread, so the fd must live
+/// as long as the last Pending's shared_ptr, which is exactly the
+/// sink's own lifetime.
+class FdSink : public ResponseSink {
+ public:
+  explicit FdSink(int fd, bool owns_fd) : fd_(fd), owns_fd_(owns_fd) {}
+  ~FdSink() override;
+  void write_line(const std::string& line) override;
+
+ private:
+  int fd_;
+  bool owns_fd_;
+  std::mutex mutex_;
+};
+
+/// Incremental newline-delimited reader over a file descriptor.
+/// Reads are bounded (poll + 100 ms timeout) so a drain signal is
+/// noticed promptly even on an idle connection.
+class LineReader {
+ public:
+  enum class Status {
+    kLine,      ///< `line` holds one complete request line
+    kOverlong,  ///< a line exceeded kMaxLineBytes and was discarded
+    kEof,       ///< peer closed after the last complete line
+    kDrain,     ///< global drain requested while waiting for input
+    kError,     ///< unrecoverable read error
+  };
+
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Blocks until one of the states above. Complete lines already
+  /// buffered are returned before the drain flag is consulted, so
+  /// requests fully received before the signal still get (drain
+  /// error) responses instead of vanishing.
+  [[nodiscard]] Status next(std::string& line);
+
+ private:
+  int fd_;
+  std::string buffer_;
+  bool eof_ = false;
+  bool discarding_ = false;
+};
+
+// Each loop returns the tool's exit code: 0 when input ended and every
+// accepted request was answered, 130 when a drain signal stopped the
+// server (in-flight work finished, queued requests answered with
+// code=drain), 3 on a transport failure.
+
+/// stdin -> requests, stdout -> responses. Exits 0 at EOF.
+int serve_stdio(Server& server);
+
+/// Unix stream socket at `path` (replaced if present). Accepts any
+/// number of concurrent connections; exits only via drain (130).
+int serve_unix(Server& server, const std::string& path);
+
+/// TCP on 127.0.0.1:`port`. Same lifecycle as serve_unix.
+int serve_tcp(Server& server, std::uint16_t port);
+
+}  // namespace vds::serve

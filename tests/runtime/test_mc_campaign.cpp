@@ -11,8 +11,11 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "core/smt_engine.hpp"
 #include "runtime/journal.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace vds::runtime {
 namespace {
@@ -464,6 +467,81 @@ TEST(McCampaign, SnapshotEmitsSchemaAndDigest) {
   EXPECT_NE(text.find("\"drained\": false"), std::string::npos);
   EXPECT_NE(text.find("\"quarantined\""), std::string::npos);
   EXPECT_NE(text.find("\"chaos\": \"\""), std::string::npos);
+  // deadline_exceeded is conditional -- absent here so the committed
+  // golden snapshots stay byte-identical.
+  EXPECT_EQ(text.find("deadline_exceeded"), std::string::npos);
+}
+
+// --- McExecution decomposition and deadlines --------------------------
+
+TEST(McExecution, DecompositionMatchesRunMcCampaign) {
+  const McRunner runner = make_smt_runner(engine_options());
+  McConfig config = small_config();
+  config.threads = 3;
+  const McSummary whole = run_mc_campaign(config, runner);
+
+  // The serve path: construct, enqueue on a caller-owned pool, await,
+  // reduce. Must not perturb a single bit.
+  McExecution exec(config, runner);
+  ThreadPool pool(3);
+  exec.enqueue(pool);
+  pool.wait_idle();
+  const McSummary pieces = exec.reduce(pool);
+  expect_bitwise_equal(whole, pieces);
+  EXPECT_FALSE(pieces.deadline_exceeded);
+}
+
+TEST(McExecution, SharedPoolInterleavesTwoCampaignsWithoutPerturbation) {
+  const McRunner runner = make_smt_runner(engine_options());
+  McConfig config_a = small_config();
+  McConfig config_b = small_config();
+  config_b.seed = 99;
+  const McSummary alone_a = run_mc_campaign(config_a, runner);
+  const McSummary alone_b = run_mc_campaign(config_b, runner);
+
+  // Batched the way vds_serve batches: both campaigns' cells enqueued
+  // before one barrier, interleaving freely on the shared pool.
+  McExecution exec_a(config_a, runner);
+  McExecution exec_b(config_b, runner);
+  ThreadPool pool(4);
+  exec_a.enqueue(pool);
+  exec_b.enqueue(pool);
+  pool.wait_idle();
+  const McSummary shared_a = exec_a.reduce(pool);
+  const McSummary shared_b = exec_b.reduce(pool);
+  expect_bitwise_equal(alone_a, shared_a);
+  expect_bitwise_equal(alone_b, shared_b);
+}
+
+TEST(McExecution, ExpiredDeadlineSkipsEveryCell) {
+  McConfig config = small_config();
+  config.threads = 2;
+  config.deadline =
+      std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  const McSummary summary =
+      run_mc_campaign(config, make_smt_runner(engine_options()));
+  EXPECT_TRUE(summary.deadline_exceeded);
+  EXPECT_EQ(summary.cells_executed, 0u);
+  EXPECT_EQ(summary.cells_skipped, 96u);
+  EXPECT_EQ(summary.cells_quarantined, 0u);  // deadline is not a fault
+  EXPECT_FALSE(summary.drained);
+
+  std::ostringstream out;
+  write_snapshot(out, config, summary);
+  EXPECT_NE(out.str().find("\"deadline_exceeded\": true"),
+            std::string::npos);
+}
+
+TEST(McExecution, FarDeadlineLeavesTheSummaryUntouched) {
+  const McRunner runner = make_smt_runner(engine_options());
+  McConfig config = small_config();
+  config.threads = 2;
+  const McSummary free_run = run_mc_campaign(config, runner);
+  config.deadline =
+      std::chrono::steady_clock::now() + std::chrono::hours(24);
+  const McSummary timed = run_mc_campaign(config, runner);
+  EXPECT_FALSE(timed.deadline_exceeded);
+  expect_bitwise_equal(free_run, timed);
 }
 
 }  // namespace

@@ -60,6 +60,49 @@ TEST(StrictParse, ErrorNamesTheFlag) {
   }
 }
 
+/// Runs `thunk`, which must throw CliError, and asserts the message is
+/// exactly the canonical strict-parse shape:
+///   FLAG: expected WANTED, got 'VALUE'
+template <typename Thunk>
+void expect_bad_value_shape(Thunk thunk, const std::string& flag,
+                            const std::string& value) {
+  try {
+    thunk();
+    FAIL() << "expected CliError for " << flag << "=" << value;
+  } catch (const CliError& error) {
+    const std::string what = error.what();
+    EXPECT_EQ(what.rfind(flag + ": expected ", 0), 0u) << what;
+    const std::string tail = ", got '" + value + "'";
+    ASSERT_GE(what.size(), tail.size()) << what;
+    EXPECT_EQ(what.substr(what.size() - tail.size()), tail) << what;
+  }
+}
+
+TEST(StrictParse, BadValueEmitsTheCanonicalShape) {
+  expect_bad_value_shape(
+      [] { bad_value("--grid", "zero", "a positive round number"); },
+      "--grid", "zero");
+  try {
+    bad_value("--kinds", "bogus", "transient, crash, permanent or "
+                                  "processor_crash");
+  } catch (const CliError& error) {
+    EXPECT_STREQ(error.what(),
+                 "--kinds: expected transient, crash, permanent or "
+                 "processor_crash, got 'bogus'");
+  }
+}
+
+TEST(StrictParse, EveryNumericParserUsesTheShape) {
+  expect_bad_value_shape([] { (void)parse_double("--alpha", "1.5x"); },
+                         "--alpha", "1.5x");
+  expect_bad_value_shape([] { (void)parse_u64("--seed", "-1"); }, "--seed",
+                         "-1");
+  expect_bad_value_shape([] { (void)parse_int("--s", "2147483648"); },
+                         "--s", "2147483648");
+  expect_bad_value_shape([] { (void)parse_unsigned("--threads", "-8"); },
+                         "--threads", "-8");
+}
+
 // --- ArgCursor / apply_scenario_flag ----------------------------------
 
 /// Feeds `tokens` (sans argv[0], which ArgCursor skips) through the

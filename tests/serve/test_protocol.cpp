@@ -1,0 +1,125 @@
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "scenario/json_reader.hpp"
+
+namespace vds::serve {
+namespace {
+
+constexpr const char* kScenarioJson =
+    R"({"schema": "vds.scenario.v1", "scheme": "det", "seed": 9})";
+
+std::string wrap_request(const std::string& fields) {
+  return R"({"schema": "vds.serve_request.v1", )" + fields + "}";
+}
+
+TEST(ServeProtocol, ParsesCampaignRequest) {
+  const ServeRequest request = parse_request(wrap_request(
+      R"("id": "r1", "type": "campaign", "deadline_ms": 250,
+         "scenario": )" +
+      std::string(kScenarioJson) +
+      R"(, "campaign": {"replicas": 7, "rounds": [1, 3], "seed": 4})"));
+  EXPECT_EQ(request.id, "r1");
+  EXPECT_EQ(request.type, RequestType::kCampaign);
+  EXPECT_DOUBLE_EQ(request.deadline_ms, 250.0);
+  EXPECT_EQ(request.scenario.seed, 9u);
+  // vds_mc parity: campaign scenarios without "rounds" get 60, not
+  // the Scenario default of 10000.
+  EXPECT_EQ(request.scenario.rounds, 60u);
+  EXPECT_EQ(request.campaign.replicas, 7u);
+  EXPECT_EQ(request.campaign.grid, (std::vector<std::uint64_t>{1, 3}));
+  EXPECT_EQ(request.campaign.seed, 4u);
+}
+
+TEST(ServeProtocol, RunScenarioKeepsItsOwnRoundsDefault) {
+  const ServeRequest request = parse_request(wrap_request(
+      R"("id": "r2", "type": "run", "scenario": )" +
+      std::string(kScenarioJson)));
+  EXPECT_EQ(request.type, RequestType::kRun);
+  EXPECT_EQ(request.scenario.rounds, 10000u);  // vds_cli parity
+}
+
+TEST(ServeProtocol, StatsRequestNeedsNoScenario) {
+  const ServeRequest request =
+      parse_request(wrap_request(R"("id": "h", "type": "stats")"));
+  EXPECT_EQ(request.type, RequestType::kStats);
+}
+
+TEST(ServeProtocol, RejectsMalformedRequests) {
+  // Not JSON at all.
+  EXPECT_THROW((void)parse_request("not json"), std::exception);
+  // Wrong schema tag.
+  EXPECT_THROW((void)parse_request(R"({"schema": "nope", "id": "x"})"),
+               std::invalid_argument);
+  // Missing id / missing type / missing scenario.
+  EXPECT_THROW((void)parse_request(wrap_request(R"("type": "stats")")),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_request(wrap_request(R"("id": "x")")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse_request(wrap_request(R"("id": "x", "type": "run")")),
+      std::invalid_argument);
+  // Unknown envelope key (strict parse).
+  EXPECT_THROW((void)parse_request(wrap_request(
+                   R"("id": "x", "type": "stats", "bogus": 1)")),
+               std::invalid_argument);
+  // Unknown type name.
+  EXPECT_THROW((void)parse_request(
+                   wrap_request(R"("id": "x", "type": "dance")")),
+               std::invalid_argument);
+  // stats with a payload / run with a campaign.
+  EXPECT_THROW((void)parse_request(wrap_request(
+                   R"("id": "x", "type": "stats", "scenario": {})")),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_request(wrap_request(
+                   R"("id": "x", "type": "run", "scenario": )" +
+                   std::string(kScenarioJson) + R"(, "campaign": {})")),
+               std::invalid_argument);
+  // deadline_ms must be positive.
+  EXPECT_THROW((void)parse_request(wrap_request(
+                   R"("id": "x", "type": "stats", "deadline_ms": 0)")),
+               std::invalid_argument);
+}
+
+TEST(ServeProtocol, RequestIdHintSurvivesBadRequests) {
+  EXPECT_EQ(request_id_hint(R"({"id": "r9", "type": "dance"})"), "r9");
+  EXPECT_EQ(request_id_hint("garbage"), "");
+  EXPECT_EQ(request_id_hint(R"({"id": 42})"), "");
+}
+
+TEST(ServeProtocol, ErrorLineIsSingleLineStructuredJson) {
+  const std::string line = format_error("r1", kErrQueueFull, "full up");
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const scenario::JsonValue doc = scenario::parse_json(line);
+  EXPECT_EQ(doc.find("schema")->as_string("schema"), "vds.serve_error.v1");
+  EXPECT_EQ(doc.find("id")->as_string("id"), "r1");
+  EXPECT_EQ(doc.find("code")->as_string("code"), "queue_full");
+  EXPECT_EQ(doc.find("message")->as_string("message"), "full up");
+}
+
+TEST(ServeProtocol, StatsLineRoundTrips) {
+  StatsSnapshot stats;
+  stats.accepted = 5;
+  stats.completed = 3;
+  stats.queue_depth = 2;
+  stats.queue_count = 3;
+  stats.queue_mean = 1.5;
+  const std::string line = format_stats("h1", stats);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const scenario::JsonValue doc = scenario::parse_json(line);
+  EXPECT_EQ(doc.find("schema")->as_string("schema"), "vds.serve_stats.v1");
+  EXPECT_EQ(doc.find("accepted")->as_u64("accepted"), 5u);
+  EXPECT_EQ(doc.find("completed")->as_u64("completed"), 3u);
+  EXPECT_EQ(doc.find("queue_depth")->as_u64("queue_depth"), 2u);
+  const scenario::JsonValue* queue = doc.find("queue_wait_ms");
+  ASSERT_NE(queue, nullptr);
+  EXPECT_EQ(queue->find("count")->as_u64("count"), 3u);
+  EXPECT_DOUBLE_EQ(queue->find("mean")->as_double("mean"), 1.5);
+}
+
+}  // namespace
+}  // namespace vds::serve

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Exit-code convention across the three tools:
+# Exit-code convention across the four tools:
 #   0 success; 1 job did not complete (vds_cli only); 2 usage/parse
 #   error; 3 runtime failure; 130 signal drain (vds_mc, covered by
-#   check_drain_resume.sh).
+#   check_drain_resume.sh; vds_serve, covered by check_serve.sh).
+# Also pins the strict-parse diagnostic shape: every bad flag value is
+# reported as  FLAG: expected WANTED, got 'VALUE'.
 # Usage: check_exit_codes.sh BUILD_DIR
 set -u
 
@@ -10,6 +12,7 @@ build="${1:?usage: check_exit_codes.sh BUILD_DIR}"
 cli="$build/tools/vds_cli"
 mc="$build/tools/vds_mc"
 sweep="$build/tools/vds_sweep"
+serve="$build/tools/vds_serve"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
@@ -20,6 +23,15 @@ expect() {
   local got=$?
   if [ "$got" -ne "$want" ]; then
     echo "FAIL: expected exit $want, got $got: $*" >&2
+    failures=$((failures + 1))
+  fi
+}
+
+# Asserts stderr carries the canonical strict-parse message.
+expect_message() {
+  local needle="$1"; shift
+  if ! "$@" 2>&1 > /dev/null | grep -qF -e "$needle"; then
+    echo "FAIL: stderr missing \"$needle\": $*" >&2
     failures=$((failures + 1))
   fi
 }
@@ -39,6 +51,34 @@ expect 2 "$mc" --chaos cell.explode=1  # unknown chaos site
 expect 2 "$mc" --chaos cell.fail=2     # probability out of range
 expect 2 "$sweep" --dataset nope
 expect 2 "$sweep" --no-such-flag
+echo '{"schema": "vds.serve_request.v1", "id": "x", "type": "stats"}' |
+  expect 0 "$serve" --threads 1
+expect 2 "$serve" --no-such-flag
+expect 2 "$serve" --queue-limit 0
+expect 2 "$serve" --batch-max bogus
+expect 2 "$serve" --tcp 70000
+
+# Strict-parse diagnostics: flag AND value, in the one canonical shape.
+expect_message "--grid: expected a positive round number, got '0'" \
+  "$mc" --grid 0
+expect_message "--kinds: expected transient, crash, permanent or processor_crash, got 'meteor'" \
+  "$mc" --kinds meteor
+expect_message "--cell-timeout: expected a number >= 0, got '-1'" \
+  "$mc" --cell-timeout -1
+expect_message "--alpha: expected a number, got 'bogus'" \
+  "$cli" --alpha bogus
+expect_message "--engine: expected smt, conv, srt or duplex, got 'abacus'" \
+  "$cli" --engine abacus
+expect_message "--scheme: expected rollback, retry, det, prob or predict, got 'hope'" \
+  "$cli" --scheme hope
+expect_message "--predictor: expected a registered predictor name, got 'crystal_ball'" \
+  "$cli" --predictor crystal_ball
+expect_message "--dataset: expected fig4, fig5, gmax, schemes, alpha or reliability, got 'nope'" \
+  "$sweep" --dataset nope
+expect_message "--queue-limit: expected a positive request count, got '0'" \
+  "$serve" --queue-limit 0
+expect_message "--tcp: expected a port in 1..65535, got '70000'" \
+  "$serve" --tcp 70000
 
 # 2 via environment: $VDS_CHAOS is parsed like --chaos.
 VDS_CHAOS="bogus" expect 2 "$mc" --quiet --replicas 1 --grid 1 \

@@ -23,6 +23,7 @@
 #include "runtime/journal.hpp"
 #include "scenario/cli.hpp"
 #include "scenario/engine_factory.hpp"
+#include "scenario/report_json.hpp"
 
 namespace {
 
@@ -115,19 +116,12 @@ int run_cli(int argc, char** argv) {
   const vds::core::RunReport report = engine->run(timeline, &trace);
 
   if (out.json) {
-    // Same report schema as vds_mc snapshots / the runtime journal.
+    // Same report schema as vds_mc snapshots / the runtime journal,
+    // through the envelope writer vds_serve shares.
     vds::runtime::JsonWriter json(std::cout);
-    json.begin_object();
-    json.field("schema", "vds.run_report.v1");
-    json.field("engine", to_string(scenario.engine));
-    json.field("scheme", vds::core::short_name(scenario.scheme));
-    json.field("predictor", scenario.predictor);
-    json.field("seed", scenario.seed);
-    json.field("faults_scheduled",
-               static_cast<std::uint64_t>(timeline.size()));
-    json.key("report");
-    vds::runtime::write_json(json, report);
-    json.end_object();
+    vds::scenario::write_run_report(
+        json, scenario, static_cast<std::uint64_t>(timeline.size()),
+        report);
     observability.write();
     return report.completed ? 0 : 1;
   }

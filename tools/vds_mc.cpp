@@ -29,6 +29,7 @@
 #include "runtime/journal.hpp"
 #include "runtime/mc_campaign.hpp"
 #include "runtime/thread_pool.hpp"
+#include "scenario/campaign_spec.hpp"
 #include "scenario/cli.hpp"
 #include "scenario/engine_factory.hpp"
 
@@ -89,23 +90,6 @@ void print_usage(std::FILE* stream) {
   std::fputs(kUsageTail, stream);
 }
 
-struct CampaignOptions {
-  std::uint64_t replicas = 100;
-  std::vector<std::uint64_t> grid = {1, 5, 10, 15, 20};
-  std::vector<std::string> kinds;  // empty = all four
-  bool jitter = true;
-  double fixed_offset = 0.3;
-  unsigned threads = 0;
-  std::uint64_t seed = 1;
-  std::string journal;
-  bool resume = false;
-  std::string json_out;
-  bool quiet = false;
-  double cell_timeout = 0.0;
-  unsigned max_retries = 2;
-  std::string chaos;
-};
-
 std::vector<std::string> split_csv(const std::string& text) {
   std::vector<std::string> parts;
   std::size_t start = 0;
@@ -121,22 +105,15 @@ std::vector<std::string> split_csv(const std::string& text) {
   return parts;
 }
 
-vds::fault::FaultKind parse_kind(const std::string& name) {
-  using vds::fault::FaultKind;
-  if (name == "transient") return FaultKind::kTransient;
-  if (name == "crash") return FaultKind::kCrash;
-  if (name == "permanent") return FaultKind::kPermanent;
-  if (name == "processor_crash") return FaultKind::kProcessorCrash;
-  throw vds::scenario::CliError("unknown fault kind '" + name + "'");
-}
-
 int run_mc(int argc, char** argv) {
   using vds::scenario::CliError;
 
   vds::scenario::Scenario scenario;
   scenario.rounds = 60;  // vds_mc's traditional default job length
   vds::scenario::Observability observability;
-  CampaignOptions campaign;
+  vds::scenario::CampaignSpec campaign;
+  std::string json_out;
+  bool quiet = false;
 
   vds::scenario::ArgCursor args(argc, argv);
   while (!args.done()) {
@@ -155,13 +132,22 @@ int run_mc(int argc, char** argv) {
            split_csv(std::string(args.value(arg)))) {
         const std::uint64_t round = vds::scenario::parse_u64(arg, part);
         if (round == 0) {
-          throw CliError("--grid expects positive round numbers, got '" +
-                         part + "'");
+          vds::scenario::bad_value(arg, part, "a positive round number");
         }
         campaign.grid.push_back(round);
       }
     } else if (arg == "--kinds") {
-      campaign.kinds = split_csv(std::string(args.value(arg)));
+      campaign.kinds.clear();
+      for (const std::string& part :
+           split_csv(std::string(args.value(arg)))) {
+        try {
+          campaign.kinds.push_back(vds::scenario::parse_fault_kind(part));
+        } catch (const std::invalid_argument&) {
+          vds::scenario::bad_value(
+              arg, part,
+              "transient, crash, permanent or processor_crash");
+        }
+      }
     } else if (arg == "--fixed-offset") {
       campaign.jitter = false;
       campaign.fixed_offset = args.value_double(arg);
@@ -176,13 +162,14 @@ int run_mc(int argc, char** argv) {
     } else if (arg == "--resume") {
       campaign.resume = true;
     } else if (arg == "--json-out") {
-      campaign.json_out = std::string(args.value(arg));
+      json_out = std::string(args.value(arg));
     } else if (arg == "--quiet") {
-      campaign.quiet = true;
+      quiet = true;
     } else if (arg == "--cell-timeout") {
-      campaign.cell_timeout = args.value_double(arg);
+      const std::string_view text = args.value(arg);
+      campaign.cell_timeout = vds::scenario::parse_double(arg, text);
       if (campaign.cell_timeout < 0.0) {
-        throw CliError("--cell-timeout must be >= 0");
+        vds::scenario::bad_value(arg, text, "a number >= 0");
       }
     } else if (arg == "--max-retries") {
       campaign.max_retries = args.value_unsigned(arg);
@@ -201,76 +188,27 @@ int run_mc(int argc, char** argv) {
   }
   scenario.validate();
 
-  vds::runtime::McConfig config;
-  if (!campaign.kinds.empty()) {
-    config.kinds.clear();
-    for (const std::string& name : campaign.kinds) {
-      config.kinds.push_back(parse_kind(name));
-    }
-  }
-  config.rounds = campaign.grid;
-  config.replicas = campaign.replicas;
-  config.round_time = 2.0 * scenario.alpha + scenario.beta;
-  config.jitter_offset = campaign.jitter;
-  config.fixed_offset = campaign.fixed_offset;
-  config.seed = campaign.seed;
-  config.threads = campaign.threads;
-  config.journal_path = campaign.journal;
-  config.resume = campaign.resume;
-  config.cell_timeout = campaign.cell_timeout;
-  config.max_retries = campaign.max_retries;
   if (campaign.chaos.empty()) {
     if (const char* env = std::getenv("VDS_CHAOS")) campaign.chaos = env;
   }
-  config.chaos = campaign.chaos;
+  // Config and runner come from the shared campaign_spec layer —
+  // exactly what vds_serve builds for the same request, which is what
+  // makes serve responses digest-match this tool's snapshots.
+  const vds::runtime::McConfig config =
+      vds::scenario::to_mc_config(campaign, scenario);
   // A typo'd chaos spec is a usage error; validate before the run.
   try {
     (void)vds::runtime::Chaos::parse(config.chaos, config.seed);
   } catch (const std::exception& error) {
     throw CliError(error.what());
   }
-  // Fold the engine parameters into the journal fingerprint so a
-  // journal can only be resumed against the same engine. The first
-  // six folds reproduce the pre-scenario fingerprint byte for byte;
-  // newer fields are folded only when they differ from the defaults,
-  // keeping old journals resumable.
-  {
-    std::uint64_t h =
-        vds::runtime::fnv1a(vds::core::short_name(scenario.scheme));
-    h = vds::runtime::fnv1a(scenario.predictor, h);
-    h = vds::runtime::fnv1a(&scenario.alpha, sizeof scenario.alpha, h);
-    h = vds::runtime::fnv1a(&scenario.beta, sizeof scenario.beta, h);
-    h = vds::runtime::fnv1a(&scenario.s, sizeof scenario.s, h);
-    h = vds::runtime::fnv1a(&scenario.rounds, sizeof scenario.rounds, h);
-    if (scenario.engine != vds::scenario::EngineKind::kSmt) {
-      h = vds::runtime::fnv1a(to_string(scenario.engine), h);
-    }
-    if (scenario.adaptive) h = vds::runtime::fnv1a("adaptive", h);
-    if (scenario.threads != 2) {
-      h = vds::runtime::fnv1a(&scenario.threads, sizeof scenario.threads,
-                              h);
-    }
-    config.runner_fingerprint = h;
-  }
-
   const vds::runtime::McRunner runner =
-      [&scenario](const vds::runtime::McCell&,
-                  vds::fault::FaultTimeline& timeline,
-                  vds::sim::Rng& rng) {
-        // split() mutates the cell RNG, so the draw order (engine
-        // stream first, predictor stream second) is part of the
-        // deterministic contract -- sequence it with named locals.
-        auto engine_rng = rng.split(1);
-        auto predictor_rng = rng.split(2);
-        const auto engine = vds::scenario::make_engine(
-            scenario, engine_rng, predictor_rng);
-        return engine->run(timeline);
-      };
+      vds::scenario::make_mc_runner(scenario);
 
   const unsigned workers =
       campaign.threads == 0 ? vds::runtime::ThreadPool::hardware_threads()
                             : campaign.threads;
-  if (!campaign.quiet) {
+  if (!quiet) {
     std::printf("campaign: %zu cells (%zu kinds x %zu rounds x %llu "
                 "replicas), %u worker thread%s\n",
                 config.cells(), config.kinds.size(), config.rounds.size(),
@@ -296,7 +234,7 @@ int run_mc(int argc, char** argv) {
                                     start)
           .count();
 
-  if (!campaign.quiet) {
+  if (!quiet) {
     std::printf("done in %.2fs: %llu executed, %llu resumed from "
                 "journal\n",
                 elapsed,
@@ -337,13 +275,13 @@ int run_mc(int argc, char** argv) {
                 static_cast<unsigned long long>(summary.digest()));
   }
 
-  if (!campaign.json_out.empty()) {
-    if (campaign.json_out == "-") {
+  if (!json_out.empty()) {
+    if (json_out == "-") {
       vds::runtime::write_snapshot(std::cout, config, summary);
     } else {
-      std::ofstream out(campaign.json_out);
+      std::ofstream out(json_out);
       if (!out) {
-        throw CliError("cannot write '" + campaign.json_out + "'");
+        throw CliError("cannot write '" + json_out + "'");
       }
       vds::runtime::write_snapshot(out, config, summary);
     }

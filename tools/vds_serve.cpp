@@ -1,0 +1,172 @@
+// vds_serve -- long-lived campaign server.
+//
+//   vds_serve --threads 8 --queue-limit 64 < requests.ndjson
+//   vds_serve --unix /tmp/vds.sock
+//   vds_serve --tcp 7700
+//
+// Accepts newline-delimited vds.serve_request.v1 lines (stdin by
+// default, or any number of concurrent Unix/TCP connections), runs
+// them on one persistent warm worker pool, and answers each with a
+// single vds.serve_response.v1 / vds.serve_error.v1 / vds.serve_stats.v1
+// line. Campaign bodies are bitwise-identical to what `vds_mc
+// --json-out` writes for the same scenario; run bodies match
+// `vds_cli --json`.
+//
+// Admission control is explicit: past --queue-limit outstanding
+// requests a submission is rejected immediately with code=queue_full.
+// Per-request deadlines (deadline_ms, measured from admission) clamp
+// the cell watchdog and skip undispatched cells -> status=partial.
+// SIGINT/SIGTERM drain: the batch in flight finishes, everything
+// still queued is answered with code=drain, and the exit code is 130.
+
+#include <csignal>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "runtime/mc_campaign.hpp"
+#include "scenario/cli.hpp"
+#include "serve/server.hpp"
+#include "serve/transport.hpp"
+
+namespace {
+
+constexpr const char* kUsageHead = R"(usage: vds_serve [options]
+
+transport (pick one):
+  --stdio                        newline-delimited requests on stdin,
+                                 responses on stdout        [default]
+  --unix PATH                    listen on a Unix stream socket
+  --tcp PORT                     listen on 127.0.0.1:PORT
+
+execution:
+  --threads N                    worker threads shared by all requests
+                                 (0 = hardware)              [0]
+  --queue-limit N                max outstanding (queued + in-service)
+                                 requests before code=queue_full
+                                 rejections                  [64]
+  --batch-max N                  requests coalesced onto the pool per
+                                 dispatch                    [8]
+  --help                         this text
+
+)";
+
+constexpr const char* kUsageTail = R"(
+protocol: one vds.serve_request.v1 JSON object per line; see
+docs/SCHEMAS.md section 7. Every request line is answered with exactly
+one response line -- results, a structured vds.serve_error.v1
+(bad_request, queue_full, deadline, drain, internal), or a
+vds.serve_stats.v1 health snapshot. Requests are never silently
+dropped.
+
+SIGINT/SIGTERM drain gracefully: in-flight requests finish and are
+answered, queued requests fail with code=drain, then the server exits.
+
+exit codes: 0 input closed after all requests answered; 2 usage/parse
+error; 3 runtime failure; 130 signal drain.
+)";
+
+void print_usage(std::FILE* stream) {
+  std::fputs(kUsageHead, stream);
+  std::fputs(std::string(vds::scenario::observability_usage()).c_str(),
+             stream);
+  std::fputs(kUsageTail, stream);
+}
+
+enum class Transport { kStdio, kUnix, kTcp };
+
+int run_serve(int argc, char** argv) {
+  using vds::scenario::CliError;
+
+  vds::serve::ServerOptions options;
+  vds::scenario::Observability observability;
+  Transport transport = Transport::kStdio;
+  std::string unix_path;
+  std::uint16_t tcp_port = 0;
+
+  vds::scenario::ArgCursor args(argc, argv);
+  while (!args.done()) {
+    const std::string arg(args.next());
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      return 0;
+    } else if (arg == "--stdio") {
+      transport = Transport::kStdio;
+    } else if (arg == "--unix") {
+      transport = Transport::kUnix;
+      unix_path = std::string(args.value(arg));
+      if (unix_path.empty()) {
+        vds::scenario::bad_value(arg, unix_path, "a socket path");
+      }
+    } else if (arg == "--tcp") {
+      transport = Transport::kTcp;
+      const std::string_view text = args.value(arg);
+      const std::uint64_t port = vds::scenario::parse_u64(arg, text);
+      if (port == 0 || port > 65535) {
+        vds::scenario::bad_value(arg, text, "a port in 1..65535");
+      }
+      tcp_port = static_cast<std::uint16_t>(port);
+    } else if (arg == "--threads") {
+      options.threads = args.value_unsigned(arg);
+    } else if (arg == "--queue-limit") {
+      const std::string_view text = args.value(arg);
+      options.queue_limit = vds::scenario::parse_u64(arg, text);
+      if (options.queue_limit == 0) {
+        vds::scenario::bad_value(arg, text, "a positive request count");
+      }
+    } else if (arg == "--batch-max") {
+      const std::string_view text = args.value(arg);
+      options.batch_max = vds::scenario::parse_u64(arg, text);
+      if (options.batch_max == 0) {
+        vds::scenario::bad_value(arg, text, "a positive request count");
+      }
+    } else if (vds::scenario::apply_observability_flag(observability, arg,
+                                                       args)) {
+      // handled by the shared observability parser
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      print_usage(stderr);
+      return 2;
+    }
+  }
+
+  // A dead client mid-response must not kill the server.
+  std::signal(SIGPIPE, SIG_IGN);
+  vds::runtime::install_drain_signal_handlers();
+
+  observability.arm();
+  int code;
+  {
+    vds::serve::Server server(options);
+    switch (transport) {
+      case Transport::kStdio:
+        code = vds::serve::serve_stdio(server);
+        break;
+      case Transport::kUnix:
+        code = vds::serve::serve_unix(server, unix_path);
+        break;
+      case Transport::kTcp:
+        code = vds::serve::serve_tcp(server, tcp_port);
+        break;
+    }
+  }
+  observability.write();
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_serve(argc, argv);
+  } catch (const vds::scenario::CliError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 3;
+  }
+}

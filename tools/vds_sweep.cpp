@@ -231,6 +231,18 @@ int run_sweep(int argc, char** argv) {
     }
   }
 
+  // Validate before arming anything so the error is pure usage: the
+  // canonical bad_value shape names both the flag and the value.
+  static const char* const kDatasets[] = {"fig4",    "fig5",  "gmax",
+                                          "schemes", "alpha", "reliability"};
+  bool known = false;
+  for (const char* name : kDatasets) known = known || dataset == name;
+  if (!known) {
+    vds::scenario::bad_value(
+        "--dataset", dataset,
+        "fig4, fig5, gmax, schemes, alpha or reliability");
+  }
+
   observability.arm();
   vds::runtime::ThreadPool pool(threads);
   if (dataset == "fig4") {
@@ -245,9 +257,6 @@ int run_sweep(int argc, char** argv) {
     emit_alpha(pool);
   } else if (dataset == "reliability") {
     emit_reliability(pool);
-  } else {
-    std::fprintf(stderr, "missing or unknown --dataset\n%s", kUsage);
-    return 2;
   }
   observability.write();
   return 0;
