@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <ostream>
 #include <stdexcept>
 
@@ -128,6 +129,144 @@ namespace {
 
 constexpr const char* kHeaderFormat = "vds-mc-journal v2 fingerprint %016" PRIx64 "\n";
 
+// v3 binary layout (docs/SCHEMAS.md section 6). Header: 8-byte magic,
+// u32 LE version, u64 LE fingerprint, '\n'. Record: 0xA5 marker, u8
+// payload length, payload, u32 LE CRC32C of the payload, '\n'. The
+// trailing newline is framing only (it keeps `wc -l` and text tools
+// honest about progress) and is not covered by the CRC.
+constexpr unsigned char kV3Magic[8] = {'v', 'd', 's', 'j', 'r', 'n', 'l', '\0'};
+constexpr std::size_t kV3HeaderSize = 8 + 4 + 8 + 1;
+constexpr unsigned char kV3Marker = 0xA5;
+// Payload = flags + varint cell + varint outcome + optional f64
+// latency + optional f64 recovery + f64 total + varint rounds.
+constexpr std::size_t kV3MinPayload = 1 + 1 + 1 + 8 + 1;
+constexpr std::size_t kV3MaxPayload = 1 + 10 + 5 + 8 + 8 + 8 + 10;
+constexpr unsigned char kV3FlagLatency = 0x01;
+constexpr unsigned char kV3FlagRecovery = 0x02;
+
+void put_le32(unsigned char* out, std::uint32_t v) noexcept {
+  out[0] = static_cast<unsigned char>(v);
+  out[1] = static_cast<unsigned char>(v >> 8);
+  out[2] = static_cast<unsigned char>(v >> 16);
+  out[3] = static_cast<unsigned char>(v >> 24);
+}
+
+void put_le64(unsigned char* out, std::uint64_t v) noexcept {
+  put_le32(out, static_cast<std::uint32_t>(v));
+  put_le32(out + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_le32(const unsigned char* p) noexcept {
+  return std::uint32_t(p[0]) | std::uint32_t(p[1]) << 8 |
+         std::uint32_t(p[2]) << 16 | std::uint32_t(p[3]) << 24;
+}
+
+std::uint64_t get_le64(const unsigned char* p) noexcept {
+  return std::uint64_t(get_le32(p)) | std::uint64_t(get_le32(p + 4)) << 32;
+}
+
+std::uint64_t f64_bits(double x) noexcept {
+  std::uint64_t bits;
+  std::memcpy(&bits, &x, sizeof bits);
+  return bits;
+}
+
+double f64_from_bits(std::uint64_t bits) noexcept {
+  double x;
+  std::memcpy(&x, &bits, sizeof x);
+  return x;
+}
+
+std::size_t put_varint(unsigned char* out, std::uint64_t v) noexcept {
+  std::size_t n = 0;
+  while (v >= 0x80) {
+    out[n++] = static_cast<unsigned char>(v) | 0x80;
+    v >>= 7;
+  }
+  out[n++] = static_cast<unsigned char>(v);
+  return n;
+}
+
+bool get_varint(const unsigned char* p, std::size_t n, std::size_t& pos,
+                std::uint64_t& value) noexcept {
+  value = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (pos >= n) return false;
+    const unsigned char byte = p[pos++];
+    // The 10th byte can only carry bit 63; anything more is an
+    // overlong/overflowing encoding the writer never produces.
+    if (shift == 63 && (byte & 0xfe) != 0) return false;
+    value |= std::uint64_t(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return true;
+  }
+  return false;
+}
+
+/// Doubles whose bit pattern equals the field's default (-1.0 for the
+/// latency, +0.0 for the recovery time) are elided via the flags
+/// byte; presence is decided on *bit patterns*, not value compares,
+/// so -0.0 round-trips bitwise. ~40% of cells in a typical campaign
+/// are no_effect and carry both defaults.
+std::size_t encode_v3_payload(const JournalRecord& record,
+                              unsigned char* out) noexcept {
+  const std::uint64_t latency_bits = f64_bits(record.detection_latency);
+  const std::uint64_t recovery_bits = f64_bits(record.recovery_time);
+  const bool has_latency = latency_bits != f64_bits(-1.0);
+  const bool has_recovery = recovery_bits != f64_bits(0.0);
+  std::size_t n = 0;
+  out[n++] = (has_latency ? kV3FlagLatency : 0) |
+             (has_recovery ? kV3FlagRecovery : 0);
+  n += put_varint(out + n, record.index);
+  n += put_varint(out + n,
+                  static_cast<std::uint32_t>(record.outcome));
+  if (has_latency) {
+    put_le64(out + n, latency_bits);
+    n += 8;
+  }
+  if (has_recovery) {
+    put_le64(out + n, recovery_bits);
+    n += 8;
+  }
+  put_le64(out + n, f64_bits(record.total_time));
+  n += 8;
+  n += put_varint(out + n, record.rounds_committed);
+  return n;
+}
+
+bool decode_v3_payload(const unsigned char* p, std::size_t n,
+                       JournalRecord& record) noexcept {
+  std::size_t pos = 0;
+  if (n == 0) return false;
+  const unsigned char flags = p[pos++];
+  if ((flags & ~(kV3FlagLatency | kV3FlagRecovery)) != 0) return false;
+  if (!get_varint(p, n, pos, record.index)) return false;
+  std::uint64_t outcome = 0;
+  if (!get_varint(p, n, pos, outcome) || outcome > 0xffffffffull) {
+    return false;
+  }
+  record.outcome =
+      static_cast<std::int32_t>(static_cast<std::uint32_t>(outcome));
+  if ((flags & kV3FlagLatency) != 0) {
+    if (pos + 8 > n) return false;
+    record.detection_latency = f64_from_bits(get_le64(p + pos));
+    pos += 8;
+  } else {
+    record.detection_latency = -1.0;
+  }
+  if ((flags & kV3FlagRecovery) != 0) {
+    if (pos + 8 > n) return false;
+    record.recovery_time = f64_from_bits(get_le64(p + pos));
+    pos += 8;
+  } else {
+    record.recovery_time = 0.0;
+  }
+  if (pos + 8 > n) return false;
+  record.total_time = f64_from_bits(get_le64(p + pos));
+  pos += 8;
+  if (!get_varint(p, n, pos, record.rounds_committed)) return false;
+  return pos == n;  // trailing bytes would hide corruption
+}
+
 /// Parses one record body (the line before any ` #crc` suffix).
 bool parse_record_body(const char* body, JournalRecord& record) {
   return std::sscanf(body, "cell %" SCNu64 " %d %la %la %la %" SCNu64,
@@ -142,73 +281,109 @@ std::string hex16(std::uint64_t value) {
   return buf;
 }
 
-}  // namespace
+/// Exactly 1..8 hex digits, nothing else — the strict form the writer
+/// emits (it always writes 8).
+bool parse_hex32(std::string_view hex, std::uint32_t& value) noexcept {
+  if (hex.empty() || hex.size() > 8) return false;
+  value = 0;
+  for (const char c : hex) {
+    unsigned digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<unsigned>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<unsigned>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<unsigned>(c - 'A') + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | digit;
+  }
+  return true;
+}
 
-JournalLoad Journal::load(const std::string& path,
-                          std::uint64_t fingerprint) {
-  JournalLoad result;
+[[noreturn]] void throw_unrecognized(const std::string& path) {
+  throw std::runtime_error(
+      "journal '" + path +
+      "': unrecognized header (not a vds-mc journal, or a newer "
+      "format); delete the file or pick another --journal path");
+}
+
+/// Reads the whole file; false (and no throw) only for ENOENT.
+bool read_file(const std::string& path, std::string& out) {
   errno = 0;
-  std::FILE* file = std::fopen(path.c_str(), "r");
+  std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
-    if (errno == ENOENT) return result;  // nothing journaled yet
+    if (errno == ENOENT) return false;  // nothing journaled yet
     throw std::runtime_error("journal '" + path + "': cannot open: " +
                              std::strerror(errno));
   }
+  char buffer[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    out.append(buffer, got);
+  }
+  if (std::ferror(file) != 0) {
+    const int error = errno;
+    std::fclose(file);
+    throw std::runtime_error("journal '" + path + "': cannot read: " +
+                             std::strerror(error));
+  }
+  std::fclose(file);
+  return true;
+}
 
-  char line[256];
-  bool have_header = false;
-  while (std::fgets(line, sizeof line, file) != nullptr) {
-    std::size_t len = std::strlen(line);
-    if (len == 0 || line[len - 1] != '\n') {
+/// v1/v2 text scan. Only the *final* byte range with no terminating
+/// '\n' is a torn tail; every mid-file anomaly — bit-flipped bytes,
+/// an embedded NUL, a garbage line of any length — costs exactly the
+/// records it touched, and the scan continues at the next '\n'.
+void parse_text_journal(const std::string& path, std::string_view data,
+                        JournalLoad& result) {
+  std::size_t nl = data.find('\n');
+  if (nl == std::string_view::npos) {
+    // The header itself never completed; nothing is trustworthy.
+    return;
+  }
+  const std::string header(data.substr(0, nl));
+  std::size_t pos = nl + 1;
+
+  unsigned version = 0;
+  std::uint64_t stored = 0;
+  if (std::sscanf(header.c_str(), "vds-mc-journal v%u fingerprint %" SCNx64,
+                  &version, &stored) != 2 ||
+      version < 1 || version > 2) {
+    throw_unrecognized(path);
+  }
+  result.version = static_cast<int>(version);
+  result.fingerprint = stored;
+  result.has_header = true;
+
+  while (pos < data.size()) {
+    nl = data.find('\n', pos);
+    if (nl == std::string_view::npos) {
       // Torn final line: the process died mid-write. The record is
       // lost; its cell will re-execute.
-      if (have_header) ++result.corrupt;
+      ++result.corrupt;
       break;
     }
-    line[--len] = '\0';
-    if (!have_header) {
-      unsigned version = 0;
-      std::uint64_t stored = 0;
-      if (std::sscanf(line, "vds-mc-journal v%u fingerprint %" SCNx64,
-                      &version, &stored) != 2 ||
-          version < 1 || version > 2) {
-        std::fclose(file);
-        throw std::runtime_error(
-            "journal '" + path +
-            "': unrecognized header (not a vds-mc journal, or a newer "
-            "format); delete the file or pick another --journal path");
-      }
-      if (stored != fingerprint) {
-        std::fclose(file);
-        throw std::runtime_error(
-            "journal '" + path +
-            "' was written for a different campaign configuration "
-            "(journal fingerprint " + hex16(stored) + ", this campaign " +
-            hex16(fingerprint) +
-            "); --resume requires the identical campaign and engine "
-            "flags. Re-run with the original configuration, or delete "
-            "the journal (or drop --resume) to start over");
-      }
-      result.version = static_cast<int>(version);
-      have_header = true;
-      continue;
-    }
+    const std::string_view line = data.substr(pos, nl - pos);
+    pos = nl + 1;
+
     // ` #xxxxxxxx` suffix = checksummed v2 record. rfind: a corrupted
     // body could contain a spurious '#'; the checksum is always last.
     JournalRecord record;
-    const std::string_view text(line, len);
-    const std::size_t marker = text.rfind(" #");
+    const std::size_t marker = line.rfind(" #");
     if (marker != std::string_view::npos) {
-      unsigned long stored_crc = 0;
-      char tail = '\0';
-      if (std::sscanf(line + marker, " #%8lx%c", &stored_crc, &tail) != 1 ||
-          crc32c(text.substr(0, marker)) !=
-              static_cast<std::uint32_t>(stored_crc)) {
+      std::uint32_t stored_crc = 0;
+      if (!parse_hex32(line.substr(marker + 2), stored_crc) ||
+          crc32c(line.substr(0, marker)) != stored_crc) {
         ++result.corrupt;  // bit flip or torn-then-overwritten line
         continue;
       }
-      line[marker] = '\0';
-      if (parse_record_body(line, record)) {
+      // Copy for NUL termination; an embedded NUL from corruption
+      // truncates the sscanf view and fails the parse below.
+      const std::string body(line.substr(0, marker));
+      if (parse_record_body(body.c_str(), record)) {
         result.records.push_back(record);
       } else {
         ++result.corrupt;  // checksum of a body we cannot parse
@@ -216,43 +391,184 @@ JournalLoad Journal::load(const std::string& path,
       continue;
     }
     // No checksum: legacy v1 record — trusted only in a v1 file.
-    if (result.version == 1 && parse_record_body(line, record)) {
+    const std::string body(line);
+    if (result.version == 1 && parse_record_body(body.c_str(), record)) {
       result.records.push_back(record);
     } else {
       ++result.corrupt;
     }
   }
-  std::fclose(file);
+}
+
+/// v3 binary scan with resynchronization. Two damage classes:
+///
+/// * A record whose *framing* is intact (marker byte, plausible
+///   length, terminating '\n' where the length says) but whose CRC or
+///   payload decode fails — a bit flip — is counted individually and
+///   consumed whole; the scan continues at the next record.
+/// * Structurally damaged bytes (torn record, truncated tail, garbage
+///   splice, wrong marker) count as ONE corruption episode however
+///   many bytes they span, and the scan hunts byte-by-byte for the
+///   next 0xA5 marker that frames. A marker byte inside a damaged
+///   span can masquerade as a record start, but the CRC makes a false
+///   accept a 2^-32 event.
+void parse_v3_journal(const std::string& path, std::string_view data,
+                      JournalLoad& result) {
+  if (data.size() < kV3HeaderSize ||
+      data[kV3HeaderSize - 1] != '\n' ||
+      get_le32(reinterpret_cast<const unsigned char*>(data.data()) + 8) != 3) {
+    throw_unrecognized(path);
+  }
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  result.version = 3;
+  result.fingerprint = get_le64(bytes + 12);
+  result.has_header = true;
+
+  std::size_t pos = kV3HeaderSize;
+  bool resync = false;
+  const auto next_marker = [&](std::size_t from) {
+    const std::size_t at = data.find(static_cast<char>(kV3Marker), from);
+    return at == std::string_view::npos ? data.size() : at;
+  };
+  while (pos < data.size()) {
+    std::size_t total = 0;
+    if (bytes[pos] == kV3Marker && pos + 2 <= data.size()) {
+      const std::size_t len = bytes[pos + 1];
+      total = 2 + len + 4 + 1;
+      if (len < kV3MinPayload || len > kV3MaxPayload ||
+          pos + total > data.size() || bytes[pos + total - 1] != '\n') {
+        total = 0;  // framing broken: structural damage
+      }
+    }
+    if (total == 0) {
+      if (!resync) ++result.corrupt;
+      resync = true;
+      pos = next_marker(pos + 1);
+      continue;
+    }
+    const std::size_t len = bytes[pos + 1];
+    JournalRecord record;
+    if (crc32c(bytes + pos + 2, len) == get_le32(bytes + pos + 2 + len) &&
+        decode_v3_payload(bytes + pos + 2, len, record)) {
+      result.records.push_back(record);
+    } else {
+      ++result.corrupt;  // a framed record with a flipped bit
+    }
+    resync = false;
+    pos += total;
+  }
+}
+
+JournalLoad load_impl(const std::string& path) {
+  JournalLoad result;
+  std::string data;
+  if (!read_file(path, data) || data.empty()) return result;
+  if (data.size() >= sizeof kV3Magic &&
+      std::memcmp(data.data(), kV3Magic, sizeof kV3Magic) == 0) {
+    parse_v3_journal(path, data, result);
+    return result;
+  }
+  parse_text_journal(path, data, result);
   return result;
 }
 
-Journal::Journal(const std::string& path, std::uint64_t fingerprint)
-    : path_(path) {
-  // "a" keeps existing records (resume); the header is only written
-  // when the file is empty.
+}  // namespace
+
+JournalLoad Journal::inspect(const std::string& path) {
+  return load_impl(path);
+}
+
+JournalLoad Journal::load(const std::string& path,
+                          std::uint64_t fingerprint) {
+  JournalLoad result = load_impl(path);
+  if (result.has_header && result.fingerprint != fingerprint) {
+    throw std::runtime_error(
+        "journal '" + path +
+        "' was written for a different campaign configuration "
+        "(journal fingerprint " + hex16(result.fingerprint) +
+        ", this campaign " + hex16(fingerprint) +
+        "); --resume requires the identical campaign and engine "
+        "flags. Re-run with the original configuration, or delete "
+        "the journal (or drop --resume) to start over");
+  }
+  return result;
+}
+
+Journal::Journal(const std::string& path, std::uint64_t fingerprint,
+                 JournalFormat format)
+    : path_(path), format_(format) {
+  // "a" keeps existing records (resume); "+" lets us sniff an
+  // existing header. The header is only written when the file is
+  // empty.
   errno = 0;
-  file_ = std::fopen(path.c_str(), "a");
+  file_ = std::fopen(path.c_str(), "ab+");
   if (file_ == nullptr) {
     throw std::runtime_error(
         "cannot open journal '" + path + "' for appending: " +
         std::strerror(errno) +
         " (check the directory exists and is writable)");
   }
-  std::fseek(file_, 0, SEEK_END);
-  if (std::ftell(file_) == 0) {
-    if (std::fprintf(file_, kHeaderFormat, fingerprint) < 0 ||
-        std::fflush(file_) != 0) {
-      const int error = errno;
+  const auto fail = [&](const char* what) {
+    const int error = errno;
+    std::fclose(file_);
+    file_ = nullptr;
+    throw std::runtime_error("journal '" + path + "': " + what + ": " +
+                             std::strerror(error));
+  };
+  // A non-seekable path (pipe, some special files) makes the
+  // size/header logic below meaningless — fail loudly instead of
+  // producing a headerless journal that load() later rejects.
+  errno = 0;
+  if (std::fseek(file_, 0, SEEK_END) != 0) fail("cannot seek");
+  errno = 0;
+  const long size = std::ftell(file_);
+  if (size < 0) fail("cannot determine size");
+  if (size == 0) {
+    errno = 0;
+    bool ok;
+    if (format_ == JournalFormat::kV3Binary) {
+      unsigned char header[kV3HeaderSize];
+      std::memcpy(header, kV3Magic, sizeof kV3Magic);
+      put_le32(header + 8, 3);
+      put_le64(header + 12, fingerprint);
+      header[kV3HeaderSize - 1] = '\n';
+      ok = std::fwrite(header, 1, sizeof header, file_) == sizeof header;
+    } else {
+      ok = std::fprintf(file_, kHeaderFormat, fingerprint) >= 0;
+    }
+    int error = ok ? 0 : errno;
+    if (ok) {
+      errno = 0;
+      if (std::fflush(file_) != 0) {
+        ok = false;
+        error = errno;
+      }
+    }
+    if (!ok) {
       std::fclose(file_);
       file_ = nullptr;
       throw std::runtime_error("journal '" + path + "': cannot write header: " +
                                std::strerror(error));
     }
+  } else {
+    // Appends must match the file, not the request: a v3-default
+    // resume of a v2 journal keeps writing text, and vice versa.
+    errno = 0;
+    if (std::fseek(file_, 0, SEEK_SET) != 0) fail("cannot seek");
+    unsigned char head[sizeof kV3Magic] = {};
+    const std::size_t got = std::fread(head, 1, sizeof head, file_);
+    format_ = (got == sizeof head &&
+               std::memcmp(head, kV3Magic, sizeof head) == 0)
+                  ? JournalFormat::kV3Binary
+                  : JournalFormat::kV2Text;
+    std::clearerr(file_);  // a short file sets EOF; that is fine
+    errno = 0;
+    if (std::fseek(file_, 0, SEEK_END) != 0) fail("cannot seek");
   }
 }
 
-Journal::Journal(std::FILE* stream, std::string name)
-    : path_(std::move(name)), file_(stream) {
+Journal::Journal(std::FILE* stream, std::string name, JournalFormat format)
+    : path_(std::move(name)), file_(stream), format_(format) {
   if (file_ == nullptr) {
     throw std::runtime_error("journal '" + path_ + "': null stream");
   }
@@ -277,39 +593,128 @@ void Journal::append(const JournalRecord& record) {
     throw std::runtime_error("journal '" + path_ +
                              "': earlier write failed; record dropped");
   }
-  char body[200];
-  const int body_len =
-      std::snprintf(body, sizeof body, "cell %" PRIu64 " %d %a %a %a %" PRIu64,
-                    record.index, record.outcome, record.detection_latency,
-                    record.recovery_time, record.total_time,
-                    record.rounds_committed);
-  if (body_len < 0 || body_len >= static_cast<int>(sizeof body)) {
-    failed_.store(true);
-    throw std::runtime_error("journal '" + path_ + "': record too long");
+  unsigned char line[256];
+  std::size_t line_len = 0;
+  if (format_ == JournalFormat::kV3Binary) {
+    unsigned char payload[kV3MaxPayload];
+    const std::size_t payload_len = encode_v3_payload(record, payload);
+    line[line_len++] = kV3Marker;
+    line[line_len++] = static_cast<unsigned char>(payload_len);
+    std::memcpy(line + line_len, payload, payload_len);
+    line_len += payload_len;
+    put_le32(line + line_len, crc32c(payload, payload_len));
+    line_len += 4;
+    line[line_len++] = '\n';
+  } else {
+    char body[200];
+    const int body_len =
+        std::snprintf(body, sizeof body, "cell %" PRIu64 " %d %a %a %a %" PRIu64,
+                      record.index, record.outcome, record.detection_latency,
+                      record.recovery_time, record.total_time,
+                      record.rounds_committed);
+    if (body_len < 0 || body_len >= static_cast<int>(sizeof body)) {
+      failed_.store(true);
+      throw std::runtime_error("journal '" + path_ + "': record too long");
+    }
+    const int text_len = std::snprintf(
+        reinterpret_cast<char*>(line), sizeof line, "%s #%08" PRIx32 "\n",
+        body, crc32c(std::string_view(body, std::size_t(body_len))));
+    line_len = std::size_t(text_len);
   }
-  char line[224];
-  int line_len = std::snprintf(
-      line, sizeof line, "%s #%08" PRIx32 "\n", body,
-      crc32c(std::string_view(body, std::size_t(body_len))));
   // Chaos write-side faults: both must look like a *successful* append
   // to the campaign — they model silent substrate corruption that only
   // the checksummed reader can catch on --resume.
   if (chaos_ != nullptr) {
     if (chaos_->fires(kChaosJournalTorn, record.index)) {
-      line_len /= 2;  // the kill instant: half a record, no newline
+      line_len /= 2;  // the kill instant: half a record, no terminator
     } else if (chaos_->fires(kChaosJournalCorrupt, record.index)) {
       line[line_len / 3] ^= 0x04;  // one flipped bit inside the body
     }
   }
-  const std::size_t wrote = std::fwrite(line, 1, std::size_t(line_len), file_);
-  const int flushed = std::fflush(file_);
-  if (wrote != std::size_t(line_len) || flushed != 0) {
-    const int error = errno;
+  // errno is read immediately after the call that failed — a later
+  // succeeding call would reset it and the exception would name the
+  // wrong (or no) error.
+  errno = 0;
+  const std::size_t wrote = std::fwrite(line, 1, line_len, file_);
+  bool write_failed = wrote != line_len;
+  int error = write_failed ? errno : 0;
+  if (!write_failed) {
+    errno = 0;
+    if (std::fflush(file_) != 0) {
+      write_failed = true;
+      error = errno;
+    }
+  }
+  if (write_failed) {
     failed_.store(true);
     throw std::runtime_error("journal '" + path_ + "': write failed (" +
                              std::strerror(error) +
                              "); resume data is incomplete");
   }
+}
+
+JournalMergeStats merge_journals(const std::vector<std::string>& inputs,
+                                 const std::string& out_path,
+                                 JournalFormat format) {
+  if (inputs.empty()) {
+    throw std::runtime_error("journal merge: no input journals");
+  }
+  for (const std::string& in : inputs) {
+    if (in == out_path) {
+      throw std::runtime_error("journal merge: output '" + out_path +
+                               "' is also an input");
+    }
+  }
+  JournalMergeStats stats;
+  stats.inputs = inputs.size();
+  std::map<std::uint64_t, JournalRecord> cells;  // sorted by cell index
+  std::map<std::uint64_t, const std::string*> sources;
+  bool have_fingerprint = false;
+  for (const std::string& in : inputs) {
+    const JournalLoad loaded = Journal::inspect(in);
+    if (!loaded.has_header) {
+      throw std::runtime_error("journal merge: '" + in +
+                               "' is missing, empty, or has no journal "
+                               "header; every shard must be a journal");
+    }
+    if (!have_fingerprint) {
+      stats.fingerprint = loaded.fingerprint;
+      have_fingerprint = true;
+    } else if (loaded.fingerprint != stats.fingerprint) {
+      throw std::runtime_error(
+          "journal merge: '" + in + "' has fingerprint " +
+          hex16(loaded.fingerprint) + " but '" + inputs.front() + "' has " +
+          hex16(stats.fingerprint) +
+          "; shards of one campaign share a fingerprint — these journals "
+          "belong to different campaigns");
+    }
+    stats.corrupt += loaded.corrupt;
+    for (const JournalRecord& record : loaded.records) {
+      ++stats.records_in;
+      const auto [it, inserted] = cells.try_emplace(record.index, record);
+      if (inserted) {
+        sources.emplace(record.index, &in);
+        continue;
+      }
+      if (it->second == record) {
+        ++stats.duplicates;  // overlapping shard ranges — benign
+        continue;
+      }
+      throw std::runtime_error(
+          "journal merge: cell " + std::to_string(record.index) +
+          " has conflicting records in '" + *sources[record.index] +
+          "' and '" + in +
+          "' (same fingerprint, different payload); the shards disagree "
+          "about a result — refusing to merge");
+    }
+  }
+  std::remove(out_path.c_str());
+  Journal out(out_path, stats.fingerprint, format);
+  for (const auto& [index, record] : cells) {
+    out.append(record);
+    ++stats.records_out;
+  }
+  return stats;
 }
 
 }  // namespace vds::runtime

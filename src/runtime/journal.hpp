@@ -37,29 +37,46 @@ struct JournalRecord {
   [[nodiscard]] bool operator==(const JournalRecord&) const = default;
 };
 
+/// On-disk journal flavor for *appends*. Reads are format-agnostic:
+/// `Journal::load` recognizes v1/v2 text and v3 binary from the
+/// header, and appending to an existing file always adopts the
+/// file's own format regardless of what the caller requested (so a
+/// v3-default `--resume` of a v2 journal keeps the file parseable).
+enum class JournalFormat {
+  kV2Text = 2,    ///< hex-float text lines with ` #crc32c` suffix
+  kV3Binary = 3,  ///< length-prefixed binary records (see SCHEMAS.md)
+};
+
 /// What `Journal::load` recovered from disk. `corrupt` counts every
 /// record that had to be discarded — checksum mismatch (bit flip),
 /// unparseable body, missing checksum in a v2 file, or a torn tail —
 /// so a resumed campaign can report how much work the substrate lost.
+/// A contiguous run of damaged bytes in a v3 file counts once (one
+/// corruption episode), however many bytes it spans.
 struct JournalLoad {
   std::vector<JournalRecord> records;
   std::uint64_t corrupt = 0;
   int version = 2;  ///< header version of the file (2 when absent)
+  std::uint64_t fingerprint = 0;  ///< from the header (0 when absent)
+  bool has_header = false;        ///< false for a missing/empty file
 };
 
 class Chaos;
 
 /// Append-only progress journal for resumable campaigns.
 ///
-/// Plain text, one record per line, doubles in hex-float so reloads
-/// are bitwise exact. Format `vds.journal.v2`: every record line ends
-/// in ` #xxxxxxxx`, a CRC32C of the record body, so a bit flip or a
-/// torn write anywhere in the file is detected on load and only that
-/// record is lost (the campaign re-executes its cell). v1 files (no
-/// checksums) remain loadable; appends always write v2 lines, which
-/// v1-headed files accept too. The header carries a fingerprint of
+/// Two write formats behind one API. v2 is plain text, one record per
+/// line, doubles in hex-float, every line ending in ` #xxxxxxxx` — a
+/// CRC32C of the record body. v3 (the default) is binary: a magic +
+/// version + fingerprint header, then length-prefixed records each
+/// carrying a CRC32C of their payload (roughly 3× smaller; exact
+/// layout in docs/SCHEMAS.md). In both formats a bit flip or a torn
+/// write anywhere in the file is detected on load and only the
+/// damaged records are lost (their cells re-execute); the scan then
+/// resynchronizes and keeps every later intact record. v1 files (no
+/// checksums) remain loadable. The header carries a fingerprint of
 /// the campaign configuration; `load()` refuses a journal written for
-/// a different configuration. A torn final line (the process was
+/// a different configuration. A torn final record (the process was
 /// killed mid-write) is discarded and counted, so a crashed campaign
 /// always resumes from its last *complete* record.
 class Journal {
@@ -73,16 +90,27 @@ class Journal {
   static JournalLoad load(const std::string& path,
                           std::uint64_t fingerprint);
 
-  /// Opens `path` for appending, writing the fingerprint header first
-  /// if the file is new/empty. Throws std::runtime_error on I/O error
-  /// (including a header write that fails, e.g. on a full disk).
-  Journal(const std::string& path, std::uint64_t fingerprint);
+  /// `load` without the fingerprint gate: parses any recognized
+  /// journal and reports what is in it (records, corruption count,
+  /// version, stored fingerprint). The `vds_journal` tool is built on
+  /// this. Still throws on open errors and unrecognized headers.
+  static JournalLoad inspect(const std::string& path);
+
+  /// Opens `path` for appending, writing a `format` header first if
+  /// the file is new/empty; a non-empty file keeps its own format
+  /// (sniffed from the header) so mixed-version appends never happen.
+  /// Throws std::runtime_error on I/O error (including seek/tell
+  /// failures on a non-seekable path and a header write that fails,
+  /// e.g. on a full disk).
+  Journal(const std::string& path, std::uint64_t fingerprint,
+          JournalFormat format = JournalFormat::kV3Binary);
 
   /// Takes ownership of an already-open stream (closed on
   /// destruction). No header is written — the caller prepared the
   /// stream. `name` labels error messages. Exists for tests that need
   /// a failing stream (e.g. /dev/full).
-  Journal(std::FILE* stream, std::string name);
+  Journal(std::FILE* stream, std::string name,
+          JournalFormat format = JournalFormat::kV2Text);
 
   ~Journal();
 
@@ -102,8 +130,12 @@ class Journal {
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
+  /// The format appends go out in (the file's own format once it has
+  /// a header, else the requested one).
+  [[nodiscard]] JournalFormat format() const noexcept { return format_; }
+
   /// Arms write-side chaos sites (`journal.corrupt` flips a bit in
-  /// the record body, `journal.torn` truncates the line mid-write;
+  /// the record body, `journal.torn` truncates the record mid-write;
   /// both report success to the caller — the *reader* must catch
   /// them). `chaos` must outlive the journal; nullptr disarms.
   void arm_chaos(const Chaos* chaos) noexcept { chaos_ = chaos; }
@@ -114,7 +146,34 @@ class Journal {
   std::FILE* file_ = nullptr;
   std::atomic<bool> failed_{false};
   const Chaos* chaos_ = nullptr;
+  JournalFormat format_ = JournalFormat::kV3Binary;
 };
+
+/// What `merge_journals` did. `duplicates` counts records coalesced
+/// because two shards journaled the identical result for the same
+/// cell (overlapping shard ranges — harmless by determinism).
+struct JournalMergeStats {
+  std::uint64_t inputs = 0;
+  std::uint64_t records_in = 0;   ///< intact records across all inputs
+  std::uint64_t records_out = 0;  ///< unique cells written
+  std::uint64_t duplicates = 0;   ///< identical-content duplicates dropped
+  std::uint64_t corrupt = 0;      ///< damaged records skipped, all inputs
+  std::uint64_t fingerprint = 0;  ///< shared campaign fingerprint
+};
+
+/// Merges per-shard journals into one resumable journal at
+/// `out_path` (overwritten), records sorted by cell index, written in
+/// `format`. Every input must be a readable journal with a header;
+/// all fingerprints must agree (the merged file carries that
+/// fingerprint). Duplicate cells with bitwise-identical payloads are
+/// coalesced; a duplicate cell whose payload *differs* between
+/// shards means the shards disagree about a result and is a hard
+/// error, as is `out_path` naming one of the inputs. Throws
+/// std::runtime_error on all of the above; corrupt records in the
+/// inputs are skipped and counted, same as resume.
+JournalMergeStats merge_journals(const std::vector<std::string>& inputs,
+                                 const std::string& out_path,
+                                 JournalFormat format = JournalFormat::kV3Binary);
 
 /// CRC32C (Castagnoli), the per-record journal checksum.
 [[nodiscard]] std::uint32_t crc32c(const void* data, std::size_t bytes,

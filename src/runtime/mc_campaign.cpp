@@ -413,6 +413,14 @@ McExecution::McExecution(McConfig config, McRunner runner)
       config_.replicas == 0) {
     throw std::runtime_error("mc campaign: empty grid");
   }
+  if (config_.cell_lo >= config_.cell_hi ||
+      config_.cell_lo >= config_.cells()) {
+    throw std::runtime_error("mc campaign: empty cell range [" +
+                             std::to_string(config_.cell_lo) + ", " +
+                             std::to_string(config_.cell_hi) + ") in a " +
+                             std::to_string(config_.cells()) +
+                             "-cell campaign");
+  }
   State& st = *state_;
   st.cells = config_.cells();
   st.chaos = Chaos::parse(config_.chaos, config_.seed);
@@ -442,8 +450,8 @@ McExecution::McExecution(McConfig config, McRunner runner)
       // A fresh (non-resuming) campaign starts a fresh journal.
       std::remove(config_.journal_path.c_str());
     }
-    st.journal =
-        std::make_unique<Journal>(config_.journal_path, fingerprint);
+    st.journal = std::make_unique<Journal>(config_.journal_path, fingerprint,
+                                           config_.journal_format);
     if (st.chaos.armed()) st.journal->arm_chaos(&st.chaos);
   }
 
@@ -536,7 +544,17 @@ void McExecution::run_cell(std::uint64_t index) {
 
 void McExecution::enqueue(ThreadPool& pool) {
   State& st = *state_;
-  for (std::size_t index = 0; index < st.cells; ++index) {
+  // The cell range bounds *dispatch* only: journaled records outside
+  // it (a merged journal, an overlapping shard) still count as
+  // resumed, so resuming a fully merged journal with the default
+  // range reproduces the single-process digest.
+  const std::size_t lo =
+      static_cast<std::size_t>(std::min<std::uint64_t>(config_.cell_lo,
+                                                       st.cells));
+  const std::size_t hi =
+      static_cast<std::size_t>(std::min<std::uint64_t>(config_.cell_hi,
+                                                       st.cells));
+  for (std::size_t index = lo; index < hi; ++index) {
     if (st.cell_state[index] != kPending) continue;
     pool.submit([this, index] { run_cell(index); });
   }
@@ -620,6 +638,14 @@ void write_snapshot(JsonWriter& json, const McConfig& config,
   json.field("cell_timeout", config.cell_timeout);
   json.field("max_retries", static_cast<std::uint64_t>(config.max_retries));
   json.field("chaos", config.chaos);
+  // Conditional so the golden pretty snapshots keep their exact bytes
+  // (only sharded runs restrict the range).
+  if (config.cell_lo != 0 || config.cell_hi < config.cells()) {
+    json.key("cell_range").begin_array();
+    json.value(config.cell_lo);
+    json.value(std::min<std::uint64_t>(config.cell_hi, config.cells()));
+    json.end_array();
+  }
   json.end_object();
   json.key("summary").begin_object();
   json.key("outcomes");

@@ -14,6 +14,7 @@
 #include "core/report.hpp"
 #include "fault/fault_model.hpp"
 #include "fault/injector.hpp"
+#include "runtime/journal.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 
@@ -57,6 +58,19 @@ struct McConfig {
   /// over (scheme, alpha, s, ...), so a journal cannot be resumed
   /// against a differently configured engine.
   std::uint64_t runner_fingerprint = 0;
+  /// On-disk format when a *new* journal is created; appending to an
+  /// existing file always keeps the file's own format. Never part of
+  /// the fingerprint — the encoding does not shape any cell's result,
+  /// so a v2 journal resumes under a v3 default and vice versa.
+  JournalFormat journal_format = JournalFormat::kV3Binary;
+  /// Half-open dispatch range [cell_lo, cell_hi): cells outside it
+  /// are neither executed nor counted (the sharding hook — run
+  /// disjoint ranges in separate processes, `merge_journals` their
+  /// journals, resume the merged journal for the full-campaign
+  /// digest). Not fingerprinted: shards of one campaign must share
+  /// one journal fingerprint. The default covers every cell.
+  std::uint64_t cell_lo = 0;
+  std::uint64_t cell_hi = ~0ull;
 
   // --- failure-path knobs (never part of the fingerprint: they do
   // --- not shape any cell's result, only how failures are handled).

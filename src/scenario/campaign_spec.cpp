@@ -51,6 +51,9 @@ runtime::McConfig to_mc_config(const CampaignSpec& spec,
   config.threads = spec.threads;
   config.journal_path = spec.journal;
   config.resume = spec.resume;
+  config.journal_format = spec.journal_format;
+  config.cell_lo = spec.cell_lo;
+  config.cell_hi = spec.cell_hi;
   config.cell_timeout = spec.cell_timeout;
   config.max_retries = spec.max_retries;
   config.chaos = spec.chaos;

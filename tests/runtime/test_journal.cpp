@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -63,23 +64,28 @@ TEST(Crc32c, KnownAnswerAndChaining) {
   EXPECT_NE(crc32c("123456789"), crc32c("123456789 "));
 }
 
+JournalRecord awkward_record() {
+  JournalRecord record;
+  record.index = 2;
+  record.outcome = 4;
+  record.detection_latency = -1.0;
+  record.recovery_time = 5e-324;  // denormal min
+  record.total_time = 1.7976931348623157e308;
+  record.rounds_committed = 0;
+  return record;
+}
+
 TEST_F(JournalTest, RoundTripIsBitwiseExact) {
+  // Default format is the v3 binary encoding.
   const std::uint64_t fp = 0xabcdef12345678ull;
   {
     Journal journal(path_, fp);
     journal.append(sample_record(0));
     journal.append(sample_record(7));
-    JournalRecord awkward;
-    awkward.index = 2;
-    awkward.outcome = 4;
-    awkward.detection_latency = -1.0;
-    awkward.recovery_time = 5e-324;  // denormal min
-    awkward.total_time = 1.7976931348623157e308;
-    awkward.rounds_committed = 0;
-    journal.append(awkward);
+    journal.append(awkward_record());
   }
   const JournalLoad load = Journal::load(path_, fp);
-  EXPECT_EQ(load.version, 2);
+  EXPECT_EQ(load.version, 3);
   EXPECT_EQ(load.corrupt, 0u);
   const auto& records = load.records;
   ASSERT_EQ(records.size(), 3u);
@@ -87,6 +93,38 @@ TEST_F(JournalTest, RoundTripIsBitwiseExact) {
   EXPECT_EQ(records[1], sample_record(7));
   EXPECT_EQ(records[2].recovery_time, 5e-324);
   EXPECT_EQ(records[2].total_time, 1.7976931348623157e308);
+}
+
+TEST_F(JournalTest, RoundTripIsBitwiseExactV2Text) {
+  const std::uint64_t fp = 0xabcdef12345678ull;
+  {
+    Journal journal(path_, fp, JournalFormat::kV2Text);
+    journal.append(sample_record(0));
+    journal.append(awkward_record());
+  }
+  const JournalLoad load = Journal::load(path_, fp);
+  EXPECT_EQ(load.version, 2);
+  EXPECT_EQ(load.corrupt, 0u);
+  ASSERT_EQ(load.records.size(), 2u);
+  EXPECT_EQ(load.records[0], sample_record(0));
+  EXPECT_EQ(load.records[1], awkward_record());
+}
+
+TEST_F(JournalTest, V3NegativeZeroSurvivesBitwise) {
+  // v3 elides the detection-latency field when its bits equal -1.0
+  // and the recovery field when its bits equal +0.0; the comparisons
+  // are on bit patterns, so -0.0 (== 0.0 numerically) must still be
+  // stored and restored with its sign bit.
+  const std::uint64_t fp = 11;
+  JournalRecord record = sample_record(0);
+  record.recovery_time = -0.0;
+  {
+    Journal journal(path_, fp);
+    journal.append(record);
+  }
+  const JournalLoad load = Journal::load(path_, fp);
+  ASSERT_EQ(load.records.size(), 1u);
+  EXPECT_TRUE(std::signbit(load.records[0].recovery_time));
 }
 
 TEST_F(JournalTest, AppendAcrossReopens) {
@@ -260,7 +298,7 @@ TEST_F(JournalTest, V1JournalStillLoads) {
 
 TEST_F(JournalTest, UnchecksummedLineInV2FileIsCorrupt) {
   {
-    Journal journal(path_, 8);
+    Journal journal(path_, 8, JournalFormat::kV2Text);
     journal.append(sample_record(0));
   }
   {
@@ -272,6 +310,240 @@ TEST_F(JournalTest, UnchecksummedLineInV2FileIsCorrupt) {
   const JournalLoad load = Journal::load(path_, 8);
   EXPECT_EQ(load.corrupt, 1u);
   ASSERT_EQ(load.records.size(), 1u);
+}
+
+TEST_F(JournalTest, EmbeddedNulDoesNotEatLaterRecords) {
+  // Regression: the old reader treated any line without a trailing
+  // '\n' in its scan buffer as the torn final line and stopped -- a
+  // single NUL byte inside one damaged line silently discarded every
+  // valid record after it. Only an EOF without a newline is a torn
+  // tail; an interior NUL is one corrupt line.
+  {
+    Journal journal(path_, 12, JournalFormat::kV2Text);
+    journal.append(sample_record(0));
+  }
+  {
+    std::ofstream out(path_, std::ios::app | std::ios::binary);
+    out << "cell 1 1 0x1p";
+    out.put('\0');
+    out << "+0 0x1p+0 0x1p+0 60 #00000000\n";
+  }
+  {
+    Journal journal(path_, 12);  // reopen keeps appending v2 text
+    journal.append(sample_record(2));
+  }
+  const JournalLoad load = Journal::load(path_, 12);
+  EXPECT_EQ(load.corrupt, 1u);
+  ASSERT_EQ(load.records.size(), 2u);
+  EXPECT_EQ(load.records[0].index, 0u);
+  EXPECT_EQ(load.records[1].index, 2u);
+}
+
+TEST_F(JournalTest, OverlongGarbageLineDoesNotEatLaterRecords) {
+  // Regression: a line longer than the old 255-byte read buffer was
+  // split into a chunk with no '\n', which the reader mistook for the
+  // torn final line -- discarding all later records.
+  {
+    Journal journal(path_, 13, JournalFormat::kV2Text);
+    journal.append(sample_record(0));
+  }
+  {
+    std::ofstream out(path_, std::ios::app);
+    out << std::string(700, 'x') << '\n';
+  }
+  {
+    Journal journal(path_, 13);
+    journal.append(sample_record(2));
+  }
+  const JournalLoad load = Journal::load(path_, 13);
+  EXPECT_EQ(load.corrupt, 1u);
+  ASSERT_EQ(load.records.size(), 2u);
+  EXPECT_EQ(load.records[1].index, 2u);
+}
+
+TEST_F(JournalTest, V3AdjacentDamagedRecordsEachCount) {
+  // Two neighbouring records with flipped bits are two discarded
+  // results, not one corruption episode: --resume re-executes both
+  // cells, so the corrupt count must say two.
+  {
+    Journal journal(path_, 14);
+    for (std::uint64_t i = 0; i < 4; ++i) journal.append(sample_record(i));
+  }
+  std::string text;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    text.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  std::size_t start = text.find('\n') + 1;     // skip v3 header
+  start = text.find('\n', start) + 1;          // skip record 0
+  text[start + 8] ^= 0x04;                     // flip inside record 1
+  const std::size_t next = text.find('\n', start) + 1;
+  text[next + 8] ^= 0x04;                      // flip inside record 2
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+  const JournalLoad load = Journal::load(path_, 14);
+  EXPECT_EQ(load.corrupt, 2u);
+  ASSERT_EQ(load.records.size(), 2u);
+  EXPECT_EQ(load.records[0].index, 0u);
+  EXPECT_EQ(load.records[1].index, 3u);
+}
+
+TEST_F(JournalTest, V3GarbageSpliceResynchronizes) {
+  // A blob of garbage bytes between intact records is one corruption
+  // episode; the scan must find the next real record behind it even
+  // when the garbage contains marker-lookalike bytes.
+  {
+    Journal journal(path_, 15);
+    journal.append(sample_record(0));
+  }
+  {
+    std::ofstream out(path_, std::ios::app | std::ios::binary);
+    for (int i = 0; i < 64; ++i) out.put(static_cast<char>(i * 37));
+  }
+  {
+    Journal journal(path_, 15);
+    journal.append(sample_record(5));
+  }
+  const JournalLoad load = Journal::load(path_, 15);
+  EXPECT_GE(load.corrupt, 1u);
+  ASSERT_EQ(load.records.size(), 2u);
+  EXPECT_EQ(load.records[0].index, 0u);
+  EXPECT_EQ(load.records[1].index, 5u);
+}
+
+TEST_F(JournalTest, InspectReportsHeaderWithoutFingerprintCheck) {
+  {
+    Journal journal(path_, 0xfeedull);
+    journal.append(sample_record(0));
+  }
+  const JournalLoad load = Journal::inspect(path_);
+  EXPECT_TRUE(load.has_header);
+  EXPECT_EQ(load.version, 3);
+  EXPECT_EQ(load.fingerprint, 0xfeedull);
+  EXPECT_EQ(load.records.size(), 1u);
+
+  const JournalLoad missing = Journal::inspect(path_ + ".absent");
+  EXPECT_FALSE(missing.has_header);
+  EXPECT_TRUE(missing.records.empty());
+}
+
+class JournalMergeTest : public JournalTest {
+ protected:
+  std::string shard(int n) { return path_ + ".shard" + std::to_string(n); }
+  std::string out() { return path_ + ".merged"; }
+  void TearDown() override {
+    for (int n = 0; n < 4; ++n) std::remove(shard(n).c_str());
+    std::remove(out().c_str());
+    JournalTest::TearDown();
+  }
+};
+
+TEST_F(JournalMergeTest, DisjointShardsConcatenateSorted) {
+  {
+    Journal a(shard(0), 21);
+    a.append(sample_record(4));
+    a.append(sample_record(0));
+    Journal b(shard(1), 21, JournalFormat::kV2Text);  // mixed encodings
+    b.append(sample_record(2));
+  }
+  const JournalMergeStats stats =
+      merge_journals({shard(0), shard(1)}, out());
+  EXPECT_EQ(stats.inputs, 2u);
+  EXPECT_EQ(stats.records_in, 3u);
+  EXPECT_EQ(stats.records_out, 3u);
+  EXPECT_EQ(stats.duplicates, 0u);
+  EXPECT_EQ(stats.fingerprint, 21u);
+  const JournalLoad merged = Journal::load(out(), 21);
+  ASSERT_EQ(merged.records.size(), 3u);
+  EXPECT_EQ(merged.records[0].index, 0u);  // merge output is cell-sorted
+  EXPECT_EQ(merged.records[1].index, 2u);
+  EXPECT_EQ(merged.records[2].index, 4u);
+}
+
+TEST_F(JournalMergeTest, IdenticalDuplicatesCoalesce) {
+  {
+    Journal a(shard(0), 22);
+    a.append(sample_record(0));
+    a.append(sample_record(1));
+    Journal b(shard(1), 22);
+    b.append(sample_record(1));  // same cell, same deterministic result
+    b.append(sample_record(2));
+  }
+  const JournalMergeStats stats =
+      merge_journals({shard(0), shard(1)}, out());
+  EXPECT_EQ(stats.records_in, 4u);
+  EXPECT_EQ(stats.records_out, 3u);
+  EXPECT_EQ(stats.duplicates, 1u);
+}
+
+TEST_F(JournalMergeTest, ConflictingDuplicatesRefuse) {
+  {
+    Journal a(shard(0), 23);
+    a.append(sample_record(1));
+    Journal b(shard(1), 23);
+    JournalRecord conflicting = sample_record(1);
+    conflicting.rounds_committed = 61;  // shards disagree
+    b.append(conflicting);
+  }
+  try {
+    merge_journals({shard(0), shard(1)}, out());
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("refusing to merge"), std::string::npos) << what;
+    EXPECT_NE(what.find(shard(1)), std::string::npos) << what;
+  }
+}
+
+TEST_F(JournalMergeTest, FingerprintMismatchRefusesAndNamesBoth) {
+  {
+    Journal a(shard(0), 0xaaaaull);
+    a.append(sample_record(0));
+    Journal b(shard(1), 0xbbbbull);
+    b.append(sample_record(1));
+  }
+  try {
+    merge_journals({shard(0), shard(1)}, out());
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("000000000000aaaa"), std::string::npos) << what;
+    EXPECT_NE(what.find("000000000000bbbb"), std::string::npos) << what;
+  }
+}
+
+TEST_F(JournalMergeTest, CorruptRecordsAreSkippedNotMerged) {
+  {
+    Journal a(shard(0), 24);
+    a.append(sample_record(0));
+    a.append(sample_record(1));
+  }
+  std::string text;
+  {
+    std::ifstream in(shard(0), std::ios::binary);
+    text.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  text[text.find('\n') + 10] ^= 0x40;  // damage record 0
+  {
+    std::ofstream outf(shard(0), std::ios::binary | std::ios::trunc);
+    outf << text;
+  }
+  const JournalMergeStats stats = merge_journals({shard(0)}, out());
+  EXPECT_EQ(stats.corrupt, 1u);
+  EXPECT_EQ(stats.records_out, 1u);
+  const JournalLoad merged = Journal::load(out(), 24);
+  ASSERT_EQ(merged.records.size(), 1u);
+  EXPECT_EQ(merged.records[0].index, 1u);
+}
+
+TEST_F(JournalMergeTest, RefusesOutputAliasingAnInput) {
+  {
+    Journal a(shard(0), 25);
+    a.append(sample_record(0));
+  }
+  EXPECT_THROW(merge_journals({shard(0)}, shard(0)), std::runtime_error);
 }
 
 TEST_F(JournalTest, OpenFailureNamesThePathAndReason) {

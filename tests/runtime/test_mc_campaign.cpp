@@ -164,10 +164,12 @@ class McJournalTest : public ::testing::Test {
 TEST_F(McJournalTest, ResumeSkipsJournaledCellsAndMatchesUninterrupted) {
   const McRunner runner = make_smt_runner(engine_options());
 
-  // Uninterrupted reference run (journaled).
+  // Uninterrupted reference run (journaled as v2 text: the surgery
+  // below edits whole lines).
   McConfig config = small_config();
   config.threads = 2;
   config.journal_path = path_;
+  config.journal_format = JournalFormat::kV2Text;
   const McSummary reference = run_mc_campaign(config, runner);
   EXPECT_EQ(reference.cells_executed, 96u);
 
@@ -300,6 +302,7 @@ TEST_F(McJournalTest, V1JournalResumesWithoutReExecution) {
   McConfig config = small_config();
   config.threads = 2;
   config.journal_path = path_;
+  config.journal_format = JournalFormat::kV2Text;
   const McSummary reference = run_mc_campaign(config, runner);
 
   // Rewrite the journal exactly as the pre-CRC v1 writer left it:
@@ -322,12 +325,109 @@ TEST_F(McJournalTest, V1JournalResumesWithoutReExecution) {
     }
   }
 
+  // Resume with the default (v3 binary) format requested: the reader
+  // recognises the v1 file and no cell re-executes.
   config.resume = true;
+  config.journal_format = JournalFormat::kV3Binary;
   const McSummary resumed = run_mc_campaign(config, runner);
   EXPECT_EQ(resumed.cells_resumed, 96u);
   EXPECT_EQ(resumed.cells_executed, 0u);
   EXPECT_EQ(resumed.records_corrupt, 0u);
   expect_bitwise_equal(reference, resumed);
+}
+
+TEST_F(McJournalTest, V2JournalResumesUnderV3DefaultConfig) {
+  // A campaign journaled as v2 text, resumed by a binary-default
+  // binary (the upgrade path): the reader adopts the file's format,
+  // nothing re-executes, and the journal stays text.
+  const McRunner runner = make_smt_runner(engine_options());
+  McConfig config = small_config();
+  config.threads = 2;
+  config.journal_path = path_;
+  config.journal_format = JournalFormat::kV2Text;
+  const McSummary reference = run_mc_campaign(config, runner);
+
+  config.resume = true;
+  config.journal_format = JournalFormat::kV3Binary;
+  const McSummary resumed = run_mc_campaign(config, runner);
+  EXPECT_EQ(resumed.cells_resumed, 96u);
+  EXPECT_EQ(resumed.cells_executed, 0u);
+  expect_bitwise_equal(reference, resumed);
+  EXPECT_EQ(Journal::inspect(path_).version, 2);
+}
+
+TEST_F(McJournalTest, V2ChaosJournalResumesToGoldenDigest) {
+  // The bit-flip + torn chaos matrix against the text encoding; the
+  // default-format chaos coverage lives in the two tests above.
+  const McRunner runner = make_smt_runner(engine_options());
+  McConfig config = small_config();
+  config.threads = 2;
+  config.journal_format = JournalFormat::kV2Text;
+
+  const McSummary reference = run_mc_campaign(config, runner);
+
+  config.journal_path = path_;
+  config.chaos = "journal.corrupt=0.2,journal.torn=0.1";
+  (void)run_mc_campaign(config, runner);
+
+  config.chaos.clear();
+  config.resume = true;
+  const McSummary resumed = run_mc_campaign(config, runner);
+  EXPECT_GT(resumed.records_corrupt, 0u);
+  EXPECT_EQ(resumed.cells_resumed + resumed.cells_executed, 96u);
+  expect_bitwise_equal(reference, resumed);
+}
+
+TEST_F(McJournalTest, CellRangeShardsMergeToFullDigest) {
+  // The sharding story end to end: two half-campaigns journal
+  // disjoint --cell-range windows, merge_journals combines them, and
+  // resuming the merged journal with the full range reproduces the
+  // single-process digest without executing a single cell.
+  const McRunner runner = make_smt_runner(engine_options());
+  McConfig config = small_config();
+  config.threads = 2;
+  const McSummary reference = run_mc_campaign(config, runner);
+
+  const std::string shard_a = path_ + ".a";
+  const std::string shard_b = path_ + ".b";
+  McConfig shard = config;
+  shard.journal_path = shard_a;
+  shard.cell_lo = 0;
+  shard.cell_hi = 48;
+  const McSummary half_a = run_mc_campaign(shard, runner);
+  EXPECT_EQ(half_a.cells_executed, 48u);
+  shard.journal_path = shard_b;
+  shard.cell_lo = 48;
+  shard.cell_hi = 96;
+  (void)run_mc_campaign(shard, runner);
+
+  const JournalMergeStats stats =
+      merge_journals({shard_a, shard_b}, path_);
+  EXPECT_EQ(stats.records_out, 96u);
+  EXPECT_EQ(stats.duplicates, 0u);
+
+  config.journal_path = path_;
+  config.resume = true;
+  const McSummary resumed = run_mc_campaign(config, runner);
+  EXPECT_EQ(resumed.cells_resumed, 96u);
+  EXPECT_EQ(resumed.cells_executed, 0u);
+  expect_bitwise_equal(reference, resumed);
+
+  std::remove(shard_a.c_str());
+  std::remove(shard_b.c_str());
+}
+
+TEST(McCampaign, EmptyCellRangeThrows) {
+  McConfig config = small_config();
+  config.cell_lo = 96;  // at/after the last cell: nothing to do
+  EXPECT_THROW(
+      (void)run_mc_campaign(config, make_smt_runner(engine_options())),
+      std::runtime_error);
+  config.cell_lo = 5;
+  config.cell_hi = 5;
+  EXPECT_THROW(
+      (void)run_mc_campaign(config, make_smt_runner(engine_options())),
+      std::runtime_error);
 }
 
 TEST(McChaos, InjectedFailureIsRetriedToTheGoldenResult) {

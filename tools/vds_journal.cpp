@@ -1,0 +1,254 @@
+// vds_journal -- inspect, verify and merge campaign progress journals.
+//
+//   vds_journal inspect campaign.journal --records
+//   vds_journal verify shard-*.journal
+//   vds_journal merge shard-a.journal shard-b.journal --out merged.journal
+//
+// Works on every journal format vds_mc writes (v1/v2 text, v3
+// binary); parsing goes through the same corruption-skipping reader
+// the campaign --resume path uses, so what this tool reports intact
+// is exactly what a resume would trust. `merge` is the reducer side
+// of sharded campaigns: run disjoint --cell-range shards, merge their
+// journals (fingerprints must match, conflicting duplicate cells are
+// refused), then --resume the merged journal to reproduce the
+// single-process digest.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/journal.hpp"
+#include "runtime/json_writer.hpp"
+#include "scenario/cli.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: vds_journal COMMAND [options] PATH...
+
+commands:
+  inspect PATH        parse one journal and print a vds.journal_info.v1
+                      JSON document (record/corruption counts, version,
+                      fingerprint, bytes per record)
+  verify PATH...      parse each journal and print a one-line summary;
+                      exit 1 when any journal holds corrupt records
+  merge PATH...       combine per-shard journals of one campaign into
+                      --out; fingerprints must match, duplicate cells
+                      with identical payloads are coalesced, and
+                      conflicting duplicates are refused
+
+options:
+  --records           inspect: include every intact record in the JSON
+  --json-out PATH     inspect: write the JSON to PATH ('-' = stdout)
+  --out PATH          merge: output journal path (required; overwritten)
+  --format FORMAT     merge: output encoding, v2 (text) or v3 (binary)
+                      [v3]
+  --help              this text
+
+exit codes: 0 success; 1 verify found corrupt records; 2 usage/parse
+error; 3 runtime failure (unreadable, foreign, or mismatched journals,
+or shards that disagree about a cell).
+)";
+
+std::string hex16(std::uint64_t value) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::uint64_t file_bytes(const std::string& path) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+std::uint64_t duplicate_cells(const vds::runtime::JournalLoad& loaded) {
+  std::unordered_set<std::uint64_t> seen;
+  std::uint64_t duplicates = 0;
+  for (const auto& record : loaded.records) {
+    if (!seen.insert(record.index).second) ++duplicates;
+  }
+  return duplicates;
+}
+
+/// Parses `path` through the resume-grade reader, requiring an actual
+/// journal (a missing or empty file is an error here: the user named
+/// it explicitly).
+vds::runtime::JournalLoad inspect_journal(const std::string& path) {
+  vds::runtime::JournalLoad loaded = vds::runtime::Journal::inspect(path);
+  if (!loaded.has_header) {
+    throw std::runtime_error("journal '" + path +
+                             "': missing, empty, or not a journal");
+  }
+  return loaded;
+}
+
+void write_info(std::ostream& os, const std::string& path,
+                const vds::runtime::JournalLoad& loaded, bool dump) {
+  const std::uint64_t bytes = file_bytes(path);
+  const std::uint64_t count = loaded.records.size();
+  vds::runtime::JsonWriter json(os);
+  json.begin_object();
+  json.field("schema", "vds.journal_info.v1");
+  json.field("path", path);
+  json.field("version", static_cast<std::int64_t>(loaded.version));
+  json.field("fingerprint", hex16(loaded.fingerprint));
+  json.field("records", count);
+  json.field("corrupt", loaded.corrupt);
+  json.field("duplicate_cells", duplicate_cells(loaded));
+  json.field("bytes", bytes);
+  json.field("bytes_per_record",
+             count == 0 ? 0.0
+                        : static_cast<double>(bytes) /
+                              static_cast<double>(count));
+  if (dump) {
+    json.key("dump").begin_array();
+    for (const auto& record : loaded.records) {
+      json.begin_object();
+      json.field("cell", record.index);
+      json.field("outcome", record.outcome);
+      json.field("detection_latency", record.detection_latency);
+      json.field("recovery_time", record.recovery_time);
+      json.field("total_time", record.total_time);
+      json.field("rounds_committed", record.rounds_committed);
+      json.end_object();
+    }
+    json.end_array();
+  }
+  json.end_object();
+  os << "\n";
+}
+
+int run_inspect(const std::vector<std::string>& paths, bool dump,
+                const std::string& json_out) {
+  if (paths.size() != 1) {
+    throw vds::scenario::CliError(
+        "inspect takes exactly one journal path");
+  }
+  const vds::runtime::JournalLoad loaded = inspect_journal(paths.front());
+  if (json_out == "-") {
+    write_info(std::cout, paths.front(), loaded, dump);
+  } else {
+    std::ofstream out(json_out);
+    if (!out) {
+      throw vds::scenario::CliError("cannot write '" + json_out + "'");
+    }
+    write_info(out, paths.front(), loaded, dump);
+  }
+  return 0;
+}
+
+int run_verify(const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    throw vds::scenario::CliError("verify needs at least one journal path");
+  }
+  bool any_corrupt = false;
+  for (const std::string& path : paths) {
+    const vds::runtime::JournalLoad loaded = inspect_journal(path);
+    std::printf("%s: v%d fingerprint %s records %llu corrupt %llu%s\n",
+                path.c_str(), loaded.version,
+                hex16(loaded.fingerprint).c_str(),
+                static_cast<unsigned long long>(loaded.records.size()),
+                static_cast<unsigned long long>(loaded.corrupt),
+                loaded.corrupt > 0 ? "  <-- DAMAGED" : "");
+    if (loaded.corrupt > 0) any_corrupt = true;
+  }
+  return any_corrupt ? 1 : 0;
+}
+
+int run_merge(const std::vector<std::string>& paths,
+              const std::string& out_path,
+              vds::runtime::JournalFormat format) {
+  if (paths.empty()) {
+    throw vds::scenario::CliError("merge needs at least one input journal");
+  }
+  if (out_path.empty()) {
+    throw vds::scenario::CliError("merge requires --out PATH");
+  }
+  const vds::runtime::JournalMergeStats stats =
+      vds::runtime::merge_journals(paths, out_path, format);
+  std::printf("merged %llu journal%s -> '%s': %llu records "
+              "(%llu duplicate%s coalesced, %llu corrupt skipped), "
+              "fingerprint %s\n",
+              static_cast<unsigned long long>(stats.inputs),
+              stats.inputs == 1 ? "" : "s", out_path.c_str(),
+              static_cast<unsigned long long>(stats.records_out),
+              static_cast<unsigned long long>(stats.duplicates),
+              stats.duplicates == 1 ? "" : "s",
+              static_cast<unsigned long long>(stats.corrupt),
+              hex16(stats.fingerprint).c_str());
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  vds::scenario::ArgCursor args(argc, argv);
+  const std::string command(args.next());
+  if (command == "--help" || command == "-h") {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+
+  bool dump_records = false;
+  std::string json_out = "-";
+  std::string out_path;
+  auto format = vds::runtime::JournalFormat::kV3Binary;
+  std::vector<std::string> paths;
+  while (!args.done()) {
+    const std::string arg(args.next());
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (arg == "--records") {
+      dump_records = true;
+    } else if (arg == "--json-out") {
+      json_out = std::string(args.value(arg));
+    } else if (arg == "--out") {
+      out_path = std::string(args.value(arg));
+    } else if (arg == "--format") {
+      const std::string_view text = args.value(arg);
+      if (text == "v2") {
+        format = vds::runtime::JournalFormat::kV2Text;
+      } else if (text == "v3") {
+        format = vds::runtime::JournalFormat::kV3Binary;
+      } else {
+        vds::scenario::bad_value(arg, text, "v2 or v3");
+      }
+    } else if (!arg.empty() && arg.front() == '-' && arg != "-") {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      std::fputs(kUsage, stderr);
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (command == "inspect") return run_inspect(paths, dump_records, json_out);
+  if (command == "verify") return run_verify(paths);
+  if (command == "merge") return run_merge(paths, out_path, format);
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  std::fputs(kUsage, stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const vds::scenario::CliError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 3;
+  }
+}

@@ -56,11 +56,19 @@ execution:
   --threads N                    worker threads (0 = hardware) [0]
   --seed N                       campaign RNG seed            [1]
   --journal PATH                 append-only progress journal
-                                 (vds.journal.v2, CRC32C per record;
-                                 v1 journals resume fine)
+                                 (CRC32C per record; v1/v2 text and
+                                 v3 binary journals all resume fine)
+  --journal-format FORMAT        encoding when a *new* journal is
+                                 created: v3 (binary, default) or v2
+                                 (text); resuming an existing journal
+                                 keeps the file's own format
   --resume                       skip cells already in the journal;
                                  corrupt/torn records are counted and
                                  their cells re-executed
+  --cell-range LO:HI             dispatch only cells in [LO, HI) —
+                                 shard a campaign across processes,
+                                 then 'vds_journal merge' the shard
+                                 journals and --resume the result
   --json-out PATH                write JSON snapshot ('-' = stdout)
   --quiet                        suppress the text summary
   --help                         this text
@@ -159,8 +167,30 @@ int run_mc(int argc, char** argv) {
       campaign.seed = args.value_u64(arg);
     } else if (arg == "--journal") {
       campaign.journal = std::string(args.value(arg));
+    } else if (arg == "--journal-format") {
+      const std::string_view text = args.value(arg);
+      if (text == "v2") {
+        campaign.journal_format = vds::runtime::JournalFormat::kV2Text;
+      } else if (text == "v3") {
+        campaign.journal_format = vds::runtime::JournalFormat::kV3Binary;
+      } else {
+        vds::scenario::bad_value(arg, text, "v2 or v3");
+      }
     } else if (arg == "--resume") {
       campaign.resume = true;
+    } else if (arg == "--cell-range") {
+      const std::string text(args.value(arg));
+      const std::size_t colon = text.find(':');
+      if (colon == std::string::npos) {
+        vds::scenario::bad_value(arg, text, "LO:HI (a half-open cell range)");
+      }
+      campaign.cell_lo =
+          vds::scenario::parse_u64(arg, text.substr(0, colon));
+      campaign.cell_hi =
+          vds::scenario::parse_u64(arg, text.substr(colon + 1));
+      if (campaign.cell_lo >= campaign.cell_hi) {
+        vds::scenario::bad_value(arg, text, "LO < HI");
+      }
     } else if (arg == "--json-out") {
       json_out = std::string(args.value(arg));
     } else if (arg == "--quiet") {
