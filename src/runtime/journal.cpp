@@ -137,12 +137,16 @@ constexpr const char* kHeaderFormat = "vds-mc-journal v2 fingerprint %016" PRIx6
 constexpr unsigned char kV3Magic[8] = {'v', 'd', 's', 'j', 'r', 'n', 'l', '\0'};
 constexpr std::size_t kV3HeaderSize = 8 + 4 + 8 + 1;
 constexpr unsigned char kV3Marker = 0xA5;
-// Payload = flags + varint cell + varint outcome + optional f64
+// Cell payload = flags + varint cell + varint outcome + optional f64
 // latency + optional f64 recovery + f64 total + varint rounds.
-constexpr std::size_t kV3MinPayload = 1 + 1 + 1 + 8 + 1;
+// Stop payload (flags == kV3FlagStop) = flags + varint stratum +
+// varint stop_after + f64 achieved_ci; its 11-byte minimum sets the
+// framing floor.
+constexpr std::size_t kV3MinPayload = 1 + 1 + 1 + 8;
 constexpr std::size_t kV3MaxPayload = 1 + 10 + 5 + 8 + 8 + 8 + 10;
 constexpr unsigned char kV3FlagLatency = 0x01;
 constexpr unsigned char kV3FlagRecovery = 0x02;
+constexpr unsigned char kV3FlagStop = 0x04;
 
 void put_le32(unsigned char* out, std::uint32_t v) noexcept {
   out[0] = static_cast<unsigned char>(v);
@@ -209,6 +213,15 @@ bool get_varint(const unsigned char* p, std::size_t n, std::size_t& pos,
 /// are no_effect and carry both defaults.
 std::size_t encode_v3_payload(const JournalRecord& record,
                               unsigned char* out) noexcept {
+  if (record.stop) {
+    std::size_t n = 0;
+    out[n++] = kV3FlagStop;
+    n += put_varint(out + n, record.index);
+    n += put_varint(out + n, record.stop_after);
+    put_le64(out + n, f64_bits(record.achieved_ci));
+    n += 8;
+    return n;
+  }
   const std::uint64_t latency_bits = f64_bits(record.detection_latency);
   const std::uint64_t recovery_bits = f64_bits(record.recovery_time);
   const bool has_latency = latency_bits != f64_bits(-1.0);
@@ -238,6 +251,15 @@ bool decode_v3_payload(const unsigned char* p, std::size_t n,
   std::size_t pos = 0;
   if (n == 0) return false;
   const unsigned char flags = p[pos++];
+  if (flags == kV3FlagStop) {
+    record.stop = true;
+    if (!get_varint(p, n, pos, record.index)) return false;
+    if (!get_varint(p, n, pos, record.stop_after)) return false;
+    if (pos + 8 > n) return false;
+    record.achieved_ci = f64_from_bits(get_le64(p + pos));
+    pos += 8;
+    return pos == n;
+  }
   if ((flags & ~(kV3FlagLatency | kV3FlagRecovery)) != 0) return false;
   if (!get_varint(p, n, pos, record.index)) return false;
   std::uint64_t outcome = 0;
@@ -273,6 +295,16 @@ bool parse_record_body(const char* body, JournalRecord& record) {
                      &record.index, &record.outcome,
                      &record.detection_latency, &record.recovery_time,
                      &record.total_time, &record.rounds_committed) == 6;
+}
+
+/// Parses a stratum stop-record body (`stop STRATUM AFTER CI`).
+bool parse_stop_body(const char* body, JournalRecord& record) {
+  if (std::sscanf(body, "stop %" SCNu64 " %" SCNu64 " %la", &record.index,
+                  &record.stop_after, &record.achieved_ci) != 3) {
+    return false;
+  }
+  record.stop = true;
+  return true;
 }
 
 std::string hex16(std::uint64_t value) {
@@ -385,6 +417,8 @@ void parse_text_journal(const std::string& path, std::string_view data,
       const std::string body(line.substr(0, marker));
       if (parse_record_body(body.c_str(), record)) {
         result.records.push_back(record);
+      } else if (parse_stop_body(body.c_str(), record)) {
+        result.stops.push_back(record);
       } else {
         ++result.corrupt;  // checksum of a body we cannot parse
       }
@@ -450,7 +484,7 @@ void parse_v3_journal(const std::string& path, std::string_view data,
     JournalRecord record;
     if (crc32c(bytes + pos + 2, len) == get_le32(bytes + pos + 2 + len) &&
         decode_v3_payload(bytes + pos + 2, len, record)) {
-      result.records.push_back(record);
+      (record.stop ? result.stops : result.records).push_back(record);
     } else {
       ++result.corrupt;  // a framed record with a flipped bit
     }
@@ -608,10 +642,15 @@ void Journal::append(const JournalRecord& record) {
   } else {
     char body[200];
     const int body_len =
-        std::snprintf(body, sizeof body, "cell %" PRIu64 " %d %a %a %a %" PRIu64,
-                      record.index, record.outcome, record.detection_latency,
-                      record.recovery_time, record.total_time,
-                      record.rounds_committed);
+        record.stop
+            ? std::snprintf(body, sizeof body, "stop %" PRIu64 " %" PRIu64 " %a",
+                            record.index, record.stop_after,
+                            record.achieved_ci)
+            : std::snprintf(body, sizeof body,
+                            "cell %" PRIu64 " %d %a %a %a %" PRIu64,
+                            record.index, record.outcome,
+                            record.detection_latency, record.recovery_time,
+                            record.total_time, record.rounds_committed);
     if (body_len < 0 || body_len >= static_cast<int>(sizeof body)) {
       failed_.store(true);
       throw std::runtime_error("journal '" + path_ + "': record too long");
@@ -669,6 +708,8 @@ JournalMergeStats merge_journals(const std::vector<std::string>& inputs,
   stats.inputs = inputs.size();
   std::map<std::uint64_t, JournalRecord> cells;  // sorted by cell index
   std::map<std::uint64_t, const std::string*> sources;
+  std::map<std::uint64_t, JournalRecord> stops;  // sorted by stratum index
+  std::map<std::uint64_t, const std::string*> stop_sources;
   bool have_fingerprint = false;
   for (const std::string& in : inputs) {
     const JournalLoad loaded = Journal::inspect(in);
@@ -707,10 +748,32 @@ JournalMergeStats merge_journals(const std::vector<std::string>& inputs,
           "' (same fingerprint, different payload); the shards disagree "
           "about a result — refusing to merge");
     }
+    for (const JournalRecord& record : loaded.stops) {
+      ++stats.records_in;
+      const auto [it, inserted] = stops.try_emplace(record.index, record);
+      if (inserted) {
+        stop_sources.emplace(record.index, &in);
+        continue;
+      }
+      if (it->second == record) {
+        ++stats.duplicates;
+        continue;
+      }
+      throw std::runtime_error(
+          "journal merge: stratum " + std::to_string(record.index) +
+          " has conflicting stop records in '" +
+          *stop_sources[record.index] + "' and '" + in +
+          "' (same fingerprint, different stopping point); the shards "
+          "disagree — refusing to merge");
+    }
   }
   std::remove(out_path.c_str());
   Journal out(out_path, stats.fingerprint, format);
   for (const auto& [index, record] : cells) {
+    out.append(record);
+    ++stats.records_out;
+  }
+  for (const auto& [index, record] : stops) {
     out.append(record);
     ++stats.records_out;
   }

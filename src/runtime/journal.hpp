@@ -26,6 +26,15 @@ void write_json(JsonWriter& json, const core::CampaignSummary& summary);
 
 /// One journaled Monte Carlo cell: everything the aggregation needs,
 /// so a resumed campaign reproduces the merged summary bit for bit.
+///
+/// With `stop == true` the record is a per-stratum *stop record*
+/// instead of a cell: `index` is the stratum index, `stop_after` the
+/// replica count the stratum kept when its confidence target was met,
+/// and `achieved_ci` the relative half-width at that point. Stop
+/// records pin adaptive-sampling stopping points across `--resume`
+/// and `merge_journals`, so a resumed or merged campaign reproduces
+/// the original run's digest instead of re-deciding with different
+/// information.
 struct JournalRecord {
   std::uint64_t index = 0;           ///< cell index in the canonical grid order
   int outcome = 0;                   ///< InjectionOutcome as integer
@@ -33,6 +42,9 @@ struct JournalRecord {
   double recovery_time = 0.0;
   double total_time = 0.0;
   std::uint64_t rounds_committed = 0;
+  bool stop = false;                 ///< stratum stop record, not a cell
+  std::uint64_t stop_after = 0;      ///< replicas kept (stop records only)
+  double achieved_ci = 0.0;          ///< relative CI there (stop records only)
 
   [[nodiscard]] bool operator==(const JournalRecord&) const = default;
 };
@@ -54,7 +66,8 @@ enum class JournalFormat {
 /// A contiguous run of damaged bytes in a v3 file counts once (one
 /// corruption episode), however many bytes it spans.
 struct JournalLoad {
-  std::vector<JournalRecord> records;
+  std::vector<JournalRecord> records;  ///< cell records, file order
+  std::vector<JournalRecord> stops;    ///< stratum stop records, file order
   std::uint64_t corrupt = 0;
   int version = 2;  ///< header version of the file (2 when absent)
   std::uint64_t fingerprint = 0;  ///< from the header (0 when absent)

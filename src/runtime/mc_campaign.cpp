@@ -3,15 +3,18 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <csignal>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <ostream>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/smt_engine.hpp"
 #include "runtime/chaos.hpp"
@@ -169,6 +172,15 @@ std::uint64_t McConfig::fingerprint() const noexcept {
   h = hash_double(fixed_offset, h);
   h = hash_u64(seed, h);
   h = hash_u64(runner_fingerprint, h);
+  // Folded only when armed: the knobs shape which cells run, but a
+  // fixed-replica campaign must keep its pre-sampling fingerprint so
+  // existing journals stay resumable.
+  if (sampling()) {
+    h = fnv1a(std::string_view("vds-mc-sampling-v1"), h);
+    h = hash_double(target_ci, h);
+    h = hash_u64(min_replicas, h);
+    h = hash_u64(batch, h);
+  }
   return h;
 }
 
@@ -199,6 +211,7 @@ void McSummary::merge(const McSummary& other) {
   deadline_exceeded = deadline_exceeded || other.deadline_exceeded;
   quarantined.insert(quarantined.end(), other.quarantined.begin(),
                      other.quarantined.end());
+  strata.insert(strata.end(), other.strata.begin(), other.strata.end());
 }
 
 std::uint64_t McSummary::digest() const noexcept {
@@ -258,6 +271,9 @@ enum CellState : char {
   kExecuted,     ///< ran (possibly after retries) this invocation
   kQuarantined,  ///< every attempt failed or timed out
   kSkipped,      ///< dispatch stopped by a graceful drain
+  kBeyondStop,   ///< journaled past a stratum's stopping point; an
+                 ///< overlapping or partial-window shard ran further
+                 ///< than the decision kept — excluded from reduce
 };
 
 /// A retryable attempt failure (runner exception, injected chaos
@@ -387,6 +403,33 @@ bool past_deadline(const McConfig& config) noexcept {
          std::chrono::steady_clock::now() >= config.deadline;
 }
 
+// --- adaptive sampling decisions --------------------------------------
+
+/// First replica count at which a stratum's CI is evaluated: the
+/// smallest multiple of `batch` at or above max(min_replicas, 2) —
+/// two samples are the least that define a variance — capped at the
+/// per-stratum maximum. Later decisions land every `batch` replicas,
+/// with a forced final decision at `replicas`.
+std::uint64_t first_decision(const McConfig& config) noexcept {
+  const std::uint64_t lowest =
+      std::max<std::uint64_t>(config.min_replicas, 2);
+  const std::uint64_t step = std::max<std::uint64_t>(config.batch, 1);
+  const std::uint64_t point = (lowest + step - 1) / step * step;
+  return std::min(point, config.replicas);
+}
+
+/// Relative 95% Student-t half-width: half-width / |mean|. +inf when
+/// no interval exists yet (under two samples, or a zero mean with
+/// nonzero spread); exactly 0 for zero-variance data.
+double relative_halfwidth(const vds::sim::Accumulator& acc) noexcept {
+  if (acc.count() < 2) return std::numeric_limits<double>::infinity();
+  const double halfwidth = acc.ci_halfwidth_t(0.95);
+  if (halfwidth == 0.0) return 0.0;
+  const double mean = std::fabs(acc.mean());
+  if (mean == 0.0) return std::numeric_limits<double>::infinity();
+  return halfwidth / mean;
+}
+
 }  // namespace
 
 // --- shared-pool execution --------------------------------------------
@@ -403,6 +446,33 @@ struct McExecution::State {
   std::atomic<std::uint64_t> executed{0};
   std::atomic<std::uint64_t> retried{0};
   std::atomic<bool> deadline_hit{false};
+
+  /// Per-(kind, round) adaptive-sampling state. The non-atomic
+  /// decision fields are only ever touched by one thread at a time:
+  /// the enqueueing thread first, then whichever worker resolves the
+  /// last cell of a wave — the acq_rel decrement of `outstanding`
+  /// hands them off.
+  struct StratumState {
+    std::uint64_t base = 0;          ///< first cell index
+    std::uint64_t next_replica = 0;  ///< replicas dispatched/replayed
+    std::uint64_t eval_point = 0;    ///< next decision point (replicas)
+    std::uint64_t stop_at = 0;       ///< replicas kept once decided
+    double achieved_ci = 0.0;        ///< relative CI at last decision
+    bool decided = false;
+    bool early_stopped = false;
+    bool blocked = false;  ///< quarantine hole / partial shard window
+    bool live = false;     ///< submitted at least one wave this run
+    std::atomic<std::uint64_t> outstanding{0};
+    std::atomic<bool> abandoned{false};  ///< drain/deadline hit a cell
+  };
+  std::unique_ptr<StratumState[]> strata_state;  // array: atomics pin it
+  std::uint64_t strata_count = 0;
+
+  // Progress heartbeat (advisory; every field an atomic so a poller
+  // thread can read mid-campaign).
+  std::atomic<std::uint64_t> resolved{0};
+  std::atomic<std::uint64_t> target{0};
+  std::atomic<std::uint64_t> strata_stopped{0};
 };
 
 McExecution::McExecution(McConfig config, McRunner runner)
@@ -421,6 +491,11 @@ McExecution::McExecution(McConfig config, McRunner runner)
                              std::to_string(config_.cells()) +
                              "-cell campaign");
   }
+  if (config_.sampling() &&
+      (config_.min_replicas == 0 || config_.batch == 0)) {
+    throw std::runtime_error(
+        "mc campaign: sampling requires min_replicas >= 1 and batch >= 1");
+  }
   State& st = *state_;
   st.cells = config_.cells();
   st.chaos = Chaos::parse(config_.chaos, config_.seed);
@@ -429,6 +504,7 @@ McExecution::McExecution(McConfig config, McRunner runner)
   st.results.resize(st.cells);
   st.cell_state.assign(st.cells, kPending);
 
+  std::vector<JournalRecord> stop_records;
   if (!config_.journal_path.empty()) {
     if (config_.resume) {
       JournalLoad loaded = Journal::load(config_.journal_path, fingerprint);
@@ -446,6 +522,7 @@ McExecution::McExecution(McConfig config, McRunner runner)
         st.cell_state[record.index] = kResumed;
         ++st.resumed;
       }
+      stop_records = std::move(loaded.stops);
     } else {
       // A fresh (non-resuming) campaign starts a fresh journal.
       std::remove(config_.journal_path.c_str());
@@ -454,6 +531,88 @@ McExecution::McExecution(McConfig config, McRunner runner)
                                            config_.journal_format);
     if (st.chaos.armed()) st.journal->arm_chaos(&st.chaos);
   }
+
+  if (config_.sampling()) {
+    st.strata_count = config_.kinds.size() * config_.rounds.size();
+    st.strata_state =
+        std::make_unique<State::StratumState[]>(st.strata_count);
+    for (std::uint64_t s = 0; s < st.strata_count; ++s) {
+      st.strata_state[s].base = s * config_.replicas;
+    }
+    // Stop records pin stopping points decided by an earlier run (or
+    // another shard): the stratum replays that decision instead of
+    // re-deciding, and journaled results past the point are excluded
+    // so the digest matches the deciding run's.
+    for (const JournalRecord& record : stop_records) {
+      if (record.index >= st.strata_count || record.stop_after == 0 ||
+          record.stop_after > config_.replicas ||
+          st.strata_state[record.index].decided) {
+        ++st.corrupt;
+        continue;
+      }
+      State::StratumState& str = st.strata_state[record.index];
+      str.decided = true;
+      str.stop_at = record.stop_after;
+      str.eval_point = record.stop_after;
+      str.achieved_ci = record.achieved_ci;
+      str.early_stopped = record.stop_after < config_.replicas;
+      if (str.early_stopped) {
+        st.strata_stopped.fetch_add(1, std::memory_order_relaxed);
+      }
+      for (std::uint64_t r = record.stop_after; r < config_.replicas; ++r) {
+        const std::uint64_t index = str.base + r;
+        if (st.cell_state[index] == kResumed) {
+          st.cell_state[index] = kBeyondStop;
+        }
+      }
+    }
+    for (std::uint64_t s = 0; s < st.strata_count; ++s) {
+      State::StratumState& str = st.strata_state[s];
+      if (str.decided) continue;
+      // A stratum can only decide when every replica it might need is
+      // reachable — inside the dispatch window or already journaled.
+      // A partial-window shard instead runs its whole slice with no
+      // decisions; the merged-journal resume replays the decision
+      // over the assembled prefix.
+      bool coverable = true;
+      for (std::uint64_t r = 0; r < config_.replicas; ++r) {
+        const std::uint64_t index = str.base + r;
+        if (st.cell_state[index] == kPending &&
+            (index < config_.cell_lo || index >= config_.cell_hi)) {
+          coverable = false;
+          break;
+        }
+      }
+      if (coverable) {
+        str.eval_point = first_decision(config_);
+      } else {
+        str.blocked = true;
+        str.eval_point = config_.replicas;
+      }
+    }
+  }
+
+  // Progress baseline: what is already resolved, and what this
+  // invocation can still resolve (in-window pending cells, minus
+  // those past an already-decided stopping point).
+  std::uint64_t resolved = 0;
+  std::uint64_t target = 0;
+  for (std::uint64_t index = 0; index < st.cells; ++index) {
+    if (st.cell_state[index] != kPending) {
+      ++resolved;
+      ++target;
+      continue;
+    }
+    if (index < config_.cell_lo || index >= config_.cell_hi) continue;
+    if (config_.sampling()) {
+      const State::StratumState& str =
+          st.strata_state[index / config_.replicas];
+      if (str.decided && index - str.base >= str.stop_at) continue;
+    }
+    ++target;
+  }
+  st.resolved.store(resolved, std::memory_order_relaxed);
+  st.target.store(target, std::memory_order_relaxed);
 
   mc_counters().resumed.add(st.resumed);
   mc_counters().corrupt.add(st.corrupt);
@@ -471,6 +630,7 @@ void McExecution::run_cell(std::uint64_t index) {
   if (late || (config_.honor_global_drain && drain_requested())) {
     if (late) st.deadline_hit.store(true, std::memory_order_relaxed);
     st.cell_state[index] = kSkipped;
+    st.resolved.fetch_add(1, std::memory_order_relaxed);
     mc_counters().skipped.add();
     return;
   }
@@ -513,6 +673,7 @@ void McExecution::run_cell(std::uint64_t index) {
         // as skipped (resumable), never quarantined.
         st.deadline_hit.store(true, std::memory_order_relaxed);
         st.cell_state[index] = kSkipped;
+        st.resolved.fetch_add(1, std::memory_order_relaxed);
         mc_counters().skipped.add();
         return;
       }
@@ -521,11 +682,13 @@ void McExecution::run_cell(std::uint64_t index) {
         // reported in the summary and the cell stays out of the
         // journal, so a later --resume gets another shot at it.
         st.cell_state[index] = kQuarantined;
+        st.resolved.fetch_add(1, std::memory_order_relaxed);
         mc_counters().quarantined.add();
         return;
       }
       if (config_.honor_global_drain && drain_requested()) {
         st.cell_state[index] = kSkipped;
+        st.resolved.fetch_add(1, std::memory_order_relaxed);
         mc_counters().skipped.add();
         return;
       }
@@ -534,6 +697,7 @@ void McExecution::run_cell(std::uint64_t index) {
   }
   st.results[index] = result;
   st.cell_state[index] = kExecuted;
+  st.resolved.fetch_add(1, std::memory_order_relaxed);
   // Journal failures bypass the retry loop on purpose: a journal
   // that cannot persist progress must fail the campaign (the pool
   // captures this throw and wait_idle reports it).
@@ -542,8 +706,133 @@ void McExecution::run_cell(std::uint64_t index) {
   mc_counters().executed.add();
 }
 
+void McExecution::run_cell_sampling(ThreadPool& pool, std::uint64_t index,
+                                    std::uint64_t stratum) {
+  run_cell(index);
+  State& st = *state_;
+  State::StratumState& str = st.strata_state[stratum];
+  if (st.cell_state[index] == kSkipped) {
+    // Drain/deadline skipped the cell: the canonical prefix has a
+    // hole only a --resume can fill, so the stratum stops chaining.
+    str.abandoned.store(true, std::memory_order_relaxed);
+  }
+  if (str.outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last cell of the wave: this worker inherits the stratum's
+    // decision state (the acq_rel decrement orders every other
+    // worker's result writes before this).
+    advance_stratum(pool, stratum);
+  }
+}
+
+void McExecution::advance_stratum(ThreadPool& pool, std::uint64_t stratum) {
+  State& st = *state_;
+  State::StratumState& str = st.strata_state[stratum];
+  for (;;) {
+    if (str.abandoned.load(std::memory_order_relaxed)) return;
+    // Dispatch the wave up to the next decision point. Cells already
+    // satisfied (resumed) are skipped; an all-resolved wave falls
+    // through to a synchronous replay of the decision below.
+    std::vector<std::uint64_t> wave;
+    for (std::uint64_t r = str.next_replica; r < str.eval_point; ++r) {
+      const std::uint64_t index = str.base + r;
+      if (st.cell_state[index] != kPending) continue;
+      if (index < config_.cell_lo || index >= config_.cell_hi) continue;
+      wave.push_back(index);
+    }
+    str.next_replica = str.eval_point;
+    if (!wave.empty()) {
+      str.live = true;
+      str.outstanding.store(wave.size(), std::memory_order_relaxed);
+      for (const std::uint64_t index : wave) {
+        pool.submit([this, &pool, index, stratum] {
+          run_cell_sampling(pool, index, stratum);
+        });
+      }
+      return;  // the wave's last finisher re-enters advance_stratum
+    }
+    if (str.decided || str.blocked) return;  // nothing left to decide
+    // The prefix [0, eval_point) is fully resolved — decide over it.
+    bool quarantined = false;
+    for (std::uint64_t r = 0; r < str.eval_point; ++r) {
+      const char state = st.cell_state[str.base + r];
+      if (state == kSkipped) return;  // resumable later, not decidable
+      if (state == kQuarantined) {
+        quarantined = true;
+        break;
+      }
+    }
+    if (quarantined) {
+      // A quarantined replica punches a hole in the canonical prefix;
+      // deciding around it would pick a different stopping point than
+      // the clean run's. Run the stratum to its maximum instead — a
+      // later clean --resume replays the decisions over the repaired
+      // prefix and reaches the clean campaign's digest.
+      str.blocked = true;
+      str.eval_point = config_.replicas;
+      continue;
+    }
+    vds::sim::Accumulator total;
+    vds::sim::Accumulator latency;
+    for (std::uint64_t r = 0; r < str.eval_point; ++r) {
+      const McCellResult& result = st.results[str.base + r];
+      total.add(result.total_time);
+      if (result.detection_latency >= 0.0) {
+        latency.add(result.detection_latency);
+      }
+    }
+    double achieved = relative_halfwidth(total);
+    if (latency.count() >= 2) {
+      achieved = std::max(achieved, relative_halfwidth(latency));
+    }
+    str.achieved_ci = achieved;
+    if (achieved > config_.target_ci && str.eval_point < config_.replicas) {
+      str.eval_point = std::min<std::uint64_t>(config_.replicas,
+                                               str.eval_point + config_.batch);
+      continue;
+    }
+    str.decided = true;
+    str.stop_at = str.eval_point;
+    str.early_stopped = str.stop_at < config_.replicas;
+    if (!str.early_stopped) return;
+    st.strata_stopped.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t dropped = 0;
+    for (std::uint64_t r = str.stop_at; r < config_.replicas; ++r) {
+      const std::uint64_t index = str.base + r;
+      if (st.cell_state[index] == kResumed) {
+        st.cell_state[index] = kBeyondStop;
+      } else if (st.cell_state[index] == kPending) {
+        ++dropped;
+      }
+    }
+    st.target.fetch_sub(dropped, std::memory_order_relaxed);
+    // Pin the stopping point for --resume / merge_journals. Replayed
+    // decisions (live == false: every prefix cell came from the
+    // journal) are re-derived on each resume and never re-appended,
+    // so the journal does not grow across repeated resumes.
+    if (str.live && st.journal) {
+      JournalRecord record;
+      record.stop = true;
+      record.index = stratum;
+      record.stop_after = str.stop_at;
+      record.achieved_ci = str.achieved_ci;
+      st.journal->append(record);
+    }
+    return;
+  }
+}
+
 void McExecution::enqueue(ThreadPool& pool) {
   State& st = *state_;
+  if (config_.sampling()) {
+    // Stratified wave dispatch: every stratum submits its first wave
+    // here; later waves chain from the worker that resolves the last
+    // cell of the previous one, so wait_idle() covers the stream.
+    // Fully-resumed strata replay their decisions synchronously.
+    for (std::uint64_t s = 0; s < st.strata_count; ++s) {
+      advance_stratum(pool, s);
+    }
+    return;
+  }
   // The cell range bounds *dispatch* only: journaled records outside
   // it (a merged journal, an overlapping shard) still count as
   // resumed, so resuming a fully merged journal with the default
@@ -585,7 +874,6 @@ McSummary McExecution::reduce(ThreadPool& pool) {
   McSummary total;
   for (const McSummary& shard : shards) total.merge(shard);
   total.cells_executed = st.executed.load();
-  total.cells_resumed = st.resumed;
   total.cells_retried = st.retried.load();
   total.records_corrupt = st.corrupt;
   total.drained = config_.honor_global_drain && drain_requested();
@@ -596,9 +884,41 @@ McSummary McExecution::reduce(ThreadPool& pool) {
       total.quarantined.push_back(index);
     } else if (st.cell_state[index] == kSkipped) {
       ++total.cells_skipped;
+    } else if (st.cell_state[index] == kResumed) {
+      // Counted here rather than from the load tally so records past
+      // a stratum's stopping point (kBeyondStop) are not reported as
+      // contributing.
+      ++total.cells_resumed;
+    }
+  }
+  if (config_.sampling()) {
+    const std::uint64_t rounds = config_.rounds.size();
+    total.strata.reserve(st.strata_count);
+    for (std::uint64_t s = 0; s < st.strata_count; ++s) {
+      const State::StratumState& str = st.strata_state[s];
+      McStratumStats stats;
+      stats.kind = config_.kinds[s / rounds];
+      stats.round = config_.rounds[s % rounds];
+      for (std::uint64_t r = 0; r < config_.replicas; ++r) {
+        const char state = st.cell_state[str.base + r];
+        if (state == kExecuted || state == kResumed) ++stats.replicas_run;
+      }
+      stats.achieved_ci = str.achieved_ci;
+      stats.early_stopped = str.early_stopped;
+      total.strata.push_back(stats);
     }
   }
   return total;
+}
+
+McExecution::Progress McExecution::progress() const noexcept {
+  const State& st = *state_;
+  Progress snapshot;
+  snapshot.resolved = st.resolved.load(std::memory_order_relaxed);
+  snapshot.target = st.target.load(std::memory_order_relaxed);
+  snapshot.strata_stopped = st.strata_stopped.load(std::memory_order_relaxed);
+  snapshot.strata_total = config_.sampling() ? st.strata_count : 0;
+  return snapshot;
 }
 
 McSummary run_mc_campaign(const McConfig& config, const McRunner& runner) {
@@ -619,7 +939,10 @@ void write_snapshot(std::ostream& os, const McConfig& config,
 void write_snapshot(JsonWriter& json, const McConfig& config,
                     const McSummary& summary) {
   json.begin_object();
-  json.field("schema", "vds.mc_summary.v1");
+  // v2 only differs by the sampling fields below; the fixed-replica
+  // document stays byte-identical to its committed goldens.
+  json.field("schema",
+             config.sampling() ? "vds.mc_summary.v2" : "vds.mc_summary.v1");
   json.key("config").begin_object();
   json.key("kinds").begin_array();
   for (const auto kind : config.kinds) {
@@ -638,6 +961,12 @@ void write_snapshot(JsonWriter& json, const McConfig& config,
   json.field("cell_timeout", config.cell_timeout);
   json.field("max_retries", static_cast<std::uint64_t>(config.max_retries));
   json.field("chaos", config.chaos);
+  if (config.sampling()) {
+    json.field("target_ci", config.target_ci);
+    json.field("min_replicas", config.min_replicas);
+    json.field("max_replicas", config.replicas);
+    json.field("batch", config.batch);
+  }
   // Conditional so the golden pretty snapshots keep their exact bytes
   // (only sharded runs restrict the range).
   if (config.cell_lo != 0 || config.cell_hi < config.cells()) {
@@ -664,6 +993,19 @@ void write_snapshot(JsonWriter& json, const McConfig& config,
   // Conditional so the golden pretty snapshots keep their exact bytes
   // (only deadline-bearing serve requests can set it).
   if (summary.deadline_exceeded) json.field("deadline_exceeded", true);
+  if (config.sampling()) {
+    json.key("strata").begin_array();
+    for (const McStratumStats& stats : summary.strata) {
+      json.begin_object();
+      json.field("kind", vds::fault::to_string(stats.kind));
+      json.field("round", stats.round);
+      json.field("replicas_run", stats.replicas_run);
+      json.field("achieved_ci", stats.achieved_ci);
+      json.field("early_stopped", stats.early_stopped);
+      json.end_object();
+    }
+    json.end_array();
+  }
   json.key("quarantined").begin_array();
   // Bounded preview: cells_quarantined carries the full count.
   constexpr std::size_t kQuarantinePreview = 64;

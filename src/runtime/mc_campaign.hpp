@@ -72,6 +72,30 @@ struct McConfig {
   std::uint64_t cell_lo = 0;
   std::uint64_t cell_hi = ~0ull;
 
+  // --- adaptive sampling (variance-targeted early stop) -----------
+
+  /// Relative confidence-interval target; 0 (the default) keeps the
+  /// fixed-replica lattice. When > 0 each (kind, round) stratum
+  /// dispatches its replicas in `batch`-sized waves and stops as soon
+  /// as the 95% Student-t half-width of every tracked statistic
+  /// (total_time always; detection_latency once it has two samples)
+  /// drops to `target_ci` times the statistic's mean — bounded below
+  /// by `min_replicas` and above by `replicas`, which becomes the
+  /// per-stratum *maximum*. Stopping decisions are pure functions of
+  /// canonically-ordered results, so the summary digest is bitwise
+  /// identical for every thread count and across kill/--resume.
+  /// These three knobs shape which cells run and are folded into the
+  /// fingerprint — but only when sampling is armed, so fixed-replica
+  /// fingerprints (and their journals) are unchanged.
+  double target_ci = 0.0;
+  /// Never stop a stratum before this many replicas.
+  std::uint64_t min_replicas = 8;
+  /// Replicas dispatched per wave; decisions land at multiples.
+  std::uint64_t batch = 32;
+
+  /// True when the adaptive trial stream replaces the fixed lattice.
+  [[nodiscard]] bool sampling() const noexcept { return target_ci > 0.0; }
+
   // --- failure-path knobs (never part of the fingerprint: they do
   // --- not shape any cell's result, only how failures are handled).
 
@@ -130,6 +154,20 @@ struct McCellResult {
   [[nodiscard]] bool operator==(const McCellResult&) const = default;
 };
 
+/// Per-(kind, round) stratum outcome of an adaptive-sampling
+/// campaign (absent in fixed-replica mode). `replicas_run` counts the
+/// cells that contributed to the summary; `achieved_ci` is the
+/// relative Student-t half-width at the last decision point (0 when
+/// the stratum was never evaluated, +inf when no interval existed —
+/// under two samples, or a zero mean with nonzero spread).
+struct McStratumStats {
+  vds::fault::FaultKind kind = vds::fault::FaultKind::kTransient;
+  std::uint64_t round = 0;
+  std::uint64_t replicas_run = 0;
+  double achieved_ci = 0.0;
+  bool early_stopped = false;
+};
+
 /// Merged campaign aggregate. Shards are combined with `merge()`
 /// (exact counts + Chan-et-al accumulator merge); the engine always
 /// folds shards in canonical cell order, so the final summary is
@@ -153,6 +191,9 @@ struct McSummary {
   bool drained = false;                 ///< a drain request stopped dispatch
   bool deadline_exceeded = false;       ///< a deadline stopped dispatch
   std::vector<std::uint64_t> quarantined;  ///< indices, canonical order
+  /// Per-stratum sampling outcomes, stratum order (kind-major);
+  /// empty in fixed-replica mode. merge() concatenates.
+  std::vector<McStratumStats> strata;
 
   void add(const McCellResult& result);
   void merge(const McSummary& other);
@@ -250,7 +291,10 @@ class McExecution {
 
   /// Submits every not-yet-satisfied cell onto `pool`. Cells observe
   /// drain/deadline at dispatch time, so a request can still be
-  /// abandoned after enqueueing.
+  /// abandoned after enqueueing. In sampling mode this submits each
+  /// stratum's first wave; later waves chain from the worker that
+  /// resolves the last cell of the previous one, so the caller's
+  /// `pool.wait_idle()` still covers the whole adaptive stream.
   void enqueue(ThreadPool& pool);
 
   /// Reduces the per-cell results (sharded, canonical order) into the
@@ -259,9 +303,24 @@ class McExecution {
 
   [[nodiscard]] const McConfig& config() const noexcept { return config_; }
 
+  /// Dispatch progress snapshot; safe to poll from another thread
+  /// while the pool runs (every counter is an atomic). `target` is
+  /// the number of cells this invocation can still resolve — it
+  /// shrinks when a stratum stops early.
+  struct Progress {
+    std::uint64_t resolved = 0;        ///< cells in a final state
+    std::uint64_t target = 0;          ///< cells this run will resolve
+    std::uint64_t strata_stopped = 0;  ///< strata stopped early so far
+    std::uint64_t strata_total = 0;    ///< 0 in fixed-replica mode
+  };
+  [[nodiscard]] Progress progress() const noexcept;
+
  private:
   struct State;
   void run_cell(std::uint64_t index);
+  void run_cell_sampling(ThreadPool& pool, std::uint64_t index,
+                         std::uint64_t stratum);
+  void advance_stratum(ThreadPool& pool, std::uint64_t stratum);
 
   McConfig config_;
   McRunner runner_;

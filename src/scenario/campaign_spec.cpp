@@ -57,6 +57,14 @@ runtime::McConfig to_mc_config(const CampaignSpec& spec,
   config.cell_timeout = spec.cell_timeout;
   config.max_retries = spec.max_retries;
   config.chaos = spec.chaos;
+  config.target_ci = spec.target_ci;
+  config.min_replicas = spec.min_replicas;
+  config.batch = spec.batch;
+  // With sampling armed, McConfig::replicas is the per-stratum
+  // maximum; an explicit max_replicas overrides the replicas default.
+  if (spec.target_ci > 0.0 && spec.max_replicas > 0) {
+    config.replicas = spec.max_replicas;
+  }
   config.runner_fingerprint = engine_fingerprint(scenario);
   return config;
 }
@@ -124,11 +132,26 @@ CampaignSpec campaign_spec_from_json(const JsonValue& doc) {
       const std::uint64_t wide = value.as_u64(key);
       if (wide > 0xFFFFFFFFull) spec_fail("max_retries out of range");
       spec.max_retries = static_cast<unsigned>(wide);
+    } else if (key == "target_ci") {
+      spec.target_ci = value.as_double(key);
+      if (spec.target_ci < 0.0) spec_fail("target_ci must be >= 0");
+    } else if (key == "min_replicas") {
+      spec.min_replicas = value.as_u64(key);
+      if (spec.min_replicas == 0) spec_fail("min_replicas must be >= 1");
+    } else if (key == "max_replicas") {
+      spec.max_replicas = value.as_u64(key);
+      if (spec.max_replicas == 0) spec_fail("max_replicas must be >= 1");
+    } else if (key == "batch") {
+      spec.batch = value.as_u64(key);
+      if (spec.batch == 0) spec_fail("batch must be >= 1");
     } else {
       // threads/journal/chaos are deliberately not reachable from a
       // request: the server owns execution policy.
       spec_fail("unknown key '" + key + "'");
     }
+  }
+  if (spec.max_replicas > 0 && spec.target_ci == 0.0) {
+    spec_fail("max_replicas requires target_ci > 0");
   }
   return spec;
 }

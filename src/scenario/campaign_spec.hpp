@@ -40,6 +40,13 @@ struct CampaignSpec {
   double cell_timeout = 0.0;
   unsigned max_retries = 2;
   std::string chaos;
+  /// Adaptive sampling: relative CI target (0 keeps the fixed
+  /// lattice). When armed, `max_replicas` caps each stratum (0 =
+  /// reuse `replicas`) and `replicas` loses its fixed-count meaning.
+  double target_ci = 0.0;
+  std::uint64_t min_replicas = 8;
+  std::uint64_t max_replicas = 0;
+  std::uint64_t batch = 32;
 };
 
 /// Canonical fault-kind names ("transient", "crash", "permanent",
@@ -69,8 +76,10 @@ struct CampaignSpec {
 /// Strict parse of a campaign object (the "campaign" member of a
 /// vds.serve request envelope). Accepted keys mirror the mc_summary
 /// config section: replicas, rounds (the grid), kinds, jitter_offset,
-/// fixed_offset, seed, cell_timeout, max_retries. Unknown keys,
-/// malformed values and empty grids throw std::invalid_argument.
+/// fixed_offset, seed, cell_timeout, max_retries, and the adaptive
+/// sampling knobs target_ci, min_replicas, max_replicas, batch.
+/// Unknown keys, malformed values and empty grids throw
+/// std::invalid_argument.
 [[nodiscard]] CampaignSpec campaign_spec_from_json(const JsonValue& doc);
 
 }  // namespace vds::scenario

@@ -28,6 +28,12 @@ class Accumulator {
   /// given z (default 1.96 ~ 95%).
   [[nodiscard]] double ci_halfwidth(double z = 1.96) const noexcept;
 
+  /// Half-width of a Student-t confidence interval at the given
+  /// two-sided confidence level (0.95 = 95%). Uses n-1 degrees of
+  /// freedom; 0 for fewer than two samples (no variance estimate
+  /// exists, matching sem()), and exactly 0 for zero-variance data.
+  [[nodiscard]] double ci_halfwidth_t(double confidence = 0.95) const noexcept;
+
   /// Merges another accumulator (parallel Welford / Chan et al.).
   void merge(const Accumulator& other) noexcept;
 
@@ -41,6 +47,19 @@ class Accumulator {
   double max_ = 0.0;
   double sum_ = 0.0;
 };
+
+/// Two-sided critical value of the standard normal distribution: the
+/// z with P(|Z| <= z) = confidence (e.g. 0.95 -> 1.95996...). Requires
+/// confidence in (0, 1); returns NaN outside it.
+[[nodiscard]] double normal_critical(double confidence) noexcept;
+
+/// Two-sided critical value of Student's t distribution with `dof`
+/// degrees of freedom (e.g. confidence 0.95, dof 4 -> 2.77644...).
+/// Converges to normal_critical for large dof. dof == 0 has no
+/// distribution: returns +inf (an interval from one sample is
+/// unbounded). Requires confidence in (0, 1); returns NaN outside it.
+[[nodiscard]] double student_t_critical(double confidence,
+                                        std::uint64_t dof) noexcept;
 
 /// Fixed-width histogram over [lo, hi) with overflow/underflow bins.
 class Histogram {

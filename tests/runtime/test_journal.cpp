@@ -429,6 +429,69 @@ TEST_F(JournalTest, InspectReportsHeaderWithoutFingerprintCheck) {
   EXPECT_TRUE(missing.records.empty());
 }
 
+JournalRecord stop_record(std::uint64_t stratum, std::uint64_t after,
+                          double ci) {
+  JournalRecord record;
+  record.stop = true;
+  record.index = stratum;
+  record.stop_after = after;
+  record.achieved_ci = ci;
+  return record;
+}
+
+TEST_F(JournalTest, StopRecordsRoundTripV3) {
+  {
+    Journal journal(path_, 31);
+    journal.append(sample_record(0));
+    journal.append(stop_record(2, 40, 0x1.91eb851eb851fp-5));
+    journal.append(sample_record(1));
+  }
+  const JournalLoad load = Journal::load(path_, 31);
+  EXPECT_EQ(load.corrupt, 0u);
+  ASSERT_EQ(load.records.size(), 2u);  // stops are not cells
+  ASSERT_EQ(load.stops.size(), 1u);
+  EXPECT_EQ(load.stops[0], stop_record(2, 40, 0x1.91eb851eb851fp-5));
+}
+
+TEST_F(JournalTest, StopRecordsRoundTripV2Text) {
+  {
+    Journal journal(path_, 32, JournalFormat::kV2Text);
+    journal.append(sample_record(0));
+    journal.append(stop_record(7, 16, 0.031250));
+  }
+  const JournalLoad load = Journal::load(path_, 32);
+  EXPECT_EQ(load.version, 2);
+  EXPECT_EQ(load.corrupt, 0u);
+  ASSERT_EQ(load.records.size(), 1u);
+  ASSERT_EQ(load.stops.size(), 1u);
+  // The CI must survive as the exact double the decision was made on.
+  EXPECT_EQ(load.stops[0], stop_record(7, 16, 0.031250));
+}
+
+TEST_F(JournalTest, DamagedStopRecordIsCountedCorrupt) {
+  {
+    Journal journal(path_, 33, JournalFormat::kV2Text);
+    journal.append(sample_record(0));
+    journal.append(stop_record(3, 24, 0.05));
+  }
+  std::string text;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    text.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const std::size_t pos = text.find("stop ");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 5] ^= 0x01;  // corrupt the stratum digit
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+  const JournalLoad load = Journal::load(path_, 33);
+  EXPECT_EQ(load.corrupt, 1u);
+  EXPECT_TRUE(load.stops.empty());
+  ASSERT_EQ(load.records.size(), 1u);
+}
+
 class JournalMergeTest : public JournalTest {
  protected:
   std::string shard(int n) { return path_ + ".shard" + std::to_string(n); }
@@ -494,6 +557,46 @@ TEST_F(JournalMergeTest, ConflictingDuplicatesRefuse) {
     const std::string what = error.what();
     EXPECT_NE(what.find("refusing to merge"), std::string::npos) << what;
     EXPECT_NE(what.find(shard(1)), std::string::npos) << what;
+  }
+}
+
+TEST_F(JournalMergeTest, StopRecordsSurviveMergeAndCoalesce) {
+  {
+    Journal a(shard(0), 26);
+    a.append(sample_record(0));
+    a.append(stop_record(1, 16, 0.04));
+    Journal b(shard(1), 26);
+    b.append(sample_record(1));
+    b.append(stop_record(1, 16, 0.04));  // same decision, both shards
+    b.append(stop_record(4, 32, 0.02));
+  }
+  const JournalMergeStats stats =
+      merge_journals({shard(0), shard(1)}, out());
+  EXPECT_EQ(stats.duplicates, 1u);
+  EXPECT_EQ(stats.records_out, 4u);  // 2 cells + 2 unique stops
+  const JournalLoad merged = Journal::load(out(), 26);
+  ASSERT_EQ(merged.stops.size(), 2u);
+  EXPECT_EQ(merged.stops[0], stop_record(1, 16, 0.04));
+  EXPECT_EQ(merged.stops[1], stop_record(4, 32, 0.02));
+}
+
+TEST_F(JournalMergeTest, ConflictingStopRecordsRefuse) {
+  // Two shards deciding *different* stopping points for one stratum
+  // would make the merged digest depend on merge order -- hard error.
+  {
+    Journal a(shard(0), 27);
+    a.append(stop_record(3, 16, 0.04));
+    Journal b(shard(1), 27);
+    b.append(stop_record(3, 24, 0.03));
+  }
+  try {
+    merge_journals({shard(0), shard(1)}, out());
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("stratum 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("conflicting stop records"), std::string::npos)
+        << what;
   }
 }
 

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <chrono>
@@ -642,6 +643,234 @@ TEST(McExecution, FarDeadlineLeavesTheSummaryUntouched) {
   const McSummary timed = run_mc_campaign(config, runner);
   EXPECT_FALSE(timed.deadline_exceeded);
   expect_bitwise_equal(free_run, timed);
+}
+
+// --- adaptive sampling ------------------------------------------------
+
+McConfig sampling_config() {
+  McConfig config = small_config();
+  config.replicas = 64;  // per-stratum maximum; 4 kinds x 3 rounds
+  config.target_ci = 0.08;
+  config.min_replicas = 8;
+  config.batch = 8;
+  return config;
+}
+
+TEST(McSampling, StopsEarlyAndReportsStrata) {
+  McConfig config = sampling_config();
+  config.threads = 4;
+  const McSummary summary =
+      run_mc_campaign(config, make_smt_runner(engine_options()));
+  ASSERT_EQ(summary.strata.size(), 12u);
+  std::uint64_t early = 0;
+  for (const McStratumStats& stats : summary.strata) {
+    EXPECT_GE(stats.replicas_run, config.min_replicas);
+    EXPECT_LE(stats.replicas_run, config.replicas);
+    if (stats.early_stopped) {
+      ++early;
+      EXPECT_LE(stats.achieved_ci, config.target_ci);
+      EXPECT_LT(stats.replicas_run, config.replicas);
+    }
+  }
+  // The point of the refactor: strata converge before the cap.
+  EXPECT_GT(early, 0u);
+  EXPECT_LT(summary.cells_executed, config.cells());
+  EXPECT_EQ(summary.total_time.count(), summary.cells_executed);
+}
+
+TEST(McSampling, DigestIdenticalAcrossThreadCounts) {
+  const McRunner runner = make_smt_runner(engine_options());
+  McConfig config = sampling_config();
+  config.threads = 1;
+  const McSummary serial = run_mc_campaign(config, runner);
+  config.threads = 4;
+  const McSummary four = run_mc_campaign(config, runner);
+  config.threads = 8;
+  const McSummary eight = run_mc_campaign(config, runner);
+  expect_bitwise_equal(serial, four);
+  expect_bitwise_equal(serial, eight);
+}
+
+TEST(McSampling, FingerprintFoldsKnobsOnlyWhenArmed) {
+  const McConfig fixed = small_config();
+  McConfig other = fixed;
+  other.min_replicas = 99;
+  other.batch = 5;
+  // Disarmed knobs are inert: fixed-replica journals stay resumable.
+  EXPECT_EQ(fixed.fingerprint(), other.fingerprint());
+  McConfig armed = fixed;
+  armed.target_ci = 0.05;
+  EXPECT_NE(fixed.fingerprint(), armed.fingerprint());
+  McConfig tighter = armed;
+  tighter.target_ci = 0.01;
+  EXPECT_NE(armed.fingerprint(), tighter.fingerprint());
+  McConfig bigger_batch = armed;
+  bigger_batch.batch = 64;
+  EXPECT_NE(armed.fingerprint(), bigger_batch.fingerprint());
+}
+
+TEST(McSampling, FixedModeReportsNoStrata) {
+  McConfig config = small_config();
+  config.threads = 2;
+  const McSummary summary =
+      run_mc_campaign(config, make_smt_runner(engine_options()));
+  EXPECT_TRUE(summary.strata.empty());
+}
+
+TEST(McSampling, MinReplicasFloorsEveryStratum) {
+  McConfig config = sampling_config();
+  config.target_ci = 10.0;  // absurdly loose: stop at the first look
+  config.threads = 4;
+  const McSummary summary =
+      run_mc_campaign(config, make_smt_runner(engine_options()));
+  for (const McStratumStats& stats : summary.strata) {
+    EXPECT_EQ(stats.replicas_run, config.min_replicas);
+  }
+}
+
+TEST(McSampling, UnattainableTargetMatchesFixedLatticeBitwise) {
+  // A target no stratum can reach degrades to the full lattice: the
+  // summary must be bitwise identical to the fixed-replica run.
+  // Transient faults under jitter keep every stratum's latency
+  // variance nonzero (a zero-variance stratum converges at *any*
+  // positive target -- its half-width is exactly zero).
+  const McRunner runner = make_smt_runner(engine_options());
+  McConfig fixed = sampling_config();
+  fixed.kinds = {fault::FaultKind::kTransient};
+  fixed.target_ci = 0.0;
+  fixed.threads = 4;
+  const McSummary lattice = run_mc_campaign(fixed, runner);
+  McConfig strict = fixed;
+  strict.target_ci = 1e-9;
+  const McSummary sampled = run_mc_campaign(strict, runner);
+  EXPECT_EQ(sampled.cells_executed, strict.cells());
+  for (const McStratumStats& stats : sampled.strata) {
+    EXPECT_FALSE(stats.early_stopped);
+  }
+  expect_bitwise_equal(lattice, sampled);
+}
+
+TEST(McSampling, ChaosRetriesAreDigestInvisible) {
+  const McRunner runner = make_smt_runner(engine_options());
+  McConfig config = sampling_config();
+  config.threads = 4;
+  const McSummary clean = run_mc_campaign(config, runner);
+  config.chaos = "cell.fail=0.2";
+  config.cell_timeout = 5.0;
+  config.max_retries = 12;  // deep enough that nothing quarantines
+  const McSummary chaotic = run_mc_campaign(config, runner);
+  EXPECT_GT(chaotic.cells_retried, 0u);
+  EXPECT_EQ(chaotic.cells_quarantined, 0u);
+  expect_bitwise_equal(clean, chaotic);
+}
+
+TEST_F(McJournalTest, SamplingResumeReplaysStoppingPointsExactly) {
+  const McRunner runner = make_smt_runner(engine_options());
+  McConfig config = sampling_config();
+  config.threads = 4;
+  config.journal_path = path_;
+  const McSummary reference = run_mc_campaign(config, runner);
+
+  const JournalLoad loaded = Journal::inspect(path_);
+  EXPECT_FALSE(loaded.stops.empty());  // early stops were journaled
+
+  config.resume = true;
+  const McSummary resumed = run_mc_campaign(config, runner);
+  EXPECT_EQ(resumed.cells_executed, 0u);
+  EXPECT_EQ(resumed.cells_resumed, reference.cells_executed);
+  expect_bitwise_equal(reference, resumed);
+
+  // Replayed decisions are never re-appended: the journal must not
+  // grow across repeated resumes.
+  const JournalLoad again = Journal::inspect(path_);
+  EXPECT_EQ(again.records.size(), loaded.records.size());
+  EXPECT_EQ(again.stops.size(), loaded.stops.size());
+}
+
+TEST_F(McJournalTest, SamplingKillAcrossStopBoundaryResumesToFullDigest) {
+  // Simulates a mid-campaign kill by truncating a text journal to a
+  // prefix of its records — cells may be missing, stop records may be
+  // lost. The resume must re-derive the same stopping points and
+  // reproduce the uninterrupted digest.
+  const McRunner runner = make_smt_runner(engine_options());
+  McConfig config = sampling_config();
+  config.threads = 2;
+  config.journal_path = path_;
+  config.journal_format = JournalFormat::kV2Text;
+  const McSummary reference = run_mc_campaign(config, runner);
+
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path_);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_GT(lines.size(), 10u);
+  const std::size_t keep = 1 + (lines.size() - 1) / 3;  // header + prefix
+  {
+    std::ofstream out(path_, std::ios::trunc);
+    for (std::size_t i = 0; i < keep; ++i) out << lines[i] << "\n";
+  }
+
+  config.resume = true;
+  const McSummary resumed = run_mc_campaign(config, runner);
+  EXPECT_GT(resumed.cells_executed, 0u);
+  expect_bitwise_equal(reference, resumed);
+}
+
+TEST_F(McJournalTest, SamplingShardsMergeAndResumeToFullDigest) {
+  // Three processes shard one adaptive campaign with --cell-range
+  // windows that split strata mid-way; the merged journal resumed
+  // with the full range must replay the decisions the single-process
+  // run made and match its digest bit for bit.
+  const McRunner runner = make_smt_runner(engine_options());
+  McConfig config = sampling_config();
+  config.threads = 2;
+  const McSummary reference = run_mc_campaign(config, runner);
+
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> windows = {
+      {0, 300}, {300, 550}, {550, 768}};
+  std::vector<std::string> shards;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    McConfig shard = config;
+    shard.journal_path = path_ + "." + std::to_string(i);
+    shard.cell_lo = windows[i].first;
+    shard.cell_hi = windows[i].second;
+    (void)run_mc_campaign(shard, runner);
+    shards.push_back(shard.journal_path);
+  }
+  (void)merge_journals(shards, path_);
+
+  config.journal_path = path_;
+  config.resume = true;
+  const McSummary resumed = run_mc_campaign(config, runner);
+  EXPECT_EQ(resumed.cells_executed, 0u);
+  expect_bitwise_equal(reference, resumed);
+  for (const std::string& shard : shards) std::remove(shard.c_str());
+}
+
+TEST_F(McJournalTest, SamplingQuarantineBlocksDecisionsUntilCleanResume) {
+  // A quarantined replica punches a hole in a stratum's canonical
+  // prefix, so that stratum must not decide this run (it runs to the
+  // cap instead); a clean resume repairs the holes and lands on the
+  // clean campaign's digest.
+  const McRunner runner = make_smt_runner(engine_options());
+  McConfig config = sampling_config();
+  config.threads = 4;
+  const McSummary clean = run_mc_campaign(config, runner);
+
+  config.journal_path = path_;
+  config.chaos = "cell.fail=0.1:30";
+  config.max_retries = 0;
+  const McSummary damaged = run_mc_campaign(config, runner);
+  ASSERT_GT(damaged.cells_quarantined, 0u);
+
+  config.chaos.clear();
+  config.max_retries = 2;
+  config.resume = true;
+  const McSummary resumed = run_mc_campaign(config, runner);
+  EXPECT_EQ(resumed.cells_quarantined, 0u);
+  expect_bitwise_equal(clean, resumed);
 }
 
 }  // namespace

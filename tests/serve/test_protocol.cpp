@@ -35,6 +35,30 @@ TEST(ServeProtocol, ParsesCampaignRequest) {
   EXPECT_EQ(request.campaign.seed, 4u);
 }
 
+TEST(ServeProtocol, ParsesAdaptiveSamplingKnobs) {
+  const ServeRequest request = parse_request(wrap_request(
+      R"("id": "r3", "type": "campaign", "scenario": )" +
+      std::string(kScenarioJson) +
+      R"(, "campaign": {"replicas": 100, "rounds": [1],
+          "target_ci": 0.05, "min_replicas": 16, "max_replicas": 2000,
+          "batch": 64})"));
+  EXPECT_DOUBLE_EQ(request.campaign.target_ci, 0.05);
+  EXPECT_EQ(request.campaign.min_replicas, 16u);
+  EXPECT_EQ(request.campaign.max_replicas, 2000u);
+  EXPECT_EQ(request.campaign.batch, 64u);
+}
+
+TEST(ServeProtocol, RejectsSamplingCapWithoutTarget) {
+  // Same contract as vds_mc: --max-replicas requires --target-ci.
+  EXPECT_THROW(
+      (void)parse_request(wrap_request(
+          R"("id": "x", "type": "campaign", "scenario": )" +
+          std::string(kScenarioJson) +
+          R"(, "campaign": {"replicas": 10, "rounds": [1],
+              "max_replicas": 50})")),
+      std::invalid_argument);
+}
+
 TEST(ServeProtocol, RunScenarioKeepsItsOwnRoundsDefault) {
   const ServeRequest request = parse_request(wrap_request(
       R"("id": "r2", "type": "run", "scenario": )" +

@@ -130,6 +130,71 @@ TEST(Accumulator, CiHalfwidthShrinksWithN) {
   EXPECT_GT(small.ci_halfwidth(), large.ci_halfwidth());
 }
 
+TEST(CriticalValues, NormalMatchesTables) {
+  // Classic two-sided table anchors.
+  EXPECT_NEAR(normal_critical(0.95), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_critical(0.90), 1.644854, 1e-5);
+  EXPECT_NEAR(normal_critical(0.99), 2.575829, 1e-5);
+  EXPECT_NEAR(normal_critical(0.50), 0.674490, 1e-5);
+}
+
+TEST(CriticalValues, NormalRejectsDegenerateConfidence) {
+  EXPECT_TRUE(std::isnan(normal_critical(0.0)));
+  EXPECT_TRUE(std::isnan(normal_critical(1.0)));
+  EXPECT_TRUE(std::isnan(normal_critical(-0.5)));
+  EXPECT_TRUE(std::isnan(normal_critical(2.0)));
+}
+
+TEST(CriticalValues, StudentTMatchesTables) {
+  // t_{0.975, dof} from standard tables.
+  EXPECT_NEAR(student_t_critical(0.95, 1), 12.7062, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.95, 2), 4.30265, 1e-4);
+  EXPECT_NEAR(student_t_critical(0.95, 4), 2.776445, 1e-5);
+  EXPECT_NEAR(student_t_critical(0.95, 10), 2.228139, 1e-5);
+  EXPECT_NEAR(student_t_critical(0.95, 30), 2.042272, 1e-5);
+  EXPECT_NEAR(student_t_critical(0.99, 4), 4.604095, 1e-5);
+  EXPECT_NEAR(student_t_critical(0.90, 7), 1.894579, 1e-5);
+}
+
+TEST(CriticalValues, StudentTConvergesToNormal) {
+  EXPECT_NEAR(student_t_critical(0.95, 100000), normal_critical(0.95),
+              1e-4);
+  // Past the large-dof cutoff the normal value is returned exactly.
+  EXPECT_DOUBLE_EQ(student_t_critical(0.95, 2000000),
+                   normal_critical(0.95));
+}
+
+TEST(CriticalValues, StudentTZeroDofIsUnbounded) {
+  // One sample has no variance estimate; the interval is unbounded.
+  EXPECT_TRUE(std::isinf(student_t_critical(0.95, 0)));
+  EXPECT_TRUE(std::isnan(student_t_critical(0.0, 5)));
+  EXPECT_TRUE(std::isnan(student_t_critical(1.0, 5)));
+}
+
+TEST(Accumulator, CiHalfwidthTEmptyAndSingleAreZero) {
+  Accumulator acc;
+  EXPECT_DOUBLE_EQ(acc.ci_halfwidth_t(), 0.0);  // n = 0
+  acc.add(3.5);
+  EXPECT_DOUBLE_EQ(acc.ci_halfwidth_t(), 0.0);  // n = 1
+}
+
+TEST(Accumulator, CiHalfwidthTZeroVarianceIsZero) {
+  Accumulator acc;
+  for (int k = 0; k < 10; ++k) acc.add(7.0);
+  EXPECT_DOUBLE_EQ(acc.ci_halfwidth_t(), 0.0);
+}
+
+TEST(Accumulator, CiHalfwidthTMatchesHandComputation) {
+  // n = 5 samples -> dof 4 -> t = 2.776445; halfwidth = t * sem.
+  Accumulator acc;
+  for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0}) acc.add(x);
+  const double expected = 2.776445 * acc.sem();
+  EXPECT_NEAR(acc.ci_halfwidth_t(0.95), expected, 1e-4);
+  // Wider confidence, wider interval; and t beats the normal z.
+  EXPECT_GT(acc.ci_halfwidth_t(0.99), acc.ci_halfwidth_t(0.95));
+  EXPECT_GT(acc.ci_halfwidth_t(0.95), acc.ci_halfwidth(1.959964));
+}
+
 TEST(Accumulator, ResetClears) {
   Accumulator acc;
   acc.add(5.0);

@@ -49,6 +49,9 @@ expect 2 "$mc" --no-such-flag
 expect 2 "$mc" --grid 0                # invalid grid value
 expect 2 "$mc" --chaos cell.explode=1  # unknown chaos site
 expect 2 "$mc" --chaos cell.fail=2     # probability out of range
+expect 2 "$mc" --cell-range 5:5        # inverted/empty dispatch window
+expect 2 "$mc" --target-ci 0           # arming needs a positive target
+expect 2 "$mc" --max-replicas 10       # cap without a CI target
 expect 2 "$sweep" --dataset nope
 expect 2 "$sweep" --no-such-flag
 echo '{"schema": "vds.serve_request.v1", "id": "x", "type": "stats"}' |
@@ -73,6 +76,16 @@ expect_message "--scheme: expected rollback, retry, det, prob or predict, got 'h
   "$cli" --scheme hope
 expect_message "--predictor: expected a registered predictor name, got 'crystal_ball'" \
   "$cli" --predictor crystal_ball
+expect_message "--cell-range: expected LO < HI, got '5:5'" \
+  "$mc" --cell-range 5:5
+expect_message "--target-ci: expected a relative half-width > 0, got '0'" \
+  "$mc" --target-ci 0
+expect_message "--min-replicas: expected a replica count >= 1, got '0'" \
+  "$mc" --min-replicas 0
+expect_message "--batch: expected a wave size >= 1, got '0'" \
+  "$mc" --batch 0
+expect_message "--max-replicas requires --target-ci" \
+  "$mc" --max-replicas 10
 expect_message "--dataset: expected fig4, fig5, gmax, schemes, alpha or reliability, got 'nope'" \
   "$sweep" --dataset nope
 expect_message "--queue-limit: expected a positive request count, got '0'" \

@@ -99,6 +99,7 @@ void write_info(std::ostream& os, const std::string& path,
   json.field("version", static_cast<std::int64_t>(loaded.version));
   json.field("fingerprint", hex16(loaded.fingerprint));
   json.field("records", count);
+  json.field("stop_records", static_cast<std::uint64_t>(loaded.stops.size()));
   json.field("corrupt", loaded.corrupt);
   json.field("duplicate_cells", duplicate_cells(loaded));
   json.field("bytes", bytes);
@@ -116,6 +117,13 @@ void write_info(std::ostream& os, const std::string& path,
       json.field("recovery_time", record.recovery_time);
       json.field("total_time", record.total_time);
       json.field("rounds_committed", record.rounds_committed);
+      json.end_object();
+    }
+    for (const auto& record : loaded.stops) {
+      json.begin_object();
+      json.field("stratum", record.index);
+      json.field("stop_after", record.stop_after);
+      json.field("achieved_ci", record.achieved_ci);
       json.end_object();
     }
     json.end_array();
@@ -150,10 +158,16 @@ int run_verify(const std::vector<std::string>& paths) {
   bool any_corrupt = false;
   for (const std::string& path : paths) {
     const vds::runtime::JournalLoad loaded = inspect_journal(path);
-    std::printf("%s: v%d fingerprint %s records %llu corrupt %llu%s\n",
+    char stops[32] = "";
+    if (!loaded.stops.empty()) {
+      std::snprintf(stops, sizeof stops, " stops %llu",
+                    static_cast<unsigned long long>(loaded.stops.size()));
+    }
+    std::printf("%s: v%d fingerprint %s records %llu%s corrupt %llu%s\n",
                 path.c_str(), loaded.version,
                 hex16(loaded.fingerprint).c_str(),
                 static_cast<unsigned long long>(loaded.records.size()),
+                stops,
                 static_cast<unsigned long long>(loaded.corrupt),
                 loaded.corrupt > 0 ? "  <-- DAMAGED" : "");
     if (loaded.corrupt > 0) any_corrupt = true;

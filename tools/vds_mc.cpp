@@ -17,12 +17,15 @@
 // here; everything else falls through to the scenario parser.
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "runtime/chaos.hpp"
@@ -73,6 +76,20 @@ execution:
   --quiet                        suppress the text summary
   --help                         this text
 
+adaptive sampling:
+  --target-ci X                  stop each (kind, round) stratum once
+                                 the relative 95% Student-t CI
+                                 half-width of its tracked statistics
+                                 reaches X           [0 = fixed grid]
+  --min-replicas N               never stop a stratum earlier    [8]
+  --max-replicas N               per-stratum replica cap (replaces
+                                 --replicas as the maximum; requires
+                                 --target-ci)
+  --batch N                      replicas per dispatch wave      [32]
+  --progress                     stderr heartbeat while running
+                                 (cells resolved, strata stopped,
+                                 ETA); never touches stdout
+
 robustness:
   --cell-timeout SECONDS         per-cell watchdog; a hung cell is
                                  retried, then quarantined [0 = off]
@@ -98,6 +115,67 @@ void print_usage(std::FILE* stream) {
   std::fputs(kUsageTail, stream);
 }
 
+/// The --progress heartbeat: a sampler thread printing resolved/target
+/// cells, early-stopped strata and an ETA to stderr twice a second.
+/// Reads only the execution's atomic progress counters — it cannot
+/// perturb results, and stdout (text summary, JSON) stays untouched.
+class ProgressReporter {
+ public:
+  ProgressReporter(const vds::runtime::McExecution& exec, bool enabled) {
+    if (enabled) thread_ = std::thread([this, &exec] { loop(exec); });
+  }
+
+  ~ProgressReporter() {
+    if (!thread_.joinable()) return;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+ private:
+  void loop(const vds::runtime::McExecution& exec) {
+    const auto start = std::chrono::steady_clock::now();
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (cv_.wait_for(lock, std::chrono::milliseconds(500),
+                       [this] { return stop_; })) {
+        return;
+      }
+      const auto p = exec.progress();
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      std::fprintf(stderr, "progress: %llu/%llu cells",
+                   static_cast<unsigned long long>(p.resolved),
+                   static_cast<unsigned long long>(p.target));
+      if (p.strata_total > 0) {
+        std::fprintf(stderr, ", %llu/%llu strata stopped early",
+                     static_cast<unsigned long long>(p.strata_stopped),
+                     static_cast<unsigned long long>(p.strata_total));
+      }
+      if (p.resolved > 0 && p.target > p.resolved) {
+        const double eta = elapsed *
+                           static_cast<double>(p.target - p.resolved) /
+                           static_cast<double>(p.resolved);
+        std::fprintf(stderr, ", eta %.1fs", eta);
+      }
+      std::fputc('\n', stderr);
+    }
+  }
+
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
 std::vector<std::string> split_csv(const std::string& text) {
   std::vector<std::string> parts;
   std::size_t start = 0;
@@ -122,6 +200,7 @@ int run_mc(int argc, char** argv) {
   vds::scenario::CampaignSpec campaign;
   std::string json_out;
   bool quiet = false;
+  bool show_progress = false;
 
   vds::scenario::ArgCursor args(argc, argv);
   while (!args.done()) {
@@ -203,6 +282,32 @@ int run_mc(int argc, char** argv) {
       }
     } else if (arg == "--max-retries") {
       campaign.max_retries = args.value_unsigned(arg);
+    } else if (arg == "--target-ci") {
+      const std::string_view text = args.value(arg);
+      campaign.target_ci = vds::scenario::parse_double(arg, text);
+      if (campaign.target_ci <= 0.0) {
+        vds::scenario::bad_value(arg, text, "a relative half-width > 0");
+      }
+    } else if (arg == "--min-replicas") {
+      const std::string_view text = args.value(arg);
+      campaign.min_replicas = vds::scenario::parse_u64(arg, text);
+      if (campaign.min_replicas == 0) {
+        vds::scenario::bad_value(arg, text, "a replica count >= 1");
+      }
+    } else if (arg == "--max-replicas") {
+      const std::string_view text = args.value(arg);
+      campaign.max_replicas = vds::scenario::parse_u64(arg, text);
+      if (campaign.max_replicas == 0) {
+        vds::scenario::bad_value(arg, text, "a replica count >= 1");
+      }
+    } else if (arg == "--batch") {
+      const std::string_view text = args.value(arg);
+      campaign.batch = vds::scenario::parse_u64(arg, text);
+      if (campaign.batch == 0) {
+        vds::scenario::bad_value(arg, text, "a wave size >= 1");
+      }
+    } else if (arg == "--progress") {
+      show_progress = true;
     } else if (arg == "--chaos") {
       campaign.chaos = std::string(args.value(arg));
     } else if (vds::scenario::apply_scenario_flag(scenario, arg, args)) {
@@ -217,6 +322,9 @@ int run_mc(int argc, char** argv) {
     }
   }
   scenario.validate();
+  if (campaign.max_replicas > 0 && campaign.target_ci == 0.0) {
+    throw CliError("--max-replicas requires --target-ci");
+  }
 
   if (campaign.chaos.empty()) {
     if (const char* env = std::getenv("VDS_CHAOS")) campaign.chaos = env;
@@ -244,6 +352,15 @@ int run_mc(int argc, char** argv) {
                 config.cells(), config.kinds.size(), config.rounds.size(),
                 static_cast<unsigned long long>(config.replicas), workers,
                 workers == 1 ? "" : "s");
+    if (config.sampling()) {
+      std::printf("sampling: target CI %g, %llu..%llu replicas per "
+                  "stratum, batch %llu\n",
+                  config.target_ci,
+                  static_cast<unsigned long long>(
+                      std::min(config.min_replicas, config.replicas)),
+                  static_cast<unsigned long long>(config.replicas),
+                  static_cast<unsigned long long>(config.batch));
+    }
   }
 
   // From here on SIGINT/SIGTERM drain gracefully: dispatch stops,
@@ -254,7 +371,16 @@ int run_mc(int argc, char** argv) {
   const auto start = std::chrono::steady_clock::now();
   vds::runtime::McSummary summary;
   try {
-    summary = vds::runtime::run_mc_campaign(config, runner);
+    vds::runtime::McExecution exec(config, runner);
+    vds::runtime::ThreadPool pool(config.threads);
+    exec.arm_chaos(pool);
+    {
+      // Joined (scope exit) before reduce, even when wait_idle throws.
+      const ProgressReporter reporter(exec, show_progress);
+      exec.enqueue(pool);
+      pool.wait_idle();
+    }
+    summary = exec.reduce(pool);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 3;
@@ -270,6 +396,19 @@ int run_mc(int argc, char** argv) {
                 elapsed,
                 static_cast<unsigned long long>(summary.cells_executed),
                 static_cast<unsigned long long>(summary.cells_resumed));
+    if (config.sampling()) {
+      std::uint64_t early = 0;
+      std::uint64_t run = 0;
+      for (const auto& stats : summary.strata) {
+        if (stats.early_stopped) ++early;
+        run += stats.replicas_run;
+      }
+      std::printf("sampling: %llu/%zu strata stopped early, %llu "
+                  "replicas kept of %zu cell budget\n",
+                  static_cast<unsigned long long>(early),
+                  summary.strata.size(),
+                  static_cast<unsigned long long>(run), config.cells());
+    }
     if (summary.cells_retried > 0 || summary.cells_quarantined > 0 ||
         summary.records_corrupt > 0) {
       std::printf("degraded cells: %llu retried, %llu quarantined, "
