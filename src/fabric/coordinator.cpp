@@ -1,0 +1,395 @@
+#include "fabric/coordinator.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <cerrno>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "fabric/lease_table.hpp"
+#include "fabric/protocol.hpp"
+#include "runtime/mc_campaign.hpp"
+#include "runtime/thread_pool.hpp"
+#include "scenario/json_reader.hpp"
+#include "serve/transport.hpp"
+
+namespace vds::fabric {
+
+namespace {
+
+using Clock = LeaseTable::Clock;
+
+/// Shared coordinator state: the lease table behind one mutex, plus
+/// the first fatal error (a digest conflict or a log write failure)
+/// any connection thread hit.
+struct Shared {
+  std::mutex mutex;
+  LeaseTable table;
+  std::atomic<bool> fatal{false};
+  std::string fatal_message;  // guarded by mutex
+
+  explicit Shared(LeaseTable::Options options)
+      : table(std::move(options)) {}
+
+  void fail(const std::string& message) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!fatal.exchange(true)) fatal_message = message;
+  }
+};
+
+/// stderr chatter, suppressed by --quiet. Never touches stdout — the
+/// digest line and JSON snapshot own that.
+#define FABRIC_LOG(options, ...)                  \
+  do {                                            \
+    if (!(options).quiet) {                       \
+      std::fprintf(stderr, "fabric: " __VA_ARGS__); \
+    }                                             \
+  } while (0)
+
+/// One worker connection: handshake, then a grant/collect loop until
+/// the campaign commits fully, the peer vanishes, or a drain lands.
+/// Every exit path releases an outstanding grant so the lease expiry
+/// machinery never has to wait out a heartbeat timeout for a
+/// connection the coordinator *watched* die.
+void serve_worker(const CoordinatorOptions& options, Shared& shared, int fd) {
+  serve::LineReader reader(fd);
+  serve::FdSink sink(fd, /*owns_fd=*/true);
+  std::string line;
+  std::string worker = "?";
+  std::optional<std::uint64_t> held;
+
+  const auto release_held = [&] {
+    if (!held) return;
+    std::lock_guard<std::mutex> lock(shared.mutex);
+    shared.table.release(*held, Clock::now());
+    held.reset();
+  };
+
+  // Handshake: hello in, config out.
+  if (reader.next(line) != serve::LineReader::Status::kLine) return;
+  try {
+    const scenario::JsonValue doc = scenario::parse_json(line);
+    if (classify(doc) != MessageKind::kHello) {
+      throw std::invalid_argument("expected vds.fabric_hello.v1");
+    }
+    worker = parse_hello(doc).worker;
+  } catch (const std::exception& error) {
+    FABRIC_LOG(options, "rejecting connection: %s\n", error.what());
+    return;
+  }
+  Config config;
+  config.scenario = options.scenario;
+  config.campaign = options.campaign;
+  config.chaos = options.campaign.chaos;
+  config.heartbeat_ms = options.heartbeat_ms;
+  sink.write_line(format_config(config));
+
+  for (;;) {
+    if (shared.fatal.load()) break;
+    if (sink.failed()) break;  // peer gone mid-write
+    if (!held) {
+      bool done;
+      std::optional<LeaseTable::Grant> grant;
+      {
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        done = shared.table.all_committed();
+        if (!done) grant = shared.table.next_grant(Clock::now());
+      }
+      if (done) {
+        sink.write_line(format_done());
+        break;
+      }
+      if (grant) {
+        held = grant->lease;
+        Lease lease;
+        lease.lease = grant->lease;
+        lease.attempt = grant->attempt;
+        lease.lo = grant->lo;
+        lease.hi = grant->hi;
+        lease.journal = grant->journal;
+        sink.write_line(format_lease(lease));
+        FABRIC_LOG(options, "%s <- lease %llu (attempt %llu)\n",
+                   worker.c_str(),
+                   static_cast<unsigned long long>(grant->lease),
+                   static_cast<unsigned long long>(grant->attempt));
+      }
+    }
+    switch (reader.poll_next(line, 200)) {
+      case serve::LineReader::Status::kLine: {
+        try {
+          const scenario::JsonValue doc = scenario::parse_json(line);
+          switch (classify(doc)) {
+            case MessageKind::kHeartbeat: {
+              const Heartbeat heartbeat = parse_heartbeat(doc);
+              std::lock_guard<std::mutex> lock(shared.mutex);
+              shared.table.heartbeat(heartbeat.lease, Clock::now());
+              break;
+            }
+            case MessageKind::kResult: {
+              const Result result = parse_result(doc);
+              if (result.lease == held) held.reset();
+              if (!result.ok) {
+                FABRIC_LOG(options, "%s failed lease %llu: %s\n",
+                           worker.c_str(),
+                           static_cast<unsigned long long>(result.lease),
+                           result.error.c_str());
+                std::lock_guard<std::mutex> lock(shared.mutex);
+                shared.table.release(result.lease, Clock::now());
+                break;
+              }
+              LeaseTable::CommitOutcome outcome;
+              {
+                std::lock_guard<std::mutex> lock(shared.mutex);
+                outcome = shared.table.commit(result.lease, result.attempt,
+                                              result.digest, result.cells);
+              }
+              if (outcome == LeaseTable::CommitOutcome::kConflict) {
+                shared.fail("lease " + std::to_string(result.lease) +
+                            ": worker '" + worker + "' reported digest " +
+                            hex16(result.digest) +
+                            " but a different digest is already "
+                            "committed — shards disagree about the same "
+                            "cells, refusing to continue");
+              }
+              break;
+            }
+            default:
+              throw std::invalid_argument("unexpected message from worker");
+          }
+        } catch (const std::exception& error) {
+          FABRIC_LOG(options, "dropping %s: bad message: %s\n",
+                     worker.c_str(), error.what());
+          release_held();
+          return;
+        }
+        break;
+      }
+      case serve::LineReader::Status::kTimeout:
+        break;  // re-check grants / completion
+      case serve::LineReader::Status::kOverlong:
+        FABRIC_LOG(options, "dropping %s: overlong message\n",
+                   worker.c_str());
+        release_held();
+        return;
+      case serve::LineReader::Status::kDrain:
+      case serve::LineReader::Status::kEof:
+      case serve::LineReader::Status::kError:
+        release_held();
+        return;
+    }
+  }
+  release_held();
+}
+
+bool make_workdir(const std::string& path) {
+  struct stat st = {};
+  if (::stat(path.c_str(), &st) == 0) return S_ISDIR(st.st_mode);
+  return ::mkdir(path.c_str(), 0777) == 0;
+}
+
+}  // namespace
+
+int run_coordinator(const CoordinatorOptions& options) {
+  if (!make_workdir(options.workdir)) {
+    std::fprintf(stderr, "fabric: cannot create workdir '%s'\n",
+                 options.workdir.c_str());
+    return 3;
+  }
+  // Workers may run from any directory; the journal paths they get in
+  // lease grants must not depend on the coordinator's cwd.
+  std::string workdir = options.workdir;
+  if (char* absolute = ::realpath(workdir.c_str(), nullptr)) {
+    workdir.assign(absolute);
+    std::free(absolute);
+  }
+  const runtime::McConfig mc =
+      scenario::to_mc_config(options.campaign, options.scenario);
+  const std::uint64_t cells = mc.cells();
+  // Auto lease size: aim for ~4 leases per expected worker wave, but
+  // never fewer than 1 cell or more than the campaign.
+  std::uint64_t lease_cells = options.lease_cells;
+  if (lease_cells == 0) lease_cells = std::max<std::uint64_t>(cells / 16, 1);
+
+  LeaseTable::Options table_options;
+  table_options.total_cells = cells;
+  table_options.lease_cells = lease_cells;
+  table_options.fingerprint = mc.fingerprint();
+  table_options.log_path = workdir + "/assignment.journal";
+  table_options.workdir = workdir;
+  table_options.resume = options.resume;
+  table_options.expiry = std::chrono::milliseconds(options.expiry_ms);
+  table_options.backoff_base = std::chrono::milliseconds(options.backoff_ms);
+  table_options.backoff_cap =
+      std::chrono::milliseconds(options.backoff_cap_ms);
+
+  std::unique_ptr<Shared> shared;
+  try {
+    shared = std::make_unique<Shared>(std::move(table_options));
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "fabric: %s\n", error.what());
+    return 3;
+  }
+  if (!options.quiet) {
+    std::fprintf(stderr,
+                 "fabric: %llu cells in %llu leases (%llu committed from "
+                 "log), fingerprint %s\n",
+                 static_cast<unsigned long long>(cells),
+                 static_cast<unsigned long long>(shared->table.lease_count()),
+                 static_cast<unsigned long long>(
+                     shared->table.committed_count()),
+                 hex16(mc.fingerprint()).c_str());
+  }
+
+  // Expiry monitor: sweeps granted leases for heartbeat silence. Runs
+  // until the accept loop below decides the campaign is over.
+  std::atomic<bool> stop_monitor{false};
+  std::thread monitor([&] {
+    while (!stop_monitor.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      std::lock_guard<std::mutex> lock(shared->mutex);
+      for (const std::uint64_t id :
+           shared->table.expire_stale(Clock::now())) {
+        if (!options.quiet) {
+          std::fprintf(stderr,
+                       "fabric: lease %llu expired (heartbeat silence); "
+                       "reopening\n",
+                       static_cast<unsigned long long>(id));
+        }
+      }
+    }
+  });
+
+  int listen_fd = -1;
+  if (!options.socket_path.empty()) {
+    listen_fd = serve::listen_unix(options.socket_path);
+  } else {
+    listen_fd = serve::listen_tcp(options.tcp_port);
+  }
+  if (listen_fd < 0) {
+    std::perror("fabric: bind/listen");
+    stop_monitor.store(true);
+    monitor.join();
+    return 3;
+  }
+
+  // Accept loop. Bounded poll so completion (or a fatal error) is
+  // noticed promptly even with no connection attempt in flight.
+  std::vector<std::thread> connections;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(shared->mutex);
+      if (shared->table.all_committed()) break;
+    }
+    if (shared->fatal.load()) break;
+    if (runtime::drain_requested()) break;
+    struct pollfd pfd = {listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections.emplace_back(
+        [&, fd] { serve_worker(options, *shared, fd); });
+  }
+  ::close(listen_fd);
+  if (!options.socket_path.empty()) ::unlink(options.socket_path.c_str());
+  for (std::thread& connection : connections) connection.join();
+  stop_monitor.store(true);
+  monitor.join();
+
+  if (shared->fatal.load()) {
+    std::fprintf(stderr, "fabric: fatal: %s\n",
+                 shared->fatal_message.c_str());
+    return 3;
+  }
+  if (runtime::drain_requested()) {
+    std::fprintf(stderr,
+                 "fabric: drained with %llu/%llu leases committed; "
+                 "relaunch with --resume to finish\n",
+                 static_cast<unsigned long long>(
+                     shared->table.committed_count()),
+                 static_cast<unsigned long long>(
+                     shared->table.lease_count()));
+    return 130;
+  }
+
+  // Reduce: merge every committed shard journal, then resume the
+  // merged journal over the full range in-process. Cells lost to
+  // journal chaos in a worker re-execute here, so the digest below is
+  // the digest an uninterrupted single-process run produces.
+  const LeaseTable::Audit audit = shared->table.audit();
+  try {
+    const std::string merged = workdir + "/merged.journal";
+    const runtime::JournalMergeStats stats = runtime::merge_journals(
+        shared->table.committed_journals(), merged);
+    scenario::CampaignSpec final_spec = options.campaign;
+    final_spec.journal = merged;
+    final_spec.resume = true;
+    final_spec.cell_lo = 0;
+    final_spec.cell_hi = ~0ull;
+    final_spec.chaos.clear();  // chaos was the workers' burden
+    runtime::McConfig final_config =
+        scenario::to_mc_config(final_spec, options.scenario);
+    const runtime::McRunner runner =
+        scenario::make_mc_runner(options.scenario);
+    runtime::McExecution exec(final_config, runner);
+    runtime::ThreadPool pool(final_config.threads);
+    exec.enqueue(pool);
+    pool.wait_idle();
+    const runtime::McSummary summary = exec.reduce(pool);
+
+    if (!options.quiet) {
+      std::fprintf(stderr,
+                   "fabric: merged %llu shard journals (%llu records, "
+                   "%llu duplicates, %llu corrupt) -> %llu resumed + "
+                   "%llu re-executed\n",
+                   static_cast<unsigned long long>(stats.inputs),
+                   static_cast<unsigned long long>(stats.records_out),
+                   static_cast<unsigned long long>(stats.duplicates),
+                   static_cast<unsigned long long>(stats.corrupt),
+                   static_cast<unsigned long long>(summary.cells_resumed),
+                   static_cast<unsigned long long>(summary.cells_executed));
+      std::fprintf(stderr,
+                   "fabric: audit: %llu leases, %llu grants, %llu "
+                   "expiries, %llu duplicates coalesced\n",
+                   static_cast<unsigned long long>(audit.leases),
+                   static_cast<unsigned long long>(audit.granted),
+                   static_cast<unsigned long long>(audit.expired),
+                   static_cast<unsigned long long>(audit.coalesced));
+    }
+    std::printf("digest: %s\n", hex16(summary.digest()).c_str());
+    if (!options.json_out.empty()) {
+      if (options.json_out == "-") {
+        runtime::write_snapshot(std::cout, final_config, summary);
+      } else {
+        std::ofstream out(options.json_out);
+        if (!out) {
+          std::fprintf(stderr, "fabric: cannot write '%s'\n",
+                       options.json_out.c_str());
+          return 3;
+        }
+        runtime::write_snapshot(out, final_config, summary);
+      }
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "fabric: %s\n", error.what());
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace vds::fabric

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "scenario/campaign_spec.hpp"
+#include "scenario/scenario.hpp"
+
+namespace vds::fabric {
+
+/// Everything `vds_fabric` (coordinator mode) resolves from its
+/// command line.
+struct CoordinatorOptions {
+  scenario::Scenario scenario;
+  scenario::CampaignSpec campaign;  ///< chaos here ships to workers
+  std::string socket_path;          ///< Unix listen socket
+  std::uint16_t tcp_port = 0;       ///< used instead when socket empty
+  std::string workdir;              ///< assignment log + lease journals
+  std::uint64_t lease_cells = 0;    ///< cells per lease; 0 = auto
+  std::uint64_t heartbeat_ms = 500;   ///< interval workers are told
+  std::uint64_t expiry_ms = 5000;     ///< silence before lease expiry
+  std::uint64_t backoff_ms = 100;     ///< reassignment backoff base
+  std::uint64_t backoff_cap_ms = 5000;
+  bool resume = false;  ///< replay the assignment log first
+  std::string json_out;
+  bool quiet = false;
+};
+
+/// Runs the coordinator until the campaign digest is out (0), a drain
+/// signal lands (130 — assignment log left resumable), or a fatal
+/// error such as a digest conflict (3). The final snapshot and digest
+/// are bitwise identical to a single-process `vds_mc` run of the same
+/// scenario/campaign, whatever happened to the workers in between.
+[[nodiscard]] int run_coordinator(const CoordinatorOptions& options);
+
+}  // namespace vds::fabric

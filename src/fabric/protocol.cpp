@@ -1,0 +1,213 @@
+#include "fabric/protocol.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "runtime/json_writer.hpp"
+#include "scenario/json_reader.hpp"
+
+namespace vds::fabric {
+
+namespace {
+
+constexpr std::string_view kHelloSchema = "vds.fabric_hello.v1";
+constexpr std::string_view kConfigSchema = "vds.fabric_config.v1";
+constexpr std::string_view kLeaseSchema = "vds.fabric_lease.v1";
+constexpr std::string_view kHeartbeatSchema = "vds.fabric_heartbeat.v1";
+constexpr std::string_view kResultSchema = "vds.fabric_result.v1";
+constexpr std::string_view kDoneSchema = "vds.fabric_done.v1";
+
+[[noreturn]] void proto_fail(const std::string& what) {
+  throw std::invalid_argument("fabric protocol: " + what);
+}
+
+/// Required object member; proto_fail names the missing key.
+const scenario::JsonValue& require(const scenario::JsonValue& doc,
+                                   std::string_view key) {
+  const scenario::JsonValue* value = doc.find(key);
+  if (value == nullptr) proto_fail("missing key '" + std::string(key) + "'");
+  return *value;
+}
+
+}  // namespace
+
+std::string hex16(std::uint64_t value) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, value);
+  return buf;
+}
+
+std::uint64_t parse_hex64(std::string_view text) {
+  if (text.empty() || text.size() > 16) {
+    proto_fail("malformed hex digest '" + std::string(text) + "'");
+  }
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    unsigned digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<unsigned>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<unsigned>(c - 'a') + 10;
+    } else {
+      proto_fail("malformed hex digest '" + std::string(text) + "'");
+    }
+    value = (value << 4) | digit;
+  }
+  return value;
+}
+
+std::string format_hello(const Hello& hello) {
+  std::ostringstream os;
+  runtime::JsonWriter json(os, /*compact=*/true);
+  json.begin_object();
+  json.field("schema", kHelloSchema);
+  json.field("worker", hello.worker);
+  json.end_object();
+  return os.str();
+}
+
+std::string format_config(const Config& config) {
+  std::ostringstream os;
+  runtime::JsonWriter json(os, /*compact=*/true);
+  json.begin_object();
+  json.field("schema", kConfigSchema);
+  json.key("scenario");
+  config.scenario.write_json(json);
+  json.key("campaign");
+  scenario::campaign_spec_to_json(json, config.campaign);
+  if (!config.chaos.empty()) json.field("chaos", config.chaos);
+  json.field("heartbeat_ms", config.heartbeat_ms);
+  json.end_object();
+  return os.str();
+}
+
+std::string format_lease(const Lease& lease) {
+  std::ostringstream os;
+  runtime::JsonWriter json(os, /*compact=*/true);
+  json.begin_object();
+  json.field("schema", kLeaseSchema);
+  json.field("lease", lease.lease);
+  json.field("attempt", lease.attempt);
+  json.field("lo", lease.lo);
+  json.field("hi", lease.hi);
+  json.field("journal", lease.journal);
+  json.end_object();
+  return os.str();
+}
+
+std::string format_heartbeat(const Heartbeat& heartbeat) {
+  std::ostringstream os;
+  runtime::JsonWriter json(os, /*compact=*/true);
+  json.begin_object();
+  json.field("schema", kHeartbeatSchema);
+  json.field("worker", heartbeat.worker);
+  json.field("lease", heartbeat.lease);
+  json.field("resolved", heartbeat.resolved);
+  json.end_object();
+  return os.str();
+}
+
+std::string format_result(const Result& result) {
+  std::ostringstream os;
+  runtime::JsonWriter json(os, /*compact=*/true);
+  json.begin_object();
+  json.field("schema", kResultSchema);
+  json.field("worker", result.worker);
+  json.field("lease", result.lease);
+  json.field("attempt", result.attempt);
+  json.field("status", result.ok ? "ok" : "failed");
+  if (result.ok) {
+    json.field("digest", hex16(result.digest));
+    json.field("cells", result.cells);
+  } else {
+    json.field("error", result.error);
+  }
+  json.end_object();
+  return os.str();
+}
+
+std::string format_done() {
+  std::ostringstream os;
+  runtime::JsonWriter json(os, /*compact=*/true);
+  json.begin_object();
+  json.field("schema", kDoneSchema);
+  json.end_object();
+  return os.str();
+}
+
+MessageKind classify(const scenario::JsonValue& doc) {
+  if (!doc.is_object()) proto_fail("message must be a JSON object");
+  const std::string& schema = require(doc, "schema").as_string("schema");
+  if (schema == kHelloSchema) return MessageKind::kHello;
+  if (schema == kConfigSchema) return MessageKind::kConfig;
+  if (schema == kLeaseSchema) return MessageKind::kLease;
+  if (schema == kHeartbeatSchema) return MessageKind::kHeartbeat;
+  if (schema == kResultSchema) return MessageKind::kResult;
+  if (schema == kDoneSchema) return MessageKind::kDone;
+  proto_fail("unknown schema '" + schema + "'");
+}
+
+Hello parse_hello(const scenario::JsonValue& doc) {
+  Hello hello;
+  hello.worker = require(doc, "worker").as_string("worker");
+  if (hello.worker.empty()) proto_fail("worker name must not be empty");
+  return hello;
+}
+
+Config parse_config(const scenario::JsonValue& doc) {
+  Config config;
+  config.scenario =
+      scenario::Scenario::from_json_value(require(doc, "scenario"));
+  config.campaign =
+      scenario::campaign_spec_from_json(require(doc, "campaign"));
+  if (const scenario::JsonValue* chaos = doc.find("chaos")) {
+    config.chaos = chaos->as_string("chaos");
+  }
+  config.heartbeat_ms = require(doc, "heartbeat_ms").as_u64("heartbeat_ms");
+  return config;
+}
+
+Lease parse_lease(const scenario::JsonValue& doc) {
+  Lease lease;
+  lease.lease = require(doc, "lease").as_u64("lease");
+  lease.attempt = require(doc, "attempt").as_u64("attempt");
+  lease.lo = require(doc, "lo").as_u64("lo");
+  lease.hi = require(doc, "hi").as_u64("hi");
+  lease.journal = require(doc, "journal").as_string("journal");
+  if (lease.lo >= lease.hi) proto_fail("lease range must satisfy lo < hi");
+  if (lease.attempt == 0) proto_fail("lease attempt must be >= 1");
+  return lease;
+}
+
+Heartbeat parse_heartbeat(const scenario::JsonValue& doc) {
+  Heartbeat heartbeat;
+  heartbeat.worker = require(doc, "worker").as_string("worker");
+  heartbeat.lease = require(doc, "lease").as_u64("lease");
+  heartbeat.resolved = require(doc, "resolved").as_u64("resolved");
+  return heartbeat;
+}
+
+Result parse_result(const scenario::JsonValue& doc) {
+  Result result;
+  result.worker = require(doc, "worker").as_string("worker");
+  result.lease = require(doc, "lease").as_u64("lease");
+  result.attempt = require(doc, "attempt").as_u64("attempt");
+  if (result.attempt == 0) proto_fail("result attempt must be >= 1");
+  const std::string& status = require(doc, "status").as_string("status");
+  if (status == "ok") {
+    result.ok = true;
+    result.digest =
+        parse_hex64(require(doc, "digest").as_string("digest"));
+    result.cells = require(doc, "cells").as_u64("cells");
+  } else if (status == "failed") {
+    result.ok = false;
+    result.error = require(doc, "error").as_string("error");
+  } else {
+    proto_fail("unknown result status '" + status + "'");
+  }
+  return result;
+}
+
+}  // namespace vds::fabric

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "scenario/campaign_spec.hpp"
+#include "scenario/scenario.hpp"
+
+namespace vds::scenario {
+class JsonValue;
+}  // namespace vds::scenario
+
+namespace vds::fabric {
+
+// The fabric wire protocol: newline-delimited single-line JSON
+// documents over the serve transports, one schema tag per message
+// kind. The coordinator listens; workers dial in. Handshake:
+//
+//   worker      -> vds.fabric_hello.v1      (name announcement)
+//   coordinator -> vds.fabric_config.v1     (scenario + campaign)
+//   coordinator -> vds.fabric_lease.v1      (one cell-range lease)
+//   worker      -> vds.fabric_heartbeat.v1  (liveness while running)
+//   worker      -> vds.fabric_result.v1     (digest or failure)
+//   ... more leases ...
+//   coordinator -> vds.fabric_done.v1       (no work left; disconnect)
+//
+// Both sides rebuild the campaign config through the same
+// scenario/campaign_spec layer, so worker and coordinator compute the
+// same journal fingerprint from the config message — a worker whose
+// scenario parse drifts cannot silently contribute foreign cells.
+
+/// What a worker announces on connect.
+struct Hello {
+  std::string worker;  ///< display name, e.g. "worker-3" or host:pid
+};
+
+/// Full campaign description the coordinator pushes after the hello.
+struct Config {
+  scenario::Scenario scenario;
+  scenario::CampaignSpec campaign;  ///< campaign-shaping fields only
+  std::string chaos;                ///< chaos spec workers must arm
+  std::uint64_t heartbeat_ms = 1000;
+};
+
+/// One cell-range lease grant.
+struct Lease {
+  std::uint64_t lease = 0;    ///< lease id (stable across attempts)
+  std::uint64_t attempt = 1;  ///< grant generation, 1-based
+  std::uint64_t lo = 0;       ///< half-open cell range [lo, hi)
+  std::uint64_t hi = 0;
+  std::string journal;        ///< per-attempt shard journal path
+};
+
+/// Worker liveness ping while a lease executes.
+struct Heartbeat {
+  std::string worker;
+  std::uint64_t lease = 0;
+  std::uint64_t resolved = 0;  ///< cells resolved so far (progress)
+};
+
+/// Lease outcome. `status` is "ok" (digest/cells meaningful) or
+/// "failed" (`error` says why; the lease goes back into the pool).
+struct Result {
+  std::string worker;
+  std::uint64_t lease = 0;
+  std::uint64_t attempt = 1;
+  std::uint64_t digest = 0;  ///< shard summary digest (ok only)
+  std::uint64_t cells = 0;   ///< cells executed (ok only)
+  bool ok = true;
+  std::string error;
+};
+
+// --- writers (one compact line, no trailing newline) ------------------
+
+[[nodiscard]] std::string format_hello(const Hello& hello);
+[[nodiscard]] std::string format_config(const Config& config);
+[[nodiscard]] std::string format_lease(const Lease& lease);
+[[nodiscard]] std::string format_heartbeat(const Heartbeat& heartbeat);
+[[nodiscard]] std::string format_result(const Result& result);
+[[nodiscard]] std::string format_done();
+
+// --- readers ----------------------------------------------------------
+
+/// Message kinds a fabric peer can receive.
+enum class MessageKind {
+  kHello,
+  kConfig,
+  kLease,
+  kHeartbeat,
+  kResult,
+  kDone,
+};
+
+/// Reads the schema tag and maps it to a kind. Throws
+/// std::invalid_argument on a missing/unknown schema.
+[[nodiscard]] MessageKind classify(const scenario::JsonValue& doc);
+
+/// Strict per-kind parsers; each throws std::invalid_argument (or
+/// scenario::JsonError) on missing keys, wrong types or unknown keys.
+[[nodiscard]] Hello parse_hello(const scenario::JsonValue& doc);
+[[nodiscard]] Config parse_config(const scenario::JsonValue& doc);
+[[nodiscard]] Lease parse_lease(const scenario::JsonValue& doc);
+[[nodiscard]] Heartbeat parse_heartbeat(const scenario::JsonValue& doc);
+[[nodiscard]] Result parse_result(const scenario::JsonValue& doc);
+
+/// `%016x` — the canonical digest spelling on the wire and in logs.
+[[nodiscard]] std::string hex16(std::uint64_t value);
+
+/// Inverse of hex16; throws std::invalid_argument on a malformed
+/// token.
+[[nodiscard]] std::uint64_t parse_hex64(std::string_view text);
+
+}  // namespace vds::fabric

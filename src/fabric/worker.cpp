@@ -1,0 +1,238 @@
+#include "fabric/worker.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include <unistd.h>
+
+#include "fabric/protocol.hpp"
+#include "runtime/mc_campaign.hpp"
+#include "runtime/thread_pool.hpp"
+#include "scenario/campaign_spec.hpp"
+#include "scenario/json_reader.hpp"
+#include "serve/transport.hpp"
+
+namespace vds::fabric {
+
+namespace {
+
+/// Liveness pings while a lease executes: a sampler thread sending a
+/// heartbeat every `interval_ms`, reading only the execution's atomic
+/// progress counters. Joined (scope exit) before reduce, like
+/// vds_mc's ProgressReporter. interval 0 disables the pump — the
+/// lease-expiry test runs a silent worker this way.
+class HeartbeatPump {
+ public:
+  HeartbeatPump(serve::FdSink& sink, std::string worker,
+                const runtime::McExecution& exec, std::uint64_t lease,
+                std::uint64_t interval_ms) {
+    if (interval_ms == 0) return;
+    thread_ = std::thread([this, &sink, worker = std::move(worker), &exec,
+                           lease, interval_ms] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      for (;;) {
+        if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                         [this] { return stop_; })) {
+          return;
+        }
+        Heartbeat heartbeat;
+        heartbeat.worker = worker;
+        heartbeat.lease = lease;
+        heartbeat.resolved = exec.progress().resolved;
+        sink.write_line(format_heartbeat(heartbeat));
+      }
+    });
+  }
+
+  ~HeartbeatPump() {
+    if (!thread_.joinable()) return;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  HeartbeatPump(const HeartbeatPump&) = delete;
+  HeartbeatPump& operator=(const HeartbeatPump&) = delete;
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// Lease outcomes the executor reports back to the read loop.
+enum class LeaseOutcome { kOk, kFailed, kDrained };
+
+/// Runs one lease through McExecution and fills in `result`. A thrown
+/// campaign error (journal append failure, chaos-parse, ...) becomes
+/// a failed result — the lease reopens at the coordinator; it must
+/// not kill the worker, which may complete other leases fine.
+LeaseOutcome run_lease(const WorkerOptions& options, const Config& config,
+                       const runtime::McRunner& runner,
+                       const std::string& worker_name, const Lease& lease,
+                       serve::FdSink& sink, Result& result) {
+  result.worker = worker_name;
+  result.lease = lease.lease;
+  result.attempt = lease.attempt;
+
+  scenario::CampaignSpec spec = config.campaign;
+  spec.threads = options.threads;
+  spec.journal = lease.journal;
+  spec.resume = false;  // per-attempt journal path; never a stale file
+  spec.cell_lo = lease.lo;
+  spec.cell_hi = lease.hi;
+  spec.chaos = config.chaos;
+
+  runtime::McConfig mc = scenario::to_mc_config(spec, config.scenario);
+  runtime::McSummary summary;
+  try {
+    runtime::McExecution exec(mc, runner);
+    runtime::ThreadPool pool(mc.threads);
+    exec.arm_chaos(pool);
+    {
+      const std::uint64_t interval =
+          options.heartbeat_ms == WorkerOptions::kUseConfig
+              ? config.heartbeat_ms
+              : options.heartbeat_ms;
+      const HeartbeatPump pump(sink, worker_name, exec, lease.lease,
+                               interval);
+      exec.enqueue(pool);
+      pool.wait_idle();
+    }
+    summary = exec.reduce(pool);
+  } catch (const std::exception& error) {
+    result.ok = false;
+    result.error = error.what();
+    return LeaseOutcome::kFailed;
+  }
+  if (summary.drained) {
+    // Partial shard: report the lease failed so it reopens, then let
+    // the caller exit 130. The next attempt gets a fresh journal.
+    result.ok = false;
+    result.error = "worker draining";
+    return LeaseOutcome::kDrained;
+  }
+  result.ok = true;
+  result.digest = summary.digest();
+  result.cells = summary.cells_executed;
+  return LeaseOutcome::kOk;
+}
+
+}  // namespace
+
+int run_worker(const WorkerOptions& options) {
+  const int fd = options.socket_path.empty()
+                     ? serve::connect_tcp(options.tcp_port)
+                     : serve::connect_unix(options.socket_path);
+  if (fd < 0) {
+    std::perror("vds_fabric: connect");
+    return 3;
+  }
+  serve::FdSink sink(fd, /*owns_fd=*/true);
+  serve::LineReader reader(fd);
+
+  std::string worker_name = options.name;
+  if (worker_name.empty()) {
+    worker_name = "worker-" + std::to_string(::getpid());
+  }
+  sink.write_line(format_hello(Hello{worker_name}));
+  if (sink.failed()) {
+    std::fprintf(stderr, "vds_fabric: coordinator closed during hello\n");
+    return 3;
+  }
+
+  // The config message must come before any lease.
+  Config config;
+  {
+    std::string line;
+    switch (reader.next(line)) {
+      case serve::LineReader::Status::kLine:
+        break;
+      case serve::LineReader::Status::kDrain:
+        return 130;
+      default:
+        std::fprintf(stderr, "vds_fabric: connection lost before config\n");
+        return 3;
+    }
+    try {
+      const scenario::JsonValue doc = scenario::parse_json(line);
+      if (classify(doc) != MessageKind::kConfig) {
+        throw std::invalid_argument("expected vds.fabric_config.v1 first");
+      }
+      config = parse_config(doc);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "vds_fabric: bad config: %s\n", error.what());
+      return 3;
+    }
+  }
+  const runtime::McRunner runner = scenario::make_mc_runner(config.scenario);
+
+  for (;;) {
+    std::string line;
+    switch (reader.next(line)) {
+      case serve::LineReader::Status::kLine:
+        break;
+      case serve::LineReader::Status::kDrain:
+        return 130;  // between leases; nothing in flight to report
+      case serve::LineReader::Status::kEof:
+      case serve::LineReader::Status::kError:
+        std::fprintf(stderr, "vds_fabric: coordinator gone (%s)\n",
+                     sink.failed() ? "write failed" : "read closed");
+        return 3;
+      case serve::LineReader::Status::kOverlong:
+      case serve::LineReader::Status::kTimeout:
+        std::fprintf(stderr, "vds_fabric: protocol violation from "
+                             "coordinator\n");
+        return 3;
+    }
+    Lease lease;
+    try {
+      const scenario::JsonValue doc = scenario::parse_json(line);
+      const MessageKind kind = classify(doc);
+      if (kind == MessageKind::kDone) {
+        if (!options.quiet) {
+          std::fprintf(stderr, "fabric: %s done\n", worker_name.c_str());
+        }
+        return 0;
+      }
+      if (kind != MessageKind::kLease) {
+        throw std::invalid_argument("expected lease or done");
+      }
+      lease = parse_lease(doc);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "vds_fabric: bad message: %s\n", error.what());
+      return 3;
+    }
+
+    if (!options.quiet) {
+      std::fprintf(stderr,
+                   "fabric: %s lease %llu attempt %llu cells [%llu, %llu)\n",
+                   worker_name.c_str(),
+                   static_cast<unsigned long long>(lease.lease),
+                   static_cast<unsigned long long>(lease.attempt),
+                   static_cast<unsigned long long>(lease.lo),
+                   static_cast<unsigned long long>(lease.hi));
+    }
+    Result result;
+    const LeaseOutcome outcome = run_lease(options, config, runner,
+                                           worker_name, lease, sink, result);
+    sink.write_line(format_result(result));
+    if (outcome == LeaseOutcome::kDrained) return 130;
+    if (sink.failed()) {
+      std::fprintf(stderr, "vds_fabric: coordinator gone (write failed)\n");
+      return 3;
+    }
+  }
+}
+
+}  // namespace vds::fabric

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vds::fabric {
+
+/// Everything `vds_fabric --worker` resolves from its command line.
+/// Scenario and campaign shape arrive over the wire (the config
+/// handshake), so a worker needs only the rendezvous and its local
+/// execution policy.
+struct WorkerOptions {
+  std::string socket_path;     ///< Unix socket to dial
+  std::uint16_t tcp_port = 0;  ///< used instead when socket empty
+  std::string name;            ///< announced in the hello (default: pid)
+  unsigned threads = 0;        ///< per-lease pool width (0 = hardware)
+  /// Heartbeat override, ms: kUseConfig takes the coordinator's
+  /// interval; 0 disables heartbeats entirely (the lease-expiry test
+  /// harness races completion against expiry this way).
+  static constexpr std::uint64_t kUseConfig = ~0ull;
+  std::uint64_t heartbeat_ms = kUseConfig;
+  bool quiet = false;
+};
+
+/// Runs leases until the coordinator says done (0), the connection
+/// dies (3 — a dead coordinator, distinguished from a slow one by the
+/// transport error surfaced on the sink), or a drain signal lands
+/// (130; the in-flight lease is reported failed so it reopens).
+[[nodiscard]] int run_worker(const WorkerOptions& options);
+
+}  // namespace vds::fabric

@@ -69,6 +69,15 @@ void write_json(JsonWriter& json, const core::CampaignSummary& summary) {
   json.end_object();
 }
 
+std::string_view to_string(LeaseEvent event) noexcept {
+  switch (event) {
+    case LeaseEvent::kGranted: return "granted";
+    case LeaseEvent::kCompleted: return "completed";
+    case LeaseEvent::kExpired: return "expired";
+  }
+  return "granted";
+}
+
 // --- fingerprint hash ------------------------------------------------
 
 std::uint64_t fnv1a(const void* data, std::size_t bytes,
@@ -140,13 +149,18 @@ constexpr unsigned char kV3Marker = 0xA5;
 // Cell payload = flags + varint cell + varint outcome + optional f64
 // latency + optional f64 recovery + f64 total + varint rounds.
 // Stop payload (flags == kV3FlagStop) = flags + varint stratum +
-// varint stop_after + f64 achieved_ci; its 11-byte minimum sets the
-// framing floor.
-constexpr std::size_t kV3MinPayload = 1 + 1 + 1 + 8;
-constexpr std::size_t kV3MaxPayload = 1 + 10 + 5 + 8 + 8 + 8 + 10;
+// varint stop_after + f64 achieved_ci.
+// Lease payload (flags == kV3FlagLease) = flags + u8 event + varint
+// lease id + varint attempt + varint lo + varint hi, plus f64-width
+// digest bits + varint cells for completed events; its 6-byte minimum
+// sets the framing floor, the completed form's 60-byte worst case the
+// ceiling.
+constexpr std::size_t kV3MinPayload = 1 + 1 + 1 + 1 + 1 + 1;
+constexpr std::size_t kV3MaxPayload = 1 + 1 + 10 + 10 + 10 + 10 + 8 + 10;
 constexpr unsigned char kV3FlagLatency = 0x01;
 constexpr unsigned char kV3FlagRecovery = 0x02;
 constexpr unsigned char kV3FlagStop = 0x04;
+constexpr unsigned char kV3FlagLease = 0x08;
 
 void put_le32(unsigned char* out, std::uint32_t v) noexcept {
   out[0] = static_cast<unsigned char>(v);
@@ -213,6 +227,21 @@ bool get_varint(const unsigned char* p, std::size_t n, std::size_t& pos,
 /// are no_effect and carry both defaults.
 std::size_t encode_v3_payload(const JournalRecord& record,
                               unsigned char* out) noexcept {
+  if (record.lease) {
+    std::size_t n = 0;
+    out[n++] = kV3FlagLease;
+    out[n++] = static_cast<unsigned char>(record.lease_event);
+    n += put_varint(out + n, record.index);
+    n += put_varint(out + n, record.lease_attempt);
+    n += put_varint(out + n, record.lease_lo);
+    n += put_varint(out + n, record.lease_hi);
+    if (record.lease_event == LeaseEvent::kCompleted) {
+      put_le64(out + n, record.lease_digest);
+      n += 8;
+      n += put_varint(out + n, record.lease_cells);
+    }
+    return n;
+  }
   if (record.stop) {
     std::size_t n = 0;
     out[n++] = kV3FlagStop;
@@ -251,6 +280,22 @@ bool decode_v3_payload(const unsigned char* p, std::size_t n,
   std::size_t pos = 0;
   if (n == 0) return false;
   const unsigned char flags = p[pos++];
+  if (flags == kV3FlagLease) {
+    record.lease = true;
+    if (pos >= n || p[pos] > 2) return false;
+    record.lease_event = static_cast<LeaseEvent>(p[pos++]);
+    if (!get_varint(p, n, pos, record.index)) return false;
+    if (!get_varint(p, n, pos, record.lease_attempt)) return false;
+    if (!get_varint(p, n, pos, record.lease_lo)) return false;
+    if (!get_varint(p, n, pos, record.lease_hi)) return false;
+    if (record.lease_event == LeaseEvent::kCompleted) {
+      if (pos + 8 > n) return false;
+      record.lease_digest = get_le64(p + pos);
+      pos += 8;
+      if (!get_varint(p, n, pos, record.lease_cells)) return false;
+    }
+    return pos == n;
+  }
   if (flags == kV3FlagStop) {
     record.stop = true;
     if (!get_varint(p, n, pos, record.index)) return false;
@@ -304,6 +349,33 @@ bool parse_stop_body(const char* body, JournalRecord& record) {
     return false;
   }
   record.stop = true;
+  return true;
+}
+
+/// Parses a fabric assignment-log body
+/// (`lease EVENT ID ATTEMPT LO HI DIGEST CELLS`). All eight fields are
+/// always present; digest/cells are zero except on `completed`.
+bool parse_lease_body(const char* body, JournalRecord& record) {
+  char event[16];
+  if (std::sscanf(body,
+                  "lease %15s %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
+                  " %" SCNx64 " %" SCNu64,
+                  event, &record.index, &record.lease_attempt,
+                  &record.lease_lo, &record.lease_hi, &record.lease_digest,
+                  &record.lease_cells) != 7) {
+    return false;
+  }
+  const std::string_view word(event);
+  if (word == to_string(LeaseEvent::kGranted)) {
+    record.lease_event = LeaseEvent::kGranted;
+  } else if (word == to_string(LeaseEvent::kCompleted)) {
+    record.lease_event = LeaseEvent::kCompleted;
+  } else if (word == to_string(LeaseEvent::kExpired)) {
+    record.lease_event = LeaseEvent::kExpired;
+  } else {
+    return false;
+  }
+  record.lease = true;
   return true;
 }
 
@@ -419,6 +491,8 @@ void parse_text_journal(const std::string& path, std::string_view data,
         result.records.push_back(record);
       } else if (parse_stop_body(body.c_str(), record)) {
         result.stops.push_back(record);
+      } else if (parse_lease_body(body.c_str(), record)) {
+        result.leases.push_back(record);
       } else {
         ++result.corrupt;  // checksum of a body we cannot parse
       }
@@ -484,7 +558,10 @@ void parse_v3_journal(const std::string& path, std::string_view data,
     JournalRecord record;
     if (crc32c(bytes + pos + 2, len) == get_le32(bytes + pos + 2 + len) &&
         decode_v3_payload(bytes + pos + 2, len, record)) {
-      (record.stop ? result.stops : result.records).push_back(record);
+      (record.lease ? result.leases
+                    : record.stop ? result.stops
+                                  : result.records)
+          .push_back(record);
     } else {
       ++result.corrupt;  // a framed record with a flipped bit
     }
@@ -641,16 +718,26 @@ void Journal::append(const JournalRecord& record) {
     line[line_len++] = '\n';
   } else {
     char body[200];
-    const int body_len =
-        record.stop
-            ? std::snprintf(body, sizeof body, "stop %" PRIu64 " %" PRIu64 " %a",
-                            record.index, record.stop_after,
-                            record.achieved_ci)
-            : std::snprintf(body, sizeof body,
-                            "cell %" PRIu64 " %d %a %a %a %" PRIu64,
-                            record.index, record.outcome,
-                            record.detection_latency, record.recovery_time,
-                            record.total_time, record.rounds_committed);
+    int body_len;
+    if (record.lease) {
+      body_len = std::snprintf(
+          body, sizeof body,
+          "lease %s %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+          " %016" PRIx64 " %" PRIu64,
+          std::string(to_string(record.lease_event)).c_str(), record.index,
+          record.lease_attempt, record.lease_lo, record.lease_hi,
+          record.lease_digest, record.lease_cells);
+    } else if (record.stop) {
+      body_len = std::snprintf(body, sizeof body,
+                               "stop %" PRIu64 " %" PRIu64 " %a", record.index,
+                               record.stop_after, record.achieved_ci);
+    } else {
+      body_len = std::snprintf(body, sizeof body,
+                               "cell %" PRIu64 " %d %a %a %a %" PRIu64,
+                               record.index, record.outcome,
+                               record.detection_latency, record.recovery_time,
+                               record.total_time, record.rounds_committed);
+    }
     if (body_len < 0 || body_len >= static_cast<int>(sizeof body)) {
       failed_.store(true);
       throw std::runtime_error("journal '" + path_ + "': record too long");
@@ -710,6 +797,7 @@ JournalMergeStats merge_journals(const std::vector<std::string>& inputs,
   std::map<std::uint64_t, const std::string*> sources;
   std::map<std::uint64_t, JournalRecord> stops;  // sorted by stratum index
   std::map<std::uint64_t, const std::string*> stop_sources;
+  std::vector<JournalRecord> leases;  // event history: input order, verbatim
   bool have_fingerprint = false;
   for (const std::string& in : inputs) {
     const JournalLoad loaded = Journal::inspect(in);
@@ -766,6 +854,10 @@ JournalMergeStats merge_journals(const std::vector<std::string>& inputs,
           "' (same fingerprint, different stopping point); the shards "
           "disagree — refusing to merge");
     }
+    for (const JournalRecord& record : loaded.leases) {
+      ++stats.records_in;
+      leases.push_back(record);
+    }
   }
   std::remove(out_path.c_str());
   Journal out(out_path, stats.fingerprint, format);
@@ -774,6 +866,10 @@ JournalMergeStats merge_journals(const std::vector<std::string>& inputs,
     ++stats.records_out;
   }
   for (const auto& [index, record] : stops) {
+    out.append(record);
+    ++stats.records_out;
+  }
+  for (const JournalRecord& record : leases) {
     out.append(record);
     ++stats.records_out;
   }

@@ -24,6 +24,18 @@ void write_json(JsonWriter& json, const core::RunReport& report);
 /// Serializes outcome counts of a campaign summary.
 void write_json(JsonWriter& json, const core::CampaignSummary& summary);
 
+/// What happened to a cell-range lease in a fabric assignment log.
+/// The numeric values are the on-disk encoding — append only.
+enum class LeaseEvent : std::uint8_t {
+  kGranted = 0,    ///< lease handed to a worker (logged before the send)
+  kCompleted = 1,  ///< result committed (digest + cell count recorded)
+  kExpired = 2,    ///< worker died or went silent; lease reopened
+};
+
+/// Canonical event names ("granted", "completed", "expired") — the v2
+/// text spelling and the inspect/audit vocabulary.
+[[nodiscard]] std::string_view to_string(LeaseEvent event) noexcept;
+
 /// One journaled Monte Carlo cell: everything the aggregation needs,
 /// so a resumed campaign reproduces the merged summary bit for bit.
 ///
@@ -35,6 +47,13 @@ void write_json(JsonWriter& json, const core::CampaignSummary& summary);
 /// and `merge_journals`, so a resumed or merged campaign reproduces
 /// the original run's digest instead of re-deciding with different
 /// information.
+///
+/// With `lease == true` the record is a fabric assignment-log event:
+/// `index` is the lease id, `lease_lo`/`lease_hi` its half-open cell
+/// range, `lease_attempt` the grant generation, and — for completed
+/// events — `lease_digest`/`lease_cells` the committed result. The
+/// coordinator replays these on `vds_fabric --resume` to skip
+/// committed leases and re-issue open ones.
 struct JournalRecord {
   std::uint64_t index = 0;           ///< cell index in the canonical grid order
   int outcome = 0;                   ///< InjectionOutcome as integer
@@ -45,6 +64,13 @@ struct JournalRecord {
   bool stop = false;                 ///< stratum stop record, not a cell
   std::uint64_t stop_after = 0;      ///< replicas kept (stop records only)
   double achieved_ci = 0.0;          ///< relative CI there (stop records only)
+  bool lease = false;                ///< fabric assignment-log event
+  LeaseEvent lease_event = LeaseEvent::kGranted;
+  std::uint64_t lease_attempt = 0;   ///< grant generation, 1-based
+  std::uint64_t lease_lo = 0;        ///< half-open cell range [lo, hi)
+  std::uint64_t lease_hi = 0;
+  std::uint64_t lease_digest = 0;    ///< committed digest (completed only)
+  std::uint64_t lease_cells = 0;     ///< cells executed (completed only)
 
   [[nodiscard]] bool operator==(const JournalRecord&) const = default;
 };
@@ -68,6 +94,7 @@ enum class JournalFormat {
 struct JournalLoad {
   std::vector<JournalRecord> records;  ///< cell records, file order
   std::vector<JournalRecord> stops;    ///< stratum stop records, file order
+  std::vector<JournalRecord> leases;   ///< lease events, file order
   std::uint64_t corrupt = 0;
   int version = 2;  ///< header version of the file (2 when absent)
   std::uint64_t fingerprint = 0;  ///< from the header (0 when absent)
@@ -181,9 +208,12 @@ struct JournalMergeStats {
 /// fingerprint). Duplicate cells with bitwise-identical payloads are
 /// coalesced; a duplicate cell whose payload *differs* between
 /// shards means the shards disagree about a result and is a hard
-/// error, as is `out_path` naming one of the inputs. Throws
-/// std::runtime_error on all of the above; corrupt records in the
-/// inputs are skipped and counted, same as resume.
+/// error, as is `out_path` naming one of the inputs. Lease events
+/// (an assignment log among the inputs) are copied through in input
+/// order — they are an event history, so duplicates are meaningful
+/// and never coalesced. Throws std::runtime_error on all of the
+/// above; corrupt records in the inputs are skipped and counted,
+/// same as resume.
 JournalMergeStats merge_journals(const std::vector<std::string>& inputs,
                                  const std::string& out_path,
                                  JournalFormat format = JournalFormat::kV3Binary);

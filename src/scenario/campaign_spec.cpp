@@ -156,4 +156,37 @@ CampaignSpec campaign_spec_from_json(const JsonValue& doc) {
   return spec;
 }
 
+void campaign_spec_to_json(runtime::JsonWriter& json,
+                           const CampaignSpec& spec) {
+  json.begin_object();
+  json.field("replicas", spec.replicas);
+  json.key("rounds").begin_array();
+  for (const std::uint64_t round : spec.grid) json.value(round);
+  json.end_array();
+  if (!spec.kinds.empty()) {
+    json.key("kinds").begin_array();
+    for (const vds::fault::FaultKind kind : spec.kinds) {
+      json.value(vds::fault::to_string(kind));
+    }
+    json.end_array();
+  }
+  // fixed_offset implies jitter_offset=false on the parse side, so
+  // exactly one of the pair is written.
+  if (spec.jitter) {
+    json.field("jitter_offset", true);
+  } else {
+    json.field("fixed_offset", spec.fixed_offset);
+  }
+  json.field("seed", spec.seed);
+  if (spec.cell_timeout > 0.0) json.field("cell_timeout", spec.cell_timeout);
+  json.field("max_retries", static_cast<std::uint64_t>(spec.max_retries));
+  if (spec.target_ci > 0.0) {
+    json.field("target_ci", spec.target_ci);
+    json.field("min_replicas", spec.min_replicas);
+    if (spec.max_replicas > 0) json.field("max_replicas", spec.max_replicas);
+    json.field("batch", spec.batch);
+  }
+  json.end_object();
+}
+
 }  // namespace vds::scenario

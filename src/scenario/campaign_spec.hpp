@@ -82,4 +82,13 @@ struct CampaignSpec {
 /// std::invalid_argument.
 [[nodiscard]] CampaignSpec campaign_spec_from_json(const JsonValue& doc);
 
+/// Inverse of campaign_spec_from_json: writes the campaign object
+/// with exactly the keys that parser accepts (execution knobs —
+/// threads, journal, chaos — are omitted by design). Round-trip
+/// identity: campaign_spec_from_json(campaign_spec_to_json(spec))
+/// rebuilds the campaign-shaping fields, so both ends of a fabric
+/// handshake compute the same fingerprint.
+void campaign_spec_to_json(runtime::JsonWriter& json,
+                           const CampaignSpec& spec);
+
 }  // namespace vds::scenario

@@ -8,7 +8,9 @@
 #include <iostream>
 #include <sstream>
 
+#include "runtime/journal.hpp"
 #include "runtime/metrics.hpp"
+#include "scenario/campaign_spec.hpp"
 #include "scenario/engine_factory.hpp"
 
 namespace vds::scenario {
@@ -277,6 +279,167 @@ std::string read_file(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
+}
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+bool apply_campaign_flag(CampaignSpec& spec, std::string_view arg,
+                         ArgCursor& args) {
+  if (arg == "--replicas") {
+    spec.replicas = args.value_u64(arg);
+  } else if (arg == "--grid") {
+    spec.grid.clear();
+    for (const std::string& part : split_csv(std::string(args.value(arg)))) {
+      const std::uint64_t round = parse_u64(arg, part);
+      if (round == 0) bad_value(arg, part, "a positive round number");
+      spec.grid.push_back(round);
+    }
+  } else if (arg == "--kinds") {
+    spec.kinds.clear();
+    for (const std::string& part : split_csv(std::string(args.value(arg)))) {
+      try {
+        spec.kinds.push_back(parse_fault_kind(part));
+      } catch (const std::invalid_argument&) {
+        bad_value(arg, part,
+                  "transient, crash, permanent or processor_crash");
+      }
+    }
+  } else if (arg == "--fixed-offset") {
+    spec.jitter = false;
+    spec.fixed_offset = args.value_double(arg);
+  } else if (arg == "--threads") {
+    spec.threads = args.value_unsigned(arg);
+  } else if (arg == "--seed") {
+    spec.seed = args.value_u64(arg);
+  } else if (arg == "--journal") {
+    spec.journal = std::string(args.value(arg));
+  } else if (arg == "--journal-format") {
+    const std::string_view text = args.value(arg);
+    if (text == "v2") {
+      spec.journal_format = vds::runtime::JournalFormat::kV2Text;
+    } else if (text == "v3") {
+      spec.journal_format = vds::runtime::JournalFormat::kV3Binary;
+    } else {
+      bad_value(arg, text, "v2 or v3");
+    }
+  } else if (arg == "--resume") {
+    spec.resume = true;
+  } else if (arg == "--cell-range") {
+    const std::string text(args.value(arg));
+    const std::size_t colon = text.find(':');
+    if (colon == std::string::npos) {
+      bad_value(arg, text, "LO:HI (a half-open cell range)");
+    }
+    spec.cell_lo = parse_u64(arg, text.substr(0, colon));
+    spec.cell_hi = parse_u64(arg, text.substr(colon + 1));
+    if (spec.cell_lo >= spec.cell_hi) {
+      bad_value(arg, text, "LO < HI");
+    }
+  } else if (arg == "--cell-timeout") {
+    const std::string_view text = args.value(arg);
+    spec.cell_timeout = parse_double(arg, text);
+    if (spec.cell_timeout < 0.0) {
+      bad_value(arg, text, "a number >= 0");
+    }
+  } else if (arg == "--max-retries") {
+    spec.max_retries = args.value_unsigned(arg);
+  } else if (arg == "--target-ci") {
+    const std::string_view text = args.value(arg);
+    spec.target_ci = parse_double(arg, text);
+    if (spec.target_ci <= 0.0) {
+      bad_value(arg, text, "a relative half-width > 0");
+    }
+  } else if (arg == "--min-replicas") {
+    const std::string_view text = args.value(arg);
+    spec.min_replicas = parse_u64(arg, text);
+    if (spec.min_replicas == 0) {
+      bad_value(arg, text, "a replica count >= 1");
+    }
+  } else if (arg == "--max-replicas") {
+    const std::string_view text = args.value(arg);
+    spec.max_replicas = parse_u64(arg, text);
+    if (spec.max_replicas == 0) {
+      bad_value(arg, text, "a replica count >= 1");
+    }
+  } else if (arg == "--batch") {
+    const std::string_view text = args.value(arg);
+    spec.batch = parse_u64(arg, text);
+    if (spec.batch == 0) {
+      bad_value(arg, text, "a wave size >= 1");
+    }
+  } else if (arg == "--chaos") {
+    spec.chaos = std::string(args.value(arg));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string_view campaign_usage() noexcept {
+  return R"(campaign grid:
+  --replicas N                   Monte Carlo replicas per grid cell [100]
+  --grid r1,r2,...               detection rounds to inject at [1,5,10,15,20]
+  --kinds k1,k2,...              transient,crash,permanent,processor_crash
+                                 (comma-separated)            [all four]
+  --fixed-offset X               disable fault-position jitter, use
+                                 fractional offset X within the round
+
+execution:
+  --threads N                    worker threads (0 = hardware) [0]
+  --seed N                       campaign RNG seed            [1]
+  --journal PATH                 append-only progress journal
+                                 (CRC32C per record; v1/v2 text and
+                                 v3 binary journals all resume fine)
+  --journal-format FORMAT        encoding when a *new* journal is
+                                 created: v3 (binary, default) or v2
+                                 (text); resuming an existing journal
+                                 keeps the file's own format
+  --resume                       skip cells already in the journal;
+                                 corrupt/torn records are counted and
+                                 their cells re-executed
+  --cell-range LO:HI             dispatch only cells in [LO, HI) —
+                                 shard a campaign across processes,
+                                 then 'vds_journal merge' the shard
+                                 journals and --resume the result
+
+adaptive sampling:
+  --target-ci X                  stop each (kind, round) stratum once
+                                 the relative 95% Student-t CI
+                                 half-width of its tracked statistics
+                                 reaches X           [0 = fixed grid]
+  --min-replicas N               never stop a stratum earlier    [8]
+  --max-replicas N               per-stratum replica cap (replaces
+                                 --replicas as the maximum; requires
+                                 --target-ci)
+  --batch N                      replicas per dispatch wave      [32]
+
+robustness:
+  --cell-timeout SECONDS         per-cell watchdog; a hung cell is
+                                 retried, then quarantined [0 = off]
+  --max-retries N                retries before quarantine    [2]
+  --chaos SPEC                   arm deterministic harness fault points,
+                                 SPEC = site=prob[:limit],...  (sites:
+                                 cell.hang cell.fail journal.corrupt
+                                 journal.torn pool.delay); also read
+                                 from $VDS_CHAOS
+)";
 }
 
 }  // namespace vds::scenario

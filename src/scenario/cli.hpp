@@ -118,6 +118,20 @@ struct Observability {
 /// Usage text for the observability flags.
 [[nodiscard]] std::string_view observability_usage() noexcept;
 
+struct CampaignSpec;
+
+/// Routes one campaign flag (grid shape, seed, journal, sharding,
+/// robustness and adaptive-sampling knobs) into `spec`. Returns false
+/// when `arg` is not a campaign flag. The shared parser behind vds_mc
+/// and vds_fabric, so a fabric coordinator accepts exactly the
+/// campaign grammar the one-shot tool does — flag-for-flag.
+[[nodiscard]] bool apply_campaign_flag(CampaignSpec& spec,
+                                       std::string_view arg,
+                                       ArgCursor& args);
+
+/// Usage text for the flags apply_campaign_flag understands.
+[[nodiscard]] std::string_view campaign_usage() noexcept;
+
 /// Reads an entire file (CliError on failure) — for `--scenario FILE`.
 [[nodiscard]] std::string read_file(const std::string& path);
 

@@ -105,6 +105,10 @@ fault::FaultConfig Scenario::fault_config() const {
 
 void Scenario::to_json(std::ostream& os) const {
   runtime::JsonWriter json(os);
+  write_json(json);
+}
+
+void Scenario::write_json(runtime::JsonWriter& json) const {
   json.begin_object();
   json.field("schema", "vds.scenario.v1");
   json.field("engine", to_string(engine));

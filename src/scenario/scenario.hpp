@@ -10,6 +10,10 @@
 #include "baseline/srt.hpp"
 #include "fault/fault_model.hpp"
 
+namespace vds::runtime {
+class JsonWriter;
+}  // namespace vds::runtime
+
 namespace vds::scenario {
 
 class JsonValue;
@@ -87,6 +91,11 @@ struct Scenario {
   /// Serializes as a vds.scenario.v1 JSON document.
   void to_json(std::ostream& os) const;
   [[nodiscard]] std::string to_json_string() const;
+
+  /// Writes the same document through an existing writer — lets a
+  /// caller embed the scenario object inside a larger envelope (the
+  /// fabric config handshake does this, compactly).
+  void write_json(runtime::JsonWriter& json) const;
 
   /// Parses and validates a vds.scenario.v1 document. Strict: unknown
   /// keys, a wrong/missing schema tag, malformed values and

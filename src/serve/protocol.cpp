@@ -169,6 +169,7 @@ std::string format_stats(std::string_view id, const StatsSnapshot& stats) {
   json.field("rejected_deadline", stats.rejected_deadline);
   json.field("rejected_drain", stats.rejected_drain);
   json.field("bad_requests", stats.bad_requests);
+  json.field("transport_errors", stats.transport_errors);
   json.field("completed", stats.completed);
   json.field("batches", stats.batches);
   json.field("queue_depth", stats.queue_depth);

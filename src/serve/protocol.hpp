@@ -90,6 +90,7 @@ struct StatsSnapshot {
   std::uint64_t rejected_deadline = 0;
   std::uint64_t rejected_drain = 0;
   std::uint64_t bad_requests = 0;
+  std::uint64_t transport_errors = 0;  ///< response writes to a dead peer
   std::uint64_t completed = 0;
   std::uint64_t batches = 0;
   std::uint64_t queue_depth = 0;

@@ -320,6 +320,11 @@ void Server::process_batch(std::deque<Pending>& batch) {
   serve_counters().batches.add();
 }
 
+void Server::note_transport_error() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++counts_.transport_errors;
+}
+
 StatsSnapshot Server::stats_snapshot() {
   StatsSnapshot snapshot;
   {

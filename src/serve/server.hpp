@@ -78,6 +78,11 @@ class Server {
 
   [[nodiscard]] StatsSnapshot stats_snapshot();
 
+  /// Counts one failed response write (the connection's peer vanished
+  /// — ECONNRESET/EPIPE). Called from FdSink's error callback; shows
+  /// up as `transport_errors` in vds.serve_stats.v1.
+  void note_transport_error();
+
   [[nodiscard]] const ServerOptions& options() const noexcept {
     return options_;
   }

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 
@@ -21,14 +23,33 @@ inline constexpr std::size_t kMaxLineBytes = 1u << 20;  // 1 MiB
 /// sink's own lifetime.
 class FdSink : public ResponseSink {
  public:
+  /// Invoked exactly once, with the errno of the first failed write.
+  using ErrorCallback = std::function<void(int)>;
+
   explicit FdSink(int fd, bool owns_fd) : fd_(fd), owns_fd_(owns_fd) {}
   ~FdSink() override;
   void write_line(const std::string& line) override;
+
+  /// Registers the callback fired on the first write failure
+  /// (ECONNRESET/EPIPE et al. — the peer vanished). Later writes are
+  /// dropped without re-firing. Set before the sink is shared with
+  /// other threads.
+  void on_error(ErrorCallback callback) { on_error_ = std::move(callback); }
+
+  /// True once any write to the peer has failed.
+  [[nodiscard]] bool failed() const noexcept { return failed_.load(); }
+
+  /// The errno of the first failed write (0 while `failed()` is
+  /// false).
+  [[nodiscard]] int error() const noexcept { return error_.load(); }
 
  private:
   int fd_;
   bool owns_fd_;
   std::mutex mutex_;
+  std::atomic<bool> failed_{false};
+  std::atomic<int> error_{0};
+  ErrorCallback on_error_;
 };
 
 /// Incremental newline-delimited reader over a file descriptor.
@@ -42,6 +63,7 @@ class LineReader {
     kEof,       ///< peer closed after the last complete line
     kDrain,     ///< global drain requested while waiting for input
     kError,     ///< unrecoverable read error
+    kTimeout,   ///< poll_next: no complete line within the deadline
   };
 
   explicit LineReader(int fd) : fd_(fd) {}
@@ -51,6 +73,12 @@ class LineReader {
   /// requests fully received before the signal still get (drain
   /// error) responses instead of vanishing.
   [[nodiscard]] Status next(std::string& line);
+
+  /// `next` with a deadline: returns kTimeout if no complete line
+  /// arrived within `timeout_ms`. The partial line stays buffered and
+  /// a later call picks it up — the fabric coordinator interleaves
+  /// reads with lease-expiry sweeps this way.
+  [[nodiscard]] Status poll_next(std::string& line, int timeout_ms);
 
  private:
   int fd_;
@@ -73,5 +101,26 @@ int serve_unix(Server& server, const std::string& path);
 
 /// TCP on 127.0.0.1:`port`. Same lifecycle as serve_unix.
 int serve_tcp(Server& server, std::uint16_t port);
+
+// Listener plumbing shared with the fabric coordinator. Each returns
+// a bound, listening fd, or -1 with errno set (the Unix variant
+// replaces a stale socket file first).
+
+[[nodiscard]] int listen_unix(const std::string& path);
+[[nodiscard]] int listen_tcp(std::uint16_t port);
+
+/// accept(2) with the global drain flag polled every 100 ms. Returns
+/// the connection fd, or -1 once drain is requested or the listener
+/// dies.
+[[nodiscard]] int accept_or_drain(int listen_fd);
+
+// Client-side connectors (fabric workers dial the coordinator with
+// these). Both return the connected fd, or -1 with errno set.
+
+/// Connects to the Unix stream socket at `path`.
+[[nodiscard]] int connect_unix(const std::string& path);
+
+/// Connects to 127.0.0.1:`port`.
+[[nodiscard]] int connect_tcp(std::uint16_t port);
 
 }  // namespace vds::serve

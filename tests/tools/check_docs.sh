@@ -25,7 +25,7 @@ fail() {
 [ -f "$schema_doc" ] || { echo "missing $schema_doc" >&2; exit 1; }
 
 # --- 1. every --help flag is documented in docs/CLI.md ----------------
-for tool in vds_cli vds_mc vds_sweep vds_serve vds_journal; do
+for tool in vds_cli vds_mc vds_sweep vds_serve vds_journal vds_fabric; do
   bin="$build/tools/$tool"
   [ -x "$bin" ] || { fail "$bin not built"; continue; }
   # Long flags at the start of a help line (alias flags like -h are

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Exit-code convention across the four tools:
+# Exit-code convention across the tools:
 #   0 success; 1 job did not complete (vds_cli only); 2 usage/parse
 #   error; 3 runtime failure; 130 signal drain (vds_mc, covered by
-#   check_drain_resume.sh; vds_serve, covered by check_serve.sh).
+#   check_drain_resume.sh; vds_serve, covered by check_serve.sh;
+#   vds_fabric, covered by check_fabric.sh).
 # Also pins the strict-parse diagnostic shape: every bad flag value is
 # reported as  FLAG: expected WANTED, got 'VALUE'.
 # Usage: check_exit_codes.sh BUILD_DIR
@@ -13,6 +14,8 @@ cli="$build/tools/vds_cli"
 mc="$build/tools/vds_mc"
 sweep="$build/tools/vds_sweep"
 serve="$build/tools/vds_serve"
+fabric="$build/tools/vds_fabric"
+journal_tool="$build/tools/vds_journal"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
@@ -60,6 +63,15 @@ expect 2 "$serve" --no-such-flag
 expect 2 "$serve" --queue-limit 0
 expect 2 "$serve" --batch-max bogus
 expect 2 "$serve" --tcp 70000
+expect 2 "$fabric"                       # no mode picked
+expect 2 "$fabric" --no-such-flag
+expect 2 "$fabric" --coordinate          # no rendezvous
+expect 2 "$fabric" --worker              # no coordinator address
+expect 2 "$fabric" --coordinate --socket x --target-ci 0.05
+expect 2 "$fabric" --coordinate --socket x --journal j.journal
+expect 2 "$fabric" --coordinate --socket x --cell-range 0:10
+expect 2 "$fabric" --coordinate --socket x --expiry-ms 0
+expect 2 "$fabric" --coordinate --socket x --backoff-ms 200 --backoff-cap-ms 100
 
 # Strict-parse diagnostics: flag AND value, in the one canonical shape.
 expect_message "--grid: expected a positive round number, got '0'" \
@@ -92,6 +104,12 @@ expect_message "--queue-limit: expected a positive request count, got '0'" \
   "$serve" --queue-limit 0
 expect_message "--tcp: expected a port in 1..65535, got '70000'" \
   "$serve" --tcp 70000
+expect_message "pick a mode: --coordinate or --worker" \
+  "$fabric"
+expect_message "--target-ci is not supported in fabric mode; run vds_mc" \
+  "$fabric" --coordinate --socket x --target-ci 0.05
+expect_message "--coordinate needs --socket PATH or --port N" \
+  "$fabric" --coordinate
 
 # 2 via environment: $VDS_CHAOS is parsed like --chaos.
 VDS_CHAOS="bogus" expect 2 "$mc" --quiet --replicas 1 --grid 1 \
@@ -102,6 +120,20 @@ VDS_CHAOS="bogus" expect 2 "$mc" --quiet --replicas 1 --grid 1 \
   --journal "$tmp/j.journal" > /dev/null 2>&1
 expect 3 "$mc" --quiet --replicas 1 --grid 1 --kinds transient \
   --job-rounds 10 --seed 99 --journal "$tmp/j.journal" --resume
+
+# 3: shards that disagree about a stopping point refuse to merge, with
+# the one canonical diagnostic. Honest runs cannot produce this (the
+# CI target is part of the fingerprint), so the conflicting v2 shard
+# journals are written by hand — checksums precomputed.
+printf 'vds-mc-journal v2 fingerprint 00000000000000aa\nstop 3 16 0x1p-5 #46a7e714\n' \
+  > "$tmp/stop_a.journal"
+printf 'vds-mc-journal v2 fingerprint 00000000000000aa\nstop 3 24 0x1p-6 #de20e287\n' \
+  > "$tmp/stop_b.journal"
+expect 3 "$journal_tool" merge "$tmp/stop_a.journal" "$tmp/stop_b.journal" \
+  --out "$tmp/stop_m.journal"
+expect_message "(same fingerprint, different stopping point); the shards disagree — refusing to merge" \
+  "$journal_tool" merge "$tmp/stop_a.journal" "$tmp/stop_b.journal" \
+  --out "$tmp/stop_m.journal"
 
 if [ "$failures" -ne 0 ]; then
   echo "exit-code convention: $failures violation(s)" >&2

@@ -43,7 +43,12 @@ commands:
 
 options:
   --records           inspect: include every intact record in the JSON
-  --json-out PATH     inspect: write the JSON to PATH ('-' = stdout)
+  --json-out PATH     inspect/merge: write a vds.journal_info.v1 report
+                      to PATH ('-' = stdout; inspect defaults to stdout,
+                      merge defaults off). For merge the report covers
+                      the merged output and carries a per-shard array
+                      (path, records, stops, leases, corrupt) plus the
+                      winning fingerprint.
   --out PATH          merge: output journal path (required; overwritten)
   --format FORMAT     merge: output encoding, v2 (text) or v3 (binary)
                       [v3]
@@ -88,6 +93,42 @@ vds::runtime::JournalLoad inspect_journal(const std::string& path) {
   return loaded;
 }
 
+/// Fabric assignment-log bookkeeping derived from the lease records:
+/// how many grants/completions/expiries the log holds and how many
+/// leases never reached a completion (open — a --resume re-issues
+/// exactly these).
+struct LeaseAudit {
+  std::uint64_t granted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t open = 0;
+};
+
+LeaseAudit audit_leases(const vds::runtime::JournalLoad& loaded) {
+  LeaseAudit audit;
+  std::unordered_set<std::uint64_t> seen;
+  std::unordered_set<std::uint64_t> done;
+  for (const auto& record : loaded.leases) {
+    switch (record.lease_event) {
+      case vds::runtime::LeaseEvent::kGranted:
+        ++audit.granted;
+        seen.insert(record.index);
+        break;
+      case vds::runtime::LeaseEvent::kCompleted:
+        ++audit.completed;
+        done.insert(record.index);
+        break;
+      case vds::runtime::LeaseEvent::kExpired:
+        ++audit.expired;
+        break;
+    }
+  }
+  for (const std::uint64_t id : seen) {
+    if (done.count(id) == 0) ++audit.open;
+  }
+  return audit;
+}
+
 void write_info(std::ostream& os, const std::string& path,
                 const vds::runtime::JournalLoad& loaded, bool dump) {
   const std::uint64_t bytes = file_bytes(path);
@@ -107,6 +148,15 @@ void write_info(std::ostream& os, const std::string& path,
              count == 0 ? 0.0
                         : static_cast<double>(bytes) /
                               static_cast<double>(count));
+  if (!loaded.leases.empty()) {
+    const LeaseAudit audit = audit_leases(loaded);
+    json.field("lease_records",
+               static_cast<std::uint64_t>(loaded.leases.size()));
+    json.field("leases_granted", audit.granted);
+    json.field("leases_completed", audit.completed);
+    json.field("leases_expired", audit.expired);
+    json.field("leases_open", audit.open);
+  }
   if (dump) {
     json.key("dump").begin_array();
     for (const auto& record : loaded.records) {
@@ -124,6 +174,20 @@ void write_info(std::ostream& os, const std::string& path,
       json.field("stratum", record.index);
       json.field("stop_after", record.stop_after);
       json.field("achieved_ci", record.achieved_ci);
+      json.end_object();
+    }
+    for (const auto& record : loaded.leases) {
+      json.begin_object();
+      json.field("lease", record.index);
+      json.field("event",
+                 std::string(vds::runtime::to_string(record.lease_event)));
+      json.field("attempt", record.lease_attempt);
+      json.field("lo", record.lease_lo);
+      json.field("hi", record.lease_hi);
+      if (record.lease_event == vds::runtime::LeaseEvent::kCompleted) {
+        json.field("digest", hex16(record.lease_digest));
+        json.field("cells", record.lease_cells);
+      }
       json.end_object();
     }
     json.end_array();
@@ -175,9 +239,49 @@ int run_verify(const std::vector<std::string>& paths) {
   return any_corrupt ? 1 : 0;
 }
 
+/// The merge report: a vds.journal_info.v1 document describing the
+/// merged output, with a per-shard breakdown and the winning
+/// fingerprint (the one every shard had to agree on).
+void write_merge_info(std::ostream& os, const std::string& out_path,
+                      const std::vector<std::string>& paths,
+                      const vds::runtime::JournalMergeStats& stats) {
+  const vds::runtime::JournalLoad merged =
+      vds::runtime::Journal::inspect(out_path);
+  vds::runtime::JsonWriter json(os);
+  json.begin_object();
+  json.field("schema", "vds.journal_info.v1");
+  json.field("path", out_path);
+  json.field("version", static_cast<std::int64_t>(merged.version));
+  json.field("fingerprint", hex16(stats.fingerprint));
+  json.field("records", static_cast<std::uint64_t>(merged.records.size()));
+  json.field("stop_records",
+             static_cast<std::uint64_t>(merged.stops.size()));
+  json.field("corrupt", merged.corrupt);
+  json.field("duplicates_coalesced", stats.duplicates);
+  json.field("corrupt_skipped", stats.corrupt);
+  json.key("shards").begin_array();
+  for (const std::string& path : paths) {
+    const vds::runtime::JournalLoad shard =
+        vds::runtime::Journal::inspect(path);
+    json.begin_object();
+    json.field("path", path);
+    json.field("records", static_cast<std::uint64_t>(shard.records.size()));
+    json.field("stop_records",
+               static_cast<std::uint64_t>(shard.stops.size()));
+    json.field("lease_records",
+               static_cast<std::uint64_t>(shard.leases.size()));
+    json.field("corrupt", shard.corrupt);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  os << "\n";
+}
+
 int run_merge(const std::vector<std::string>& paths,
               const std::string& out_path,
-              vds::runtime::JournalFormat format) {
+              vds::runtime::JournalFormat format,
+              const std::string& json_out) {
   if (paths.empty()) {
     throw vds::scenario::CliError("merge needs at least one input journal");
   }
@@ -196,6 +300,17 @@ int run_merge(const std::vector<std::string>& paths,
               stats.duplicates == 1 ? "" : "s",
               static_cast<unsigned long long>(stats.corrupt),
               hex16(stats.fingerprint).c_str());
+  if (!json_out.empty()) {
+    if (json_out == "-") {
+      write_merge_info(std::cout, out_path, paths, stats);
+    } else {
+      std::ofstream out(json_out);
+      if (!out) {
+        throw vds::scenario::CliError("cannot write '" + json_out + "'");
+      }
+      write_merge_info(out, out_path, paths, stats);
+    }
+  }
   return 0;
 }
 
@@ -213,6 +328,7 @@ int run(int argc, char** argv) {
 
   bool dump_records = false;
   std::string json_out = "-";
+  bool json_out_set = false;  // merge only reports when asked
   std::string out_path;
   auto format = vds::runtime::JournalFormat::kV3Binary;
   std::vector<std::string> paths;
@@ -225,6 +341,7 @@ int run(int argc, char** argv) {
       dump_records = true;
     } else if (arg == "--json-out") {
       json_out = std::string(args.value(arg));
+      json_out_set = true;
     } else if (arg == "--out") {
       out_path = std::string(args.value(arg));
     } else if (arg == "--format") {
@@ -247,7 +364,10 @@ int run(int argc, char** argv) {
 
   if (command == "inspect") return run_inspect(paths, dump_records, json_out);
   if (command == "verify") return run_verify(paths);
-  if (command == "merge") return run_merge(paths, out_path, format);
+  if (command == "merge") {
+    return run_merge(paths, out_path, format,
+                     json_out_set ? json_out : std::string());
+  }
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   std::fputs(kUsage, stderr);
   return 2;

@@ -40,65 +40,20 @@ namespace {
 
 constexpr const char* kUsageHead = R"(usage: vds_mc [options]
 
-campaign grid:
-  --replicas N                   Monte Carlo replicas per grid cell [100]
-  --grid r1,r2,...               detection rounds to inject at [1,5,10,15,20]
-  --kinds k1,k2,...              transient,crash,permanent,processor_crash
-                                 (comma-separated)            [all four]
-  --fixed-offset X               disable fault-position jitter, use
-                                 fractional offset X within the round
-  --job-rounds N                 job length in rounds         [60]
-
 engine under test (shared scenario flags; --rate/--locations/... are
 accepted but unused -- the campaign schedules its own faults):
 
 )";
 
 constexpr const char* kUsageTail = R"(
-execution:
-  --threads N                    worker threads (0 = hardware) [0]
-  --seed N                       campaign RNG seed            [1]
-  --journal PATH                 append-only progress journal
-                                 (CRC32C per record; v1/v2 text and
-                                 v3 binary journals all resume fine)
-  --journal-format FORMAT        encoding when a *new* journal is
-                                 created: v3 (binary, default) or v2
-                                 (text); resuming an existing journal
-                                 keeps the file's own format
-  --resume                       skip cells already in the journal;
-                                 corrupt/torn records are counted and
-                                 their cells re-executed
-  --cell-range LO:HI             dispatch only cells in [LO, HI) —
-                                 shard a campaign across processes,
-                                 then 'vds_journal merge' the shard
-                                 journals and --resume the result
+vds_mc only:
+  --job-rounds N                 job length in rounds         [60]
   --json-out PATH                write JSON snapshot ('-' = stdout)
   --quiet                        suppress the text summary
-  --help                         this text
-
-adaptive sampling:
-  --target-ci X                  stop each (kind, round) stratum once
-                                 the relative 95% Student-t CI
-                                 half-width of its tracked statistics
-                                 reaches X           [0 = fixed grid]
-  --min-replicas N               never stop a stratum earlier    [8]
-  --max-replicas N               per-stratum replica cap (replaces
-                                 --replicas as the maximum; requires
-                                 --target-ci)
-  --batch N                      replicas per dispatch wave      [32]
   --progress                     stderr heartbeat while running
                                  (cells resolved, strata stopped,
                                  ETA); never touches stdout
-
-robustness:
-  --cell-timeout SECONDS         per-cell watchdog; a hung cell is
-                                 retried, then quarantined [0 = off]
-  --max-retries N                retries before quarantine    [2]
-  --chaos SPEC                   arm deterministic harness fault points,
-                                 SPEC = site=prob[:limit],...  (sites:
-                                 cell.hang cell.fail journal.corrupt
-                                 journal.torn pool.delay); also read
-                                 from $VDS_CHAOS
+  --help                         this text
 
 SIGINT/SIGTERM drain the campaign gracefully: dispatch stops, in-flight
 cells are journaled, and the exit code is 130 with a resumable journal.
@@ -110,6 +65,7 @@ exit codes: 0 success; 2 usage/parse error; 3 runtime failure;
 void print_usage(std::FILE* stream) {
   std::fputs(kUsageHead, stream);
   std::fputs(std::string(vds::scenario::scenario_usage()).c_str(), stream);
+  std::fputs(std::string(vds::scenario::campaign_usage()).c_str(), stream);
   std::fputs(std::string(vds::scenario::observability_usage()).c_str(),
              stream);
   std::fputs(kUsageTail, stream);
@@ -176,21 +132,6 @@ class ProgressReporter {
   bool stop_ = false;
 };
 
-std::vector<std::string> split_csv(const std::string& text) {
-  std::vector<std::string> parts;
-  std::size_t start = 0;
-  while (start <= text.size()) {
-    const std::size_t comma = text.find(',', start);
-    if (comma == std::string::npos) {
-      parts.push_back(text.substr(start));
-      break;
-    }
-    parts.push_back(text.substr(start, comma - start));
-    start = comma + 1;
-  }
-  return parts;
-}
-
 int run_mc(int argc, char** argv) {
   using vds::scenario::CliError;
 
@@ -211,105 +152,16 @@ int run_mc(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       print_usage(stdout);
       return 0;
-    } else if (arg == "--replicas") {
-      campaign.replicas = args.value_u64(arg);
-    } else if (arg == "--grid") {
-      campaign.grid.clear();
-      for (const std::string& part :
-           split_csv(std::string(args.value(arg)))) {
-        const std::uint64_t round = vds::scenario::parse_u64(arg, part);
-        if (round == 0) {
-          vds::scenario::bad_value(arg, part, "a positive round number");
-        }
-        campaign.grid.push_back(round);
-      }
-    } else if (arg == "--kinds") {
-      campaign.kinds.clear();
-      for (const std::string& part :
-           split_csv(std::string(args.value(arg)))) {
-        try {
-          campaign.kinds.push_back(vds::scenario::parse_fault_kind(part));
-        } catch (const std::invalid_argument&) {
-          vds::scenario::bad_value(
-              arg, part,
-              "transient, crash, permanent or processor_crash");
-        }
-      }
-    } else if (arg == "--fixed-offset") {
-      campaign.jitter = false;
-      campaign.fixed_offset = args.value_double(arg);
     } else if (arg == "--job-rounds") {
       scenario.rounds = args.value_u64(arg);
-    } else if (arg == "--threads") {
-      campaign.threads = args.value_unsigned(arg);
-    } else if (arg == "--seed") {
-      campaign.seed = args.value_u64(arg);
-    } else if (arg == "--journal") {
-      campaign.journal = std::string(args.value(arg));
-    } else if (arg == "--journal-format") {
-      const std::string_view text = args.value(arg);
-      if (text == "v2") {
-        campaign.journal_format = vds::runtime::JournalFormat::kV2Text;
-      } else if (text == "v3") {
-        campaign.journal_format = vds::runtime::JournalFormat::kV3Binary;
-      } else {
-        vds::scenario::bad_value(arg, text, "v2 or v3");
-      }
-    } else if (arg == "--resume") {
-      campaign.resume = true;
-    } else if (arg == "--cell-range") {
-      const std::string text(args.value(arg));
-      const std::size_t colon = text.find(':');
-      if (colon == std::string::npos) {
-        vds::scenario::bad_value(arg, text, "LO:HI (a half-open cell range)");
-      }
-      campaign.cell_lo =
-          vds::scenario::parse_u64(arg, text.substr(0, colon));
-      campaign.cell_hi =
-          vds::scenario::parse_u64(arg, text.substr(colon + 1));
-      if (campaign.cell_lo >= campaign.cell_hi) {
-        vds::scenario::bad_value(arg, text, "LO < HI");
-      }
     } else if (arg == "--json-out") {
       json_out = std::string(args.value(arg));
     } else if (arg == "--quiet") {
       quiet = true;
-    } else if (arg == "--cell-timeout") {
-      const std::string_view text = args.value(arg);
-      campaign.cell_timeout = vds::scenario::parse_double(arg, text);
-      if (campaign.cell_timeout < 0.0) {
-        vds::scenario::bad_value(arg, text, "a number >= 0");
-      }
-    } else if (arg == "--max-retries") {
-      campaign.max_retries = args.value_unsigned(arg);
-    } else if (arg == "--target-ci") {
-      const std::string_view text = args.value(arg);
-      campaign.target_ci = vds::scenario::parse_double(arg, text);
-      if (campaign.target_ci <= 0.0) {
-        vds::scenario::bad_value(arg, text, "a relative half-width > 0");
-      }
-    } else if (arg == "--min-replicas") {
-      const std::string_view text = args.value(arg);
-      campaign.min_replicas = vds::scenario::parse_u64(arg, text);
-      if (campaign.min_replicas == 0) {
-        vds::scenario::bad_value(arg, text, "a replica count >= 1");
-      }
-    } else if (arg == "--max-replicas") {
-      const std::string_view text = args.value(arg);
-      campaign.max_replicas = vds::scenario::parse_u64(arg, text);
-      if (campaign.max_replicas == 0) {
-        vds::scenario::bad_value(arg, text, "a replica count >= 1");
-      }
-    } else if (arg == "--batch") {
-      const std::string_view text = args.value(arg);
-      campaign.batch = vds::scenario::parse_u64(arg, text);
-      if (campaign.batch == 0) {
-        vds::scenario::bad_value(arg, text, "a wave size >= 1");
-      }
     } else if (arg == "--progress") {
       show_progress = true;
-    } else if (arg == "--chaos") {
-      campaign.chaos = std::string(args.value(arg));
+    } else if (vds::scenario::apply_campaign_flag(campaign, arg, args)) {
+      // campaign grid/execution/robustness flag, shared with vds_fabric
     } else if (vds::scenario::apply_scenario_flag(scenario, arg, args)) {
       // engine-under-test flag, handled by the shared parser
     } else if (vds::scenario::apply_observability_flag(observability, arg,
