@@ -1,0 +1,120 @@
+// E26 -- Detection design space (extension): all six engine kinds of
+// the registry (docs/ENGINES.md) on one shared fault timeline over a
+// fault-rate sweep. Per (engine, rate) row: end state, total time,
+// throughput, detection latency, detections, rollbacks, compares,
+// silent corruption -- the throughput/latency/coverage trade the
+// handbook narrates. Two gates CI greps for: the engines CSV dataset
+// must render byte-identically at 1 and 4 worker threads (MISMATCH
+// otherwise), and identical seeds must reproduce identical reports
+// for every kind (REGRESSION otherwise).
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/thread_pool.hpp"
+#include "scenario/engine_factory.hpp"
+#include "scenario/scenario.hpp"
+
+using namespace vds;
+
+namespace {
+
+constexpr double kRates[] = {0.002, 0.01, 0.02, 0.05};
+constexpr double kHorizon = 400000.0;
+
+scenario::Scenario point(scenario::EngineKind kind, double rate) {
+  scenario::Scenario s;
+  s.engine = kind;
+  s.predictor = "two_bit";
+  s.rounds = 10000;
+  s.rate = rate;
+  s.crash_weight = 0.1;
+  s.permanent_weight = 0.05;
+  s.bias = 0.7;
+  return s;
+}
+
+core::RunReport run_point(const scenario::Scenario& s) {
+  sim::Rng rng(7);
+  auto timeline = scenario::make_timeline(s, rng, kHorizon);
+  const auto engine = scenario::make_engine(s, sim::Rng(8), sim::Rng(8));
+  return engine->run(timeline);
+}
+
+// The vds_sweep `engines` dataset row, reproduced here so the
+// byte-identity gate covers the same rendering path the tool uses.
+std::string csv_body(runtime::ThreadPool& pool) {
+  const auto& kinds = scenario::kAllEngineKinds;
+  const std::size_t n = std::size(kinds) * std::size(kRates);
+  return runtime::render_rows(pool, n, [&](std::size_t i) {
+    const auto kind = kinds[i / std::size(kRates)];
+    const double rate = kRates[i % std::size(kRates)];
+    const auto report = run_point(point(kind, rate));
+    const auto name = scenario::to_string(kind);
+    char buf[192];
+    std::snprintf(buf, sizeof buf, "%.*s,%.3f,%.2f,%.4f\n",
+                  static_cast<int>(name.size()), name.data(), rate,
+                  report.total_time, report.throughput());
+    return std::string(buf);
+  });
+}
+
+void table() {
+  std::printf("\n  %-7s %6s %5s %12s %10s %9s %8s %8s %9s %7s\n", "engine",
+              "rate", "end", "time", "thr.", "det.lat", "detects",
+              "rollbk", "compares", "silent");
+  for (const auto kind : scenario::kAllEngineKinds) {
+    for (const double rate : kRates) {
+      const auto report = run_point(point(kind, rate));
+      const auto name = scenario::to_string(kind);
+      std::printf(
+          "  %-7.*s %6.3f %5s %12.1f %10.4f %9.3f %8llu %8llu %9llu %7s\n",
+          static_cast<int>(name.size()), name.data(), rate,
+          report.completed ? "ok" : (report.failed_safe ? "SAFE" : "abort"),
+          report.total_time, report.throughput(),
+          report.detection_latency.empty() ? 0.0
+                                           : report.detection_latency.mean(),
+          static_cast<unsigned long long>(report.detections),
+          static_cast<unsigned long long>(report.rollbacks),
+          static_cast<unsigned long long>(report.comparisons),
+          report.silent_corruption ? "YES" : "no");
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E26", "six-engine detection comparison (extension)");
+  bench::note("shared timeline per rate: only the engine differs per row");
+  table();
+
+  bench::section("gates");
+  bool ok = true;
+  runtime::ThreadPool one(1);
+  runtime::ThreadPool four(4);
+  if (csv_body(one) != csv_body(four)) {
+    std::printf("  MISMATCH: engines dataset differs between 1 and 4 "
+                "threads\n");
+    ok = false;
+  } else {
+    std::printf("  engines dataset byte-identical at 1 and 4 threads\n");
+  }
+  for (const auto kind : scenario::kAllEngineKinds) {
+    const auto a = run_point(point(kind, 0.02));
+    const auto b = run_point(point(kind, 0.02));
+    if (a.total_time != b.total_time || a.detections != b.detections ||
+        a.rollbacks != b.rollbacks || a.comparisons != b.comparisons ||
+        a.completed != b.completed) {
+      const auto name = scenario::to_string(kind);
+      std::printf("  REGRESSION: %.*s is not seed-deterministic\n",
+                  static_cast<int>(name.size()), name.data());
+      ok = false;
+    }
+  }
+  if (ok) std::printf("  all six kinds seed-deterministic\n");
+  return ok ? 0 : 1;
+}

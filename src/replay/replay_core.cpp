@@ -1,0 +1,76 @@
+#include "replay/replay_core.hpp"
+
+#include <stdexcept>
+
+namespace vds::replay {
+
+namespace {
+
+// FNV-1a over a fixed-width word sequence; the digests only need to be
+// deterministic and collision-resistant enough that a corrupted round
+// never accidentally matches the clean one.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+constexpr std::uint64_t mix(std::uint64_t h, std::uint64_t word) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (word >> (8 * i)) & 0xFFu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t round_outcome(std::uint64_t state, std::uint64_t index,
+                            std::uint64_t input_digest) noexcept {
+  std::uint64_t h = mix(kFnvOffset, state);
+  h = mix(h, index);
+  h = mix(h, input_digest);
+  return h;
+}
+
+std::uint64_t round_input(std::uint64_t job_seed,
+                          std::uint64_t index) noexcept {
+  return mix(mix(kFnvOffset, job_seed), index);
+}
+
+void RecordLog::append(const RoundRecord& record) {
+  if (record.index != next_index_) {
+    throw std::logic_error("RecordLog: non-monotonic record index");
+  }
+  records_.push_back(record);
+  ++next_index_;
+}
+
+std::vector<RoundRecord> RecordLog::take_window(std::size_t window) {
+  const std::size_t take = window < records_.size() ? window : records_.size();
+  std::vector<RoundRecord> out(records_.begin(),
+                               records_.begin() +
+                                   static_cast<std::ptrdiff_t>(take));
+  records_.erase(records_.begin(),
+                 records_.begin() + static_cast<std::ptrdiff_t>(take));
+  return out;
+}
+
+WindowVerdict Replayer::replay(const std::vector<RoundRecord>& window,
+                               std::uint64_t corrupt_xor) {
+  WindowVerdict verdict;
+  verdict.rounds = window.size();
+  std::uint64_t state = state_;
+  for (const RoundRecord& record : window) {
+    std::uint64_t replayed =
+        round_outcome(state, record.index, record.input_digest);
+    replayed ^= corrupt_xor;
+    if (replayed != record.outcome_digest) {
+      verdict.match = false;
+      verdict.first_mismatch = record.index;
+      return verdict;
+    }
+    state = replayed;
+  }
+  state_ = state;  // the whole window verified: advance the trusted state
+  return verdict;
+}
+
+}  // namespace vds::replay

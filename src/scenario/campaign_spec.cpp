@@ -31,6 +31,20 @@ std::uint64_t engine_fingerprint(const Scenario& scenario) {
   if (scenario.engine != EngineKind::kSmt) {
     h = vds::runtime::fnv1a(to_string(scenario.engine), h);
   }
+  // Engine-specific extras hash only for their own kind, so every
+  // pre-existing fingerprint (and journal) is untouched.
+  if (scenario.engine == EngineKind::kReplay) {
+    h = vds::runtime::fnv1a(&scenario.replay_window,
+                            sizeof scenario.replay_window, h);
+    h = vds::runtime::fnv1a(&scenario.replay_record_overhead,
+                            sizeof scenario.replay_record_overhead, h);
+  }
+  if (scenario.engine == EngineKind::kDme) {
+    h = vds::runtime::fnv1a(&scenario.dme_decorrelation,
+                            sizeof scenario.dme_decorrelation, h);
+    h = vds::runtime::fnv1a(&scenario.dme_common_mode,
+                            sizeof scenario.dme_common_mode, h);
+  }
   if (scenario.adaptive) h = vds::runtime::fnv1a("adaptive", h);
   if (scenario.threads != 2) {
     h = vds::runtime::fnv1a(&scenario.threads, sizeof scenario.threads, h);

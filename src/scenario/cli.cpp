@@ -100,7 +100,7 @@ bool apply_scenario_flag(Scenario& scenario, std::string_view arg,
     try {
       scenario.engine = parse_engine_kind(name);
     } catch (const std::invalid_argument&) {
-      bad_value(arg, name, "smt, conv, srt or duplex");
+      bad_value(arg, name, engine_kind_list());
     }
     return true;
   }
@@ -180,6 +180,22 @@ bool apply_scenario_flag(Scenario& scenario, std::string_view arg,
     scenario.skew = args.value_double(arg);
     return true;
   }
+  if (arg == "--replay-window") {
+    scenario.replay_window = args.value_int(arg);
+    return true;
+  }
+  if (arg == "--replay-overhead") {
+    scenario.replay_record_overhead = args.value_double(arg);
+    return true;
+  }
+  if (arg == "--decorrelation") {
+    scenario.dme_decorrelation = args.value_double(arg);
+    return true;
+  }
+  if (arg == "--common-mode") {
+    scenario.dme_common_mode = args.value_double(arg);
+    return true;
+  }
   return false;
 }
 
@@ -187,7 +203,8 @@ std::string_view scenario_usage() noexcept {
   return R"(scenario (shared across vds_cli / vds_mc / vds_sweep):
   --scenario FILE                load a vds.scenario.v1 JSON file
                                  (later flags override its fields)
-  --engine smt|conv|srt|duplex   protocol engine            [smt]
+  --engine smt|conv|srt|duplex|replay|dme
+                                 protocol engine            [smt]
   --scheme rollback|retry|det|prob|predict   recovery scheme [det]
   --predictor random|oracle|static1|static2|last|two_bit|history|tournament|perceptron|crash
                                  faulty-version predictor   [random]
@@ -204,6 +221,11 @@ std::string_view scenario_usage() noexcept {
   --bias X                       P(fault hits version 1)    [0.5]
   --locations N                  abstract fault locations   [16]
   --skew X                       location uniformity (0,1]  [1.0]
+  --replay-window N              replay: rounds per compare [4]
+  --replay-overhead X            replay: record slowdown    [0.05]
+  --decorrelation X              dme: structural diversity d [0.5]
+  --common-mode X                dme: common-mode fraction at
+                                 d = 0                      [0.3]
 )";
 }
 

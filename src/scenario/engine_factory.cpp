@@ -6,6 +6,8 @@
 #include "baseline/duplex.hpp"
 #include "baseline/srt.hpp"
 #include "core/conventional.hpp"
+#include "core/dme_engine.hpp"
+#include "core/replay_engine.hpp"
 #include "core/smt_engine.hpp"
 
 namespace vds::scenario {
@@ -66,6 +68,12 @@ std::unique_ptr<vds::core::Engine> make_engine(
     case EngineKind::kDuplex:
       return std::make_unique<vds::baseline::PhysicalDuplex>(
           scenario.duplex_config(), engine_rng);
+    case EngineKind::kReplay:
+      return std::make_unique<vds::core::ReplayVds>(
+          scenario.replay_config(), engine_rng);
+    case EngineKind::kDme:
+      return std::make_unique<vds::core::DmeEngine>(
+          scenario.dme_config(), engine_rng);
   }
   throw std::invalid_argument("Scenario: unhandled engine kind");
 }

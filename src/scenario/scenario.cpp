@@ -1,6 +1,7 @@
 #include "scenario/scenario.hpp"
 
 #include <climits>
+#include <iterator>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -17,8 +18,23 @@ std::string_view to_string(EngineKind kind) noexcept {
     case EngineKind::kConv: return "conv";
     case EngineKind::kSrt: return "srt";
     case EngineKind::kDuplex: return "duplex";
+    case EngineKind::kReplay: return "replay";
+    case EngineKind::kDme: return "dme";
   }
   return "unknown";
+}
+
+const std::string& engine_kind_list() {
+  static const std::string list = [] {
+    std::string out;
+    constexpr std::size_t count = std::size(kAllEngineKinds);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (i > 0) out += i + 1 == count ? " or " : ", ";
+      out += to_string(kAllEngineKinds[i]);
+    }
+    return out;
+  }();
+  return list;
 }
 
 EngineKind parse_engine_kind(std::string_view name) {
@@ -26,7 +42,7 @@ EngineKind parse_engine_kind(std::string_view name) {
     if (name == to_string(kind)) return kind;
   }
   throw std::invalid_argument("unknown engine '" + std::string(name) +
-                              "' (expected smt, conv, srt or duplex)");
+                              "' (expected " + engine_kind_list() + ")");
 }
 
 void Scenario::validate() const {
@@ -50,6 +66,12 @@ void Scenario::validate() const {
         break;
       case EngineKind::kDuplex:
         duplex_config().validate();
+        break;
+      case EngineKind::kReplay:
+        replay_config().validate();
+        break;
+      case EngineKind::kDme:
+        dme_config().validate();
         break;
     }
     fault_config().validate();
@@ -88,6 +110,28 @@ baseline::DuplexConfig Scenario::duplex_config() const {
   config.s = s;
   config.job_rounds = rounds;
   config.processors = duplex_processors;
+  return config;
+}
+
+core::ReplayConfig Scenario::replay_config() const {
+  core::ReplayConfig config;
+  config.alpha = alpha;
+  config.compare_time = beta;
+  config.s = s;
+  config.job_rounds = rounds;
+  config.window = replay_window;
+  config.record_overhead = replay_record_overhead;
+  return config;
+}
+
+core::DmeConfig Scenario::dme_config() const {
+  core::DmeConfig config;
+  config.alpha = alpha;
+  config.t_cmp = beta;
+  config.s = s;
+  config.job_rounds = rounds;
+  config.decorrelation = dme_decorrelation;
+  config.common_mode = dme_common_mode;
   return config;
 }
 
@@ -138,6 +182,16 @@ void Scenario::write_json(runtime::JsonWriter& json) const {
   json.key("duplex");
   json.begin_object();
   json.field("processors", duplex_processors);
+  json.end_object();
+  json.key("replay");
+  json.begin_object();
+  json.field("window", replay_window);
+  json.field("record_overhead", replay_record_overhead);
+  json.end_object();
+  json.key("dme");
+  json.begin_object();
+  json.field("decorrelation", dme_decorrelation);
+  json.field("common_mode", dme_common_mode);
   json.end_object();
   json.end_object();
 }
@@ -288,6 +342,36 @@ Scenario Scenario::from_json_value(const JsonValue& doc) {
                                const JsonValue& dvalue) {
             if (dkey == "processors") {
               scenario.duplex_processors = checked_int(dvalue, dkey);
+            } else {
+              return false;
+            }
+            return true;
+          });
+      return true;
+    }
+    if (key == "replay") {
+      for_each_member_strict(
+          value, "replay", [&](const std::string& rkey,
+                               const JsonValue& rvalue) {
+            if (rkey == "window") {
+              scenario.replay_window = checked_int(rvalue, rkey);
+            } else if (rkey == "record_overhead") {
+              scenario.replay_record_overhead = rvalue.as_double(rkey);
+            } else {
+              return false;
+            }
+            return true;
+          });
+      return true;
+    }
+    if (key == "dme") {
+      for_each_member_strict(
+          value, "dme", [&](const std::string& mkey,
+                            const JsonValue& mvalue) {
+            if (mkey == "decorrelation") {
+              scenario.dme_decorrelation = mvalue.as_double(mkey);
+            } else if (mkey == "common_mode") {
+              scenario.dme_common_mode = mvalue.as_double(mkey);
             } else {
               return false;
             }

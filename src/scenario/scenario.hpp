@@ -6,6 +6,8 @@
 #include <string_view>
 
 #include "core/options.hpp"
+#include "core/dme_engine.hpp"
+#include "core/replay_engine.hpp"
 #include "baseline/duplex.hpp"
 #include "baseline/srt.hpp"
 #include "fault/fault_model.hpp"
@@ -24,18 +26,27 @@ enum class EngineKind : std::uint8_t {
   kConv,     ///< ConventionalVds: VDS on a conventional processor (§3.1)
   kSrt,      ///< LockstepSrt: lockstep redundant threading baseline
   kDuplex,   ///< PhysicalDuplex: two-processor duplex baseline
+  kReplay,   ///< ReplayVds: record/replay detection on the idle context
+  kDme,      ///< DmeEngine: divergent multi-version execution
 };
 
 inline constexpr EngineKind kAllEngineKinds[] = {
     EngineKind::kSmt, EngineKind::kConv, EngineKind::kSrt,
-    EngineKind::kDuplex};
+    EngineKind::kDuplex, EngineKind::kReplay, EngineKind::kDme};
 
-/// Canonical engine name: "smt", "conv", "srt", "duplex" — the same
-/// spelling used by Engine::kind(), CLI flags and scenario JSON.
+/// Canonical engine name: "smt", "conv", "srt", "duplex", "replay",
+/// "dme" — the same spelling used by Engine::kind(), CLI flags and
+/// scenario JSON.
 [[nodiscard]] std::string_view to_string(EngineKind kind) noexcept;
 
 /// Inverse of to_string; throws std::invalid_argument on unknown names.
 [[nodiscard]] EngineKind parse_engine_kind(std::string_view name);
+
+/// Human-readable list of every registered engine kind, in registry
+/// order: "smt, conv, srt, duplex, replay or dme". Error messages and
+/// usage text derive from this so they can never drift from the
+/// registry.
+[[nodiscard]] const std::string& engine_kind_list();
 
 /// One complete, validated experiment specification: which engine to
 /// run, its timing/recovery configuration, the fault process and the
@@ -71,6 +82,12 @@ struct Scenario {
   int srt_chunks_per_round = 100;
   int duplex_processors = 2;
 
+  // --- replay/dme-engine extras (defaults = their config defaults) ---
+  int replay_window = 4;
+  double replay_record_overhead = 0.05;
+  double dme_decorrelation = 0.5;
+  double dme_common_mode = 0.3;
+
   /// Cross-field validation: every conversion below must succeed and
   /// the predictor must be a registered name. Throws
   /// std::invalid_argument with a "Scenario: ..." message.
@@ -80,6 +97,8 @@ struct Scenario {
   [[nodiscard]] core::VdsOptions vds_options() const;
   [[nodiscard]] baseline::SrtConfig srt_config() const;
   [[nodiscard]] baseline::DuplexConfig duplex_config() const;
+  [[nodiscard]] core::ReplayConfig replay_config() const;
+  [[nodiscard]] core::DmeConfig dme_config() const;
   [[nodiscard]] fault::FaultConfig fault_config() const;
 
   /// Generous fault-timeline horizon: the job can stretch under

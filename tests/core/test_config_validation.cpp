@@ -13,7 +13,9 @@
 
 #include "baseline/duplex.hpp"
 #include "baseline/srt.hpp"
+#include "core/dme_engine.hpp"
 #include "core/options.hpp"
+#include "core/replay_engine.hpp"
 
 namespace {
 
@@ -162,6 +164,103 @@ TEST(DuplexConfigValidation, RejectsDegenerateConfigs) {
   config.t_cmp = 0.0;  // free state exchange: legal
   EXPECT_NO_THROW(config.validate());
   config.t_cmp = -0.1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+// --- ReplayConfig -----------------------------------------------------
+
+TEST(ReplayConfigValidation, RejectsNonFiniteTiming) {
+  for (const double bad : {kNaN, kInf}) {
+    vds::core::ReplayConfig config;
+    config.t = bad;
+    EXPECT_THROW(config.validate(), std::invalid_argument) << bad;
+    config = {};
+    config.record_overhead = bad;
+    EXPECT_THROW(config.validate(), std::invalid_argument) << bad;
+    config = {};
+    config.compare_time = bad;
+    EXPECT_THROW(config.validate(), std::invalid_argument) << bad;
+    config = {};
+    config.checkpoint_write_latency = bad;
+    EXPECT_THROW(config.validate(), std::invalid_argument) << bad;
+    config = {};
+    config.max_time = bad;
+    EXPECT_THROW(config.validate(), std::invalid_argument) << bad;
+  }
+}
+
+TEST(ReplayConfigValidation, RejectsDegenerateConfigs) {
+  vds::core::ReplayConfig config;
+  config.window = 0;  // a zero-round compare window never verifies
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.window = 1;  // per-round comparison: legal, just expensive
+  EXPECT_NO_THROW(config.validate());
+  config = {};
+  config.s = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.job_rounds = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.record_overhead = -0.01;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.record_overhead = 0.0;  // free logging: legal
+  EXPECT_NO_THROW(config.validate());
+  config = {};
+  config.max_consecutive_failures = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+// --- DmeConfig --------------------------------------------------------
+
+TEST(DmeConfigValidation, DecorrelationBoundariesInclusive) {
+  vds::core::DmeConfig config;
+  config.decorrelation = 0.0;  // identical copies: legal
+  EXPECT_NO_THROW(config.validate());
+  config.decorrelation = 1.0;  // full structural diversity: legal
+  EXPECT_NO_THROW(config.validate());
+  config.decorrelation = std::nextafter(1.0, 2.0);
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.decorrelation = -0.01;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.decorrelation = kNaN;  // NaN fails the range check, not silently
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(DmeConfigValidation, CommonModeBoundariesInclusive) {
+  vds::core::DmeConfig config;
+  config.common_mode = 0.0;
+  EXPECT_NO_THROW(config.validate());
+  config.common_mode = 1.0;
+  EXPECT_NO_THROW(config.validate());
+  config.common_mode = 1.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.common_mode = kNaN;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(DmeConfigValidation, RejectsNonFiniteTimingAndDegenerates) {
+  for (const double bad : {kNaN, kInf}) {
+    vds::core::DmeConfig config;
+    config.t = bad;
+    EXPECT_THROW(config.validate(), std::invalid_argument) << bad;
+    config = {};
+    config.t_cmp = bad;
+    EXPECT_THROW(config.validate(), std::invalid_argument) << bad;
+    config = {};
+    config.alpha_penalty = bad;
+    EXPECT_THROW(config.validate(), std::invalid_argument) << bad;
+  }
+  vds::core::DmeConfig config;
+  config.s = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.job_rounds = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.max_consecutive_failures = 0;
   EXPECT_THROW(config.validate(), std::invalid_argument);
 }
 

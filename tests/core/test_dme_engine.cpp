@@ -1,0 +1,159 @@
+// Behavior of the divergent multi-version engine: how the
+// decorrelation parameter d steers coverage at its endpoints (where
+// the semantics are exact, not probabilistic), the fail-safe path for
+// divergent permanent defects, and run determinism.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dme_engine.hpp"
+#include "fault/injector.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using vds::core::DmeConfig;
+using vds::core::DmeEngine;
+using vds::core::RunReport;
+using vds::fault::Fault;
+using vds::fault::FaultKind;
+using vds::fault::FaultTimeline;
+
+DmeConfig small_config() {
+  DmeConfig config;
+  config.job_rounds = 40;
+  config.s = 10;
+  return config;
+}
+
+RunReport run_with(const DmeConfig& config, std::vector<Fault> faults) {
+  DmeEngine engine(config, vds::sim::Rng(11));
+  FaultTimeline timeline(std::move(faults));
+  return engine.run(timeline);
+}
+
+Fault fault_at(double when, FaultKind kind) {
+  Fault fault;
+  fault.when = when;
+  fault.kind = kind;
+  return fault;
+}
+
+TEST(DmeEngine, FaultFreeRunCompletes) {
+  const RunReport rep = run_with(small_config(), {});
+  EXPECT_TRUE(rep.completed);
+  EXPECT_FALSE(rep.failed_safe);
+  EXPECT_FALSE(rep.silent_corruption);
+  EXPECT_EQ(rep.rounds_committed, 40u);
+  EXPECT_EQ(rep.comparisons, 40u);  // every round ends in a compare
+  EXPECT_EQ(rep.detections, 0u);
+}
+
+TEST(DmeEngine, RoundTimeIsPacedByTheSlowerVersion) {
+  DmeConfig config = small_config();
+  config.decorrelation = 1.0;  // alpha2 = alpha * (1 + alpha_penalty)
+  const double alpha2 = config.alpha2();
+  EXPECT_GT(alpha2, config.alpha);
+  const RunReport rep = run_with(config, {});
+  const double expected =
+      40.0 * (2.0 * config.t * alpha2 + config.t_cmp);
+  EXPECT_NEAR(rep.total_time, expected, 1e-9);
+}
+
+TEST(DmeEngine, Alpha2CapsAtFullSlowdown) {
+  DmeConfig config;
+  config.alpha = 0.95;
+  config.decorrelation = 1.0;
+  EXPECT_DOUBLE_EQ(config.alpha2(), 1.0);
+}
+
+TEST(DmeEngine, FullDiversityDetectsEveryTransient) {
+  // d = 1: p_common = 0, every transient diverges the versions and the
+  // round-end compare catches it — no draw, no luck involved.
+  DmeConfig config = small_config();
+  config.decorrelation = 1.0;
+  const RunReport rep =
+      run_with(config, {fault_at(1.0, FaultKind::kTransient)});
+  EXPECT_TRUE(rep.completed);
+  EXPECT_FALSE(rep.silent_corruption);
+  EXPECT_EQ(rep.detections, 1u);
+  EXPECT_EQ(rep.rollbacks, 1u);
+  ASSERT_EQ(rep.detection_latency.count(), 1u);
+  // Detected at the end of its round: latency below one round time.
+  EXPECT_LE(rep.detection_latency.mean(),
+            2.0 * config.t * config.alpha2() + config.t_cmp + 1e-9);
+}
+
+TEST(DmeEngine, ZeroDiversityMissesEveryPermanent) {
+  // d = 0: identical copies — a permanent defect activates the same
+  // way in both versions and is never seen.
+  DmeConfig config = small_config();
+  config.decorrelation = 0.0;
+  const RunReport rep =
+      run_with(config, {fault_at(1.0, FaultKind::kPermanent)});
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.silent_corruption);
+  EXPECT_EQ(rep.detections, 0u);
+}
+
+TEST(DmeEngine, FullDiversityTurnsPermanentIntoFailSafe) {
+  // d = 1: the defect activates divergently in every round; rollback
+  // cannot clear it, so the engine must stop fail-safe (the designed
+  // outcome for a two-version system with a persistent defect).
+  DmeConfig config = small_config();
+  config.decorrelation = 1.0;
+  const RunReport rep =
+      run_with(config, {fault_at(1.0, FaultKind::kPermanent)});
+  EXPECT_TRUE(rep.failed_safe);
+  EXPECT_FALSE(rep.completed);
+  EXPECT_FALSE(rep.silent_corruption);
+  EXPECT_EQ(rep.rollbacks,
+            static_cast<std::uint64_t>(config.max_consecutive_failures));
+}
+
+TEST(DmeEngine, CrashIsAlwaysDetected) {
+  const RunReport rep =
+      run_with(small_config(), {fault_at(5.0, FaultKind::kCrash)});
+  EXPECT_TRUE(rep.completed);
+  EXPECT_EQ(rep.crash_faults, 1u);
+  EXPECT_EQ(rep.detections, 1u);
+  EXPECT_EQ(rep.rollbacks, 1u);
+}
+
+TEST(DmeEngine, ProcessorCrashRollsBack) {
+  DmeConfig config = small_config();
+  config.checkpoint_read_latency = 5.0;
+  const RunReport rep =
+      run_with(config, {fault_at(5.0, FaultKind::kProcessorCrash)});
+  EXPECT_TRUE(rep.completed);
+  EXPECT_EQ(rep.processor_crashes, 1u);
+  EXPECT_EQ(rep.rollbacks, 1u);
+  ASSERT_EQ(rep.recovery_time.count(), 1u);
+  // The episode pays at least the stable-storage read latency (up to
+  // accumulator rounding).
+  EXPECT_GE(rep.recovery_time.mean(), 5.0 - 1e-9);
+}
+
+TEST(DmeEngine, IdenticalSeedsGiveIdenticalReports) {
+  std::vector<Fault> faults;
+  for (int i = 0; i < 8; ++i) {
+    faults.push_back(fault_at(
+        3.0 * static_cast<double>(i) + 0.5,
+        i % 2 == 0 ? FaultKind::kTransient : FaultKind::kCrash));
+  }
+  const RunReport a = run_with(small_config(), faults);
+  const RunReport b = run_with(small_config(), faults);
+  EXPECT_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.detections, b.detections);
+  EXPECT_EQ(a.rollbacks, b.rollbacks);
+  EXPECT_EQ(a.rounds_committed, b.rounds_committed);
+}
+
+TEST(DmeEngine, ValidatesConfigOnConstruction) {
+  DmeConfig config = small_config();
+  config.decorrelation = 2.0;
+  EXPECT_THROW(DmeEngine(config, vds::sim::Rng(1)), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,178 @@
+// Behavior of the record/replay engine against hand-built fault
+// timelines: fault-free completion, per-kind detection/recovery
+// semantics, and the determinism the campaign digests rely on.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/replay_engine.hpp"
+#include "fault/injector.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using vds::core::ReplayConfig;
+using vds::core::ReplayVds;
+using vds::core::RunReport;
+using vds::fault::Fault;
+using vds::fault::FaultKind;
+using vds::fault::FaultTimeline;
+using vds::fault::Victim;
+
+ReplayConfig small_config() {
+  ReplayConfig config;
+  config.job_rounds = 40;
+  config.window = 4;
+  config.s = 10;
+  return config;
+}
+
+RunReport run_with(const ReplayConfig& config, std::vector<Fault> faults) {
+  ReplayVds engine(config, vds::sim::Rng(11));
+  FaultTimeline timeline(std::move(faults));
+  return engine.run(timeline);
+}
+
+TEST(ReplayEngine, FaultFreeRunCompletesEveryRound) {
+  const RunReport rep = run_with(small_config(), {});
+  EXPECT_TRUE(rep.completed);
+  EXPECT_FALSE(rep.failed_safe);
+  EXPECT_FALSE(rep.silent_corruption);
+  EXPECT_EQ(rep.rounds_committed, 40u);
+  EXPECT_EQ(rep.detections, 0u);
+  EXPECT_EQ(rep.rollbacks, 0u);
+  // 40 rounds in windows of 4 = 10 compares; the run checkpoints at
+  // least every s = 10 verified rounds.
+  EXPECT_EQ(rep.comparisons, 10u);
+  EXPECT_GE(rep.checkpoints, 4u);
+}
+
+TEST(ReplayEngine, FaultFreeTimeIsRecordRatePlusCompares) {
+  const ReplayConfig config = small_config();
+  const RunReport rep = run_with(config, {});
+  // 40 recorded rounds at alpha*t*(1+overhead) each, 10 window
+  // compares at compare_time each, plus the tail: the final window is
+  // recorded with nothing left to overlap, so it replays alone at the
+  // full single-context speed t. Checkpoint latencies default to 0.
+  const double expected =
+      40.0 * config.alpha * config.t * (1.0 + config.record_overhead) +
+      10.0 * config.compare_time + config.window * config.t;
+  EXPECT_NEAR(rep.total_time, expected, 1e-9);
+}
+
+TEST(ReplayEngine, TransientOnPrimaryIsDetectedWithinAWindow) {
+  Fault fault;
+  fault.when = 1.0;
+  fault.kind = FaultKind::kTransient;
+  fault.victim = Victim::kVersion1;
+  const RunReport rep = run_with(small_config(), {fault});
+  EXPECT_TRUE(rep.completed);
+  EXPECT_FALSE(rep.silent_corruption);
+  EXPECT_EQ(rep.detections, 1u);
+  EXPECT_EQ(rep.rollbacks, 1u);
+  ASSERT_EQ(rep.detection_latency.count(), 1u);
+  // Detection waits for the window replay: latency is bounded by two
+  // recording windows plus the compare, never instant.
+  const double window_time = 4.0 * 0.65 * 1.05;
+  EXPECT_GT(rep.detection_latency.mean(), 0.0);
+  EXPECT_LE(rep.detection_latency.mean(), 2.0 * window_time + 0.1 + 1e-9);
+}
+
+TEST(ReplayEngine, TransientOnReplayerIsAlsoDetected) {
+  // A fault in the replaying context corrupts the re-execution, not
+  // the log: the digests still disagree and the mismatch is detected.
+  Fault fault;
+  fault.when = 3.0;
+  fault.kind = FaultKind::kTransient;
+  fault.victim = Victim::kVersion2;
+  const RunReport rep = run_with(small_config(), {fault});
+  EXPECT_TRUE(rep.completed);
+  EXPECT_FALSE(rep.silent_corruption);
+  EXPECT_EQ(rep.detections, 1u);
+}
+
+TEST(ReplayEngine, CrashRecoversFromReplayerState) {
+  Fault fault;
+  fault.when = 10.0;
+  fault.kind = FaultKind::kCrash;
+  fault.victim = Victim::kVersion1;
+  const RunReport rep = run_with(small_config(), {fault});
+  EXPECT_TRUE(rep.completed);
+  EXPECT_EQ(rep.detections, 1u);
+  EXPECT_EQ(rep.rollbacks, 1u);
+  EXPECT_EQ(rep.crash_faults, 1u);
+}
+
+TEST(ReplayEngine, ProcessorCrashPaysCheckpointReadLatency) {
+  ReplayConfig config = small_config();
+  config.checkpoint_read_latency = 5.0;
+  Fault fault;
+  fault.when = 10.0;
+  fault.kind = FaultKind::kProcessorCrash;
+  const RunReport rep = run_with(config, {fault});
+  EXPECT_TRUE(rep.completed);
+  EXPECT_EQ(rep.processor_crashes, 1u);
+  EXPECT_EQ(rep.rollbacks, 1u);
+  ASSERT_EQ(rep.recovery_time.count(), 1u);
+  EXPECT_GE(rep.recovery_time.mean(), 5.0);
+}
+
+TEST(ReplayEngine, PermanentFaultIsSilent) {
+  // Record and replay run the same code on the same broken unit: no
+  // diversity, no divergence — the run completes silently corrupted.
+  Fault fault;
+  fault.when = 1.0;
+  fault.kind = FaultKind::kPermanent;
+  const RunReport rep = run_with(small_config(), {fault});
+  EXPECT_TRUE(rep.completed);
+  EXPECT_TRUE(rep.silent_corruption);
+  EXPECT_EQ(rep.detections, 0u);
+  EXPECT_EQ(rep.permanent_faults, 1u);
+}
+
+TEST(ReplayEngine, RepeatedFaultsTripFailSafe) {
+  ReplayConfig config = small_config();
+  config.max_consecutive_failures = 3;
+  // One transient per recording round: every window mismatches, no
+  // window ever verifies, and the engine must stop fail-safe instead
+  // of looping forever.
+  std::vector<Fault> faults;
+  for (int i = 0; i < 400; ++i) {
+    Fault fault;
+    fault.when = 0.3 * static_cast<double>(i);
+    fault.kind = FaultKind::kTransient;
+    fault.victim = Victim::kVersion1;
+    faults.push_back(fault);
+  }
+  const RunReport rep = run_with(config, std::move(faults));
+  EXPECT_TRUE(rep.failed_safe);
+  EXPECT_FALSE(rep.completed);
+  EXPECT_FALSE(rep.silent_corruption);
+}
+
+TEST(ReplayEngine, IdenticalInputsGiveIdenticalReports) {
+  std::vector<Fault> faults;
+  for (int i = 0; i < 6; ++i) {
+    Fault fault;
+    fault.when = 2.5 * static_cast<double>(i) + 0.25;
+    fault.kind = i % 2 == 0 ? FaultKind::kTransient : FaultKind::kCrash;
+    fault.victim = i % 3 == 0 ? Victim::kVersion1 : Victim::kVersion2;
+    faults.push_back(fault);
+  }
+  const RunReport a = run_with(small_config(), faults);
+  const RunReport b = run_with(small_config(), faults);
+  EXPECT_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.rounds_committed, b.rounds_committed);
+  EXPECT_EQ(a.detections, b.detections);
+  EXPECT_EQ(a.rollbacks, b.rollbacks);
+  EXPECT_EQ(a.comparisons, b.comparisons);
+}
+
+TEST(ReplayEngine, ValidatesConfigOnConstruction) {
+  ReplayConfig config = small_config();
+  config.window = 0;
+  EXPECT_THROW(ReplayVds(config, vds::sim::Rng(1)), std::invalid_argument);
+}
+
+}  // namespace

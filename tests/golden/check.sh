@@ -38,6 +38,13 @@ for threads in 1 3; do
     echo "MISMATCH sweep_schemes.csv (threads=$threads)"
     fail=1
   fi
+
+  "$build/tools/vds_sweep" --dataset engines --threads "$threads" \
+    > "$tmp/engines_$threads.csv"
+  if ! cmp -s "$here/sweep_engines.csv" "$tmp/engines_$threads.csv"; then
+    echo "MISMATCH sweep_engines.csv (threads=$threads)"
+    fail=1
+  fi
 done
 
 [ "$fail" -eq 0 ] && echo "all golden outputs bitwise identical"

@@ -25,7 +25,7 @@ extract_counters() {
 }
 
 fail=0
-for kind in smt conv srt duplex; do
+for kind in smt conv srt duplex replay dme; do
   golden=$here/metrics/$kind.counters
   if [ "$mode" = "--generate" ]; then
     # shellcheck disable=SC2086

@@ -30,3 +30,6 @@ printf 'wrote mc_summary.json\n'
 
 "$sweep" --dataset schemes --threads 1 > "$here/sweep_schemes.csv"
 printf 'wrote sweep_schemes.csv\n'
+
+"$sweep" --dataset engines --threads 1 > "$here/sweep_engines.csv"
+printf 'wrote sweep_engines.csv\n'

@@ -21,6 +21,12 @@ TEST(EngineKindNames, ExhaustiveRoundTrip) {
   EXPECT_THROW(parse_engine_kind("SMT"), std::invalid_argument);
 }
 
+TEST(EngineKindNames, ListIsGeneratedFromTheRegistry) {
+  // The diagnostic list is derived, not hand-kept: every registered
+  // kind appears, in registry order, with " or " before the last.
+  EXPECT_EQ(engine_kind_list(), "smt, conv, srt, duplex, replay or dme");
+}
+
 TEST(Scenario, DefaultsValidateForEveryEngine) {
   for (const EngineKind kind : kAllEngineKinds) {
     Scenario scenario;
@@ -50,6 +56,10 @@ TEST(Scenario, JsonRoundTripPreservesEveryField) {
   scenario.srt_compare_overhead = 0.2;
   scenario.srt_chunks_per_round = 50;
   scenario.duplex_processors = 4;
+  scenario.replay_window = 8;
+  scenario.replay_record_overhead = 0.02;
+  scenario.dme_decorrelation = 0.9;
+  scenario.dme_common_mode = 0.1;
 
   const Scenario parsed = Scenario::from_json(scenario.to_json_string());
   EXPECT_EQ(parsed, scenario);
@@ -135,6 +145,23 @@ TEST(Scenario, ValidateRejectsBrokenConfigs) {
   scenario.crash_weight = 0.8;
   scenario.permanent_weight = 0.8;  // transient weight goes negative
   EXPECT_THROW(scenario.validate(), std::invalid_argument);
+
+  scenario = {};
+  scenario.engine = EngineKind::kReplay;
+  scenario.replay_window = 0;
+  EXPECT_THROW(scenario.validate(), std::invalid_argument);
+
+  scenario = {};
+  scenario.engine = EngineKind::kDme;
+  scenario.dme_decorrelation = 1.5;
+  EXPECT_THROW(scenario.validate(), std::invalid_argument);
+
+  // The broken extras are tolerated while another engine is selected:
+  // only the selected engine's config is constructed.
+  scenario = {};
+  scenario.replay_window = 0;
+  scenario.dme_decorrelation = 1.5;
+  EXPECT_NO_THROW(scenario.validate());
 }
 
 // The conversions are THE wiring contract: each engine config must get
@@ -198,6 +225,34 @@ TEST(Scenario, BaselineAndFaultWiring) {
   EXPECT_DOUBLE_EQ(fault.location_uniformity, 0.25);
 }
 
+TEST(Scenario, ReplayAndDmeWiring) {
+  Scenario scenario;
+  scenario.alpha = 0.7;
+  scenario.beta = 0.2;
+  scenario.s = 12;
+  scenario.rounds = 600;
+  scenario.replay_window = 8;
+  scenario.replay_record_overhead = 0.02;
+  scenario.dme_decorrelation = 0.9;
+  scenario.dme_common_mode = 0.1;
+
+  const auto replay = scenario.replay_config();
+  EXPECT_DOUBLE_EQ(replay.alpha, 0.7);
+  EXPECT_DOUBLE_EQ(replay.compare_time, 0.2);
+  EXPECT_EQ(replay.s, 12);
+  EXPECT_EQ(replay.job_rounds, 600u);
+  EXPECT_EQ(replay.window, 8);
+  EXPECT_DOUBLE_EQ(replay.record_overhead, 0.02);
+
+  const auto dme = scenario.dme_config();
+  EXPECT_DOUBLE_EQ(dme.alpha, 0.7);
+  EXPECT_DOUBLE_EQ(dme.t_cmp, 0.2);
+  EXPECT_EQ(dme.s, 12);
+  EXPECT_EQ(dme.job_rounds, 600u);
+  EXPECT_DOUBLE_EQ(dme.decorrelation, 0.9);
+  EXPECT_DOUBLE_EQ(dme.common_mode, 0.1);
+}
+
 TEST(Scenario, FingerprintChangesWithAnyField) {
   const Scenario base;
   Scenario changed = base;
@@ -205,6 +260,12 @@ TEST(Scenario, FingerprintChangesWithAnyField) {
   EXPECT_NE(base.fingerprint(), changed.fingerprint());
   changed = base;
   changed.engine = EngineKind::kSrt;
+  EXPECT_NE(base.fingerprint(), changed.fingerprint());
+  changed = base;
+  changed.replay_window = 8;
+  EXPECT_NE(base.fingerprint(), changed.fingerprint());
+  changed = base;
+  changed.dme_decorrelation = 0.75;
   EXPECT_NE(base.fingerprint(), changed.fingerprint());
   EXPECT_EQ(base.fingerprint(), Scenario{}.fingerprint());
 }

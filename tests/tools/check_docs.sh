@@ -6,7 +6,9 @@
 #   2. every top-level key of the golden JSON documents appears in
 #      docs/SCHEMAS.md;
 #   3. every relative markdown link in README/DESIGN/EXPERIMENTS and
-#      docs/ points at a file that exists.
+#      docs/ points at a file that exists;
+#   4. every engine kind the built tools accept has its own section
+#      heading in docs/ENGINES.md (the engine handbook).
 # Usage: check_docs.sh BUILD_DIR [REPO_ROOT]
 set -u
 
@@ -14,6 +16,7 @@ build="${1:?usage: check_docs.sh BUILD_DIR [REPO_ROOT]}"
 root="${2:-$(cd "$(dirname "$0")/../.." && pwd)}"
 cli_doc="$root/docs/CLI.md"
 schema_doc="$root/docs/SCHEMAS.md"
+engines_doc="$root/docs/ENGINES.md"
 
 failures=0
 fail() {
@@ -82,6 +85,22 @@ for doc in $docs; do
       fail "dead link in $(basename "$doc"): $link"
     fi
   done
+done
+
+# --- 4. every registered engine kind has an ENGINES.md section --------
+# The authoritative kind list comes from the built binary's own
+# strict-parse diagnostic ("--engine: expected smt, conv, ..."), so a
+# kind added to the registry without a handbook section fails here
+# without any hand-kept list in this script.
+[ -f "$engines_doc" ] || fail "missing $engines_doc"
+kinds="$("$build/tools/vds_cli" --engine definitely-bogus 2>&1 |
+  sed -n 's/.*--engine: expected \(.*\), got.*/\1/p' |
+  sed 's/ or /, /' | tr -d ' ' | tr ',' ' ')"
+[ -n "$kinds" ] || fail "could not extract engine kinds from vds_cli"
+for kind in $kinds; do
+  if ! grep -qE "^##+ .*\`$kind\`" "$engines_doc"; then
+    fail "engine kind '$kind' has no heading in docs/ENGINES.md"
+  fi
 done
 
 if [ "$failures" -ne 0 ]; then

@@ -48,6 +48,9 @@ expect 0 "$sweep" --dataset gmax
 # 2: usage and parse errors.
 expect 2 "$cli" --no-such-flag
 expect 2 "$cli" --alpha 0.2            # scenario.validate() rejection
+expect 2 "$cli" --engine replay --replay-window 0
+expect 2 "$cli" --engine dme --decorrelation 1.5
+expect 2 "$cli" --engine dme --common-mode -0.1
 expect 2 "$mc" --no-such-flag
 expect 2 "$mc" --grid 0                # invalid grid value
 expect 2 "$mc" --chaos cell.explode=1  # unknown chaos site
@@ -82,7 +85,7 @@ expect_message "--cell-timeout: expected a number >= 0, got '-1'" \
   "$mc" --cell-timeout -1
 expect_message "--alpha: expected a number, got 'bogus'" \
   "$cli" --alpha bogus
-expect_message "--engine: expected smt, conv, srt or duplex, got 'abacus'" \
+expect_message "--engine: expected smt, conv, srt, duplex, replay or dme, got 'abacus'" \
   "$cli" --engine abacus
 expect_message "--scheme: expected rollback, retry, det, prob or predict, got 'hope'" \
   "$cli" --scheme hope
@@ -98,8 +101,10 @@ expect_message "--batch: expected a wave size >= 1, got '0'" \
   "$mc" --batch 0
 expect_message "--max-replicas requires --target-ci" \
   "$mc" --max-replicas 10
-expect_message "--dataset: expected fig4, fig5, gmax, schemes, alpha or reliability, got 'nope'" \
+expect_message "--dataset: expected fig4, fig5, gmax, schemes, alpha, reliability or engines, got 'nope'" \
   "$sweep" --dataset nope
+expect_message "--engine: expected smt, conv, srt, duplex, replay or dme, got 'abacus'" \
+  "$sweep" --dataset engines --engine abacus
 expect_message "--queue-limit: expected a positive request count, got '0'" \
   "$serve" --queue-limit 0
 expect_message "--tcp: expected a port in 1..65535, got '70000'" \

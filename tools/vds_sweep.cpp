@@ -37,9 +37,13 @@ datasets:
   schemes     engine speedup vs conventional per scheme and fault rate
   alpha       measured alpha of the SMT core across workloads/widths
   reliability closed-form reliability estimates over the fault rate
+  engines     every detection engine over the fault rate, on identical
+              fault timelines (E26)
 
 options:
   --samples N   grid samples per axis for fig4/fig5 [11]
+  --engine KIND restrict the engines dataset to one engine kind
+                [all kinds]
   --threads N   worker threads, 0 = hardware concurrency [0];
                 output is byte-identical for every value
   --metrics FILE  write a vds.metrics.v1 snapshot ("-" = stdout)
@@ -175,6 +179,49 @@ void emit_alpha(vds::runtime::ThreadPool& pool) {
   std::fputs(body.c_str(), stdout);
 }
 
+void emit_engines(vds::runtime::ThreadPool& pool,
+                  const std::vector<vds::scenario::EngineKind>& kinds) {
+  std::printf("engine,rate,total_time,throughput,completed,failed_safe,"
+              "silent_corruption,detections,rollbacks,comparisons\n");
+  constexpr double kRates[] = {0.002, 0.01, 0.02, 0.05};
+  // Every engine at one rate sees the *same* fault timeline: the
+  // timeline is a pure function of (fault config, seed), and only the
+  // engine differs between rows — the apples-to-apples comparison of
+  // the engine handbook.
+  const std::string body = vds::runtime::render_rows(
+      pool, kinds.size() * 4, [&](std::size_t i) {
+        const auto kind = kinds[i / 4];
+        const double rate = kRates[i % 4];
+        vds::scenario::Scenario point;
+        point.engine = kind;
+        point.predictor = "two_bit";
+        point.rounds = 10000;
+        point.rate = rate;
+        point.crash_weight = 0.1;
+        point.permanent_weight = 0.05;
+        point.bias = 0.7;
+
+        vds::sim::Rng rng(7);
+        auto timeline = vds::scenario::make_timeline(point, rng, 400000.0);
+        const auto engine = vds::scenario::make_engine(
+            point, vds::sim::Rng(8), vds::sim::Rng(8));
+        const auto report = engine->run(timeline);
+
+        const auto name = vds::scenario::to_string(kind);
+        char buf[192];
+        std::snprintf(
+            buf, sizeof buf, "%.*s,%.3f,%.2f,%.4f,%d,%d,%d,%llu,%llu,%llu\n",
+            static_cast<int>(name.size()), name.data(), rate,
+            report.total_time, report.throughput(), report.completed ? 1 : 0,
+            report.failed_safe ? 1 : 0, report.silent_corruption ? 1 : 0,
+            static_cast<unsigned long long>(report.detections),
+            static_cast<unsigned long long>(report.rollbacks),
+            static_cast<unsigned long long>(report.comparisons));
+        return std::string(buf);
+      });
+  std::fputs(body.c_str(), stdout);
+}
+
 void emit_reliability(vds::runtime::ThreadPool& pool) {
   std::printf("scheme,rate,p,expected_detections,p_recovery_failure,"
               "expected_rollbacks,p_job_silent,expected_total_time\n");
@@ -207,6 +254,7 @@ void emit_reliability(vds::runtime::ThreadPool& pool) {
 
 int run_sweep(int argc, char** argv) {
   std::string dataset;
+  std::string engine_filter;
   std::size_t samples = 11;
   unsigned threads = 0;
   vds::scenario::Observability observability;
@@ -215,6 +263,8 @@ int run_sweep(int argc, char** argv) {
     const std::string arg(args.next());
     if (arg == "--dataset") {
       dataset = std::string(args.value(arg));
+    } else if (arg == "--engine") {
+      engine_filter = std::string(args.value(arg));
     } else if (arg == "--samples") {
       samples = static_cast<std::size_t>(args.value_u64(arg));
     } else if (arg == "--threads") {
@@ -233,14 +283,26 @@ int run_sweep(int argc, char** argv) {
 
   // Validate before arming anything so the error is pure usage: the
   // canonical bad_value shape names both the flag and the value.
-  static const char* const kDatasets[] = {"fig4",    "fig5",  "gmax",
-                                          "schemes", "alpha", "reliability"};
+  static const char* const kDatasets[] = {"fig4",  "fig5",        "gmax",
+                                          "schemes", "alpha",
+                                          "reliability", "engines"};
   bool known = false;
   for (const char* name : kDatasets) known = known || dataset == name;
   if (!known) {
     vds::scenario::bad_value(
         "--dataset", dataset,
-        "fig4, fig5, gmax, schemes, alpha or reliability");
+        "fig4, fig5, gmax, schemes, alpha, reliability or engines");
+  }
+  std::vector<vds::scenario::EngineKind> engine_kinds(
+      std::begin(vds::scenario::kAllEngineKinds),
+      std::end(vds::scenario::kAllEngineKinds));
+  if (!engine_filter.empty()) {
+    try {
+      engine_kinds = {vds::scenario::parse_engine_kind(engine_filter)};
+    } catch (const std::invalid_argument&) {
+      vds::scenario::bad_value("--engine", engine_filter,
+                               vds::scenario::engine_kind_list());
+    }
   }
 
   observability.arm();
@@ -257,6 +319,8 @@ int run_sweep(int argc, char** argv) {
     emit_alpha(pool);
   } else if (dataset == "reliability") {
     emit_reliability(pool);
+  } else if (dataset == "engines") {
+    emit_engines(pool, engine_kinds);
   }
   observability.write();
   return 0;
